@@ -1,0 +1,47 @@
+# NewsWire build and experiment targets.
+
+GO ?= go
+
+.PHONY: all build test vet race bench tables tables-quick tables-big examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick-size experiment tables + hot-path micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full-size experiment tables (EXPERIMENTS.md).
+tables: bin/newswire-bench
+	bin/newswire-bench
+
+tables-quick: bin/newswire-bench
+	bin/newswire-bench -quick
+
+# Adds the 32k/131k-node E1/E7 points (slow, several GB of memory).
+tables-big: bin/newswire-bench
+	bin/newswire-bench -run E1,E7 -big
+
+bin/newswire-bench:
+	$(GO) build -o bin/newswire-bench ./cmd/newswire-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/technews
+	$(GO) run ./examples/worldnews
+	$(GO) run ./examples/resilience
+	$(GO) run ./examples/monitor
+
+clean:
+	rm -rf bin

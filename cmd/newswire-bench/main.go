@@ -1,0 +1,80 @@
+// Command newswire-bench regenerates every experiment table in
+// EXPERIMENTS.md (E1–E8 and ablations A1–A4).
+//
+// Usage:
+//
+//	newswire-bench              # run everything at standard size
+//	newswire-bench -run E3,E5   # specific experiments
+//	newswire-bench -quick       # smaller, faster configurations
+//	newswire-bench -big         # include the largest E1/E7 points
+//	newswire-bench -seed 7      # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"newswire/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newswire-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("newswire-bench", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiment IDs (E1..E8, A1..A4) or 'all'")
+		quick   = fs.Bool("quick", false, "run reduced-size configurations")
+		big     = fs.Bool("big", false, "include the largest configurations (slow, memory-hungry)")
+		seed    = fs.Int64("seed", 1, "deterministic random seed")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return nil
+	}
+
+	want := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		for id := range want {
+			found := false
+			for _, r := range all {
+				if r.ID == id {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed}
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table := r.Run(opt)
+		table.Render(os.Stdout)
+		fmt.Printf("   (%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", "E99"}); err != nil &&
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	// A1 is the cheapest experiment (milliseconds); run it for real.
+	if err := run([]string{"-run", "A1", "-quick", "-seed", "2"}); err != nil {
+		t.Fatalf("quick A1 run failed: %v", err)
+	}
+}

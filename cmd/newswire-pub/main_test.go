@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"newswire"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-peers") {
+		t.Errorf("missing -peers: err = %v", err)
+	}
+	if err := run([]string{"-peers", "x:1"}); err == nil || !strings.Contains(err.Error(), "-publisher") {
+		t.Errorf("missing -publisher: err = %v", err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMissingSubjectAndHeadline(t *testing.T) {
+	// Needs a live peer so StartLive's introduction has somewhere to go;
+	// the validation under test happens after join.
+	seed, err := newswire.StartLive(newswire.LiveConfig{
+		Node: newswire.Config{ZonePath: "/default", GossipInterval: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	err = run([]string{"-peers", seed.Addr(), "-publisher", "p", "-settle", "100ms"})
+	if err == nil || !strings.Contains(err.Error(), "-subject") {
+		t.Errorf("missing subject/headline: err = %v", err)
+	}
+}
+
+func TestRunPublishesRSSFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test")
+	}
+	received := make(chan string, 16)
+	seed, err := newswire.StartLive(newswire.LiveConfig{
+		Node: newswire.Config{
+			ZonePath:       "/default",
+			GossipInterval: 100 * time.Millisecond,
+			OnItem: func(it *newswire.Item, env *newswire.ItemEnvelope) {
+				received <- it.Headline
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	if err := seed.Node().Subscribe("tech/linux"); err != nil {
+		t.Fatal(err)
+	}
+
+	rss := `<rss version="2.0"><channel><title>T</title>
+	  <item><title>CLI RSS story</title><guid>g1</guid>
+	    <description>d</description><category>Linux</category></item>
+	</channel></rss>`
+	path := filepath.Join(t.TempDir(), "feed.xml")
+	if err := os.WriteFile(path, []byte(rss), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = run([]string{
+		"-peers", seed.Addr(),
+		"-publisher", "slashdot",
+		"-rss", path,
+		"-settle", "1s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case headline := <-received:
+		if headline != "CLI RSS story" {
+			t.Fatalf("headline = %q", headline)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("item never delivered to the subscriber")
+	}
+}

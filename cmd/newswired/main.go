@@ -1,0 +1,109 @@
+// Command newswired runs one live NewsWire node over TCP: it joins a
+// cluster through seed peers, subscribes to subjects, and prints every
+// delivered news item — the downloadable participant application of
+// paper §8.
+//
+// Start a first node:
+//
+//	newswired -listen 127.0.0.1:9001 -zone /usa/ny -subscribe tech/linux
+//
+// Join more nodes to it:
+//
+//	newswired -listen 127.0.0.1:9002 -zone /usa/ny -peers 127.0.0.1:9001 \
+//	    -subscribe tech/linux,tech/security
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"newswire"
+	"newswire/internal/news"
+	"newswire/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "newswired:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("newswired", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		zone      = fs.String("zone", "/default", "leaf zone path, e.g. /usa/ny")
+		name      = fs.String("name", "", "node name (default derived from address)")
+		peers     = fs.String("peers", "", "comma-separated seed peer addresses")
+		subscribe = fs.String("subscribe", "", "comma-separated subscription subjects")
+		predicate = fs.String("predicate", "", "SQL selection predicate over item metadata")
+		interval  = fs.Duration("interval", 2*time.Second, "gossip interval")
+		httpAddr  = fs.String("http", "", "serve the status web interface on this address (e.g. 127.0.0.1:8080)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := newswire.LiveConfig{
+		ListenAddr: *listen,
+		Node: newswire.Config{
+			Name:           *name,
+			ZonePath:       *zone,
+			GossipInterval: *interval,
+			OnItem: func(it *news.Item, env *wire.ItemEnvelope) {
+				fmt.Printf("[%s] %s (rev %d, %s) %s\n",
+					it.Published.Format("15:04:05"), it.Key(), it.Revision,
+					strings.Join(it.Subjects, ","), it.Headline)
+			},
+		},
+	}
+	if *peers != "" {
+		cfg.Peers = strings.Split(*peers, ",")
+	}
+
+	ln, err := newswire.StartLive(cfg)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("newswired listening on %s, zone %s\n", ln.Addr(), *zone)
+
+	if *subscribe != "" {
+		subjects := strings.Split(*subscribe, ",")
+		if err := ln.Node().Subscribe(subjects...); err != nil {
+			return err
+		}
+		fmt.Printf("subscribed to %s\n", *subscribe)
+	}
+	if *predicate != "" {
+		if err := ln.Node().SetPredicate(*predicate); err != nil {
+			return err
+		}
+		fmt.Printf("predicate installed: %s\n", *predicate)
+	}
+
+	if *httpAddr != "" {
+		ui := newswire.NewWebUI(ln.Node())
+		srv := &http.Server{Addr: *httpAddr, Handler: ui.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "newswired: web interface:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("web interface on http://%s/\n", *httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

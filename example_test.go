@@ -1,0 +1,57 @@
+package newswire_test
+
+import (
+	"fmt"
+	"time"
+
+	"newswire"
+)
+
+// ExampleNewCluster shows the end-to-end flow: build a simulated
+// deployment, subscribe, let the subscription summaries aggregate, publish
+// and count deliveries. The simulation is deterministic, so this example
+// has stable output.
+func ExampleNewCluster() {
+	delivered := 0
+	var cluster *newswire.Cluster
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N:         16,
+		Branching: 4,
+		Seed:      7,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
+				delivered++
+			}
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Half the nodes follow Linux news.
+	for i := 0; i < 8; i++ {
+		if err := cluster.Nodes[i].Subscribe("tech/linux"); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	cluster.RunRounds(8) // aggregate the subscription Bloom filters
+
+	item := &newswire.Item{
+		Publisher: "slashdot",
+		ID:        "kernel",
+		Headline:  "Kernel released",
+		Body:      "...",
+		Subjects:  []string{"tech/linux"},
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[15].PublishItem(item, "", ""); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cluster.RunFor(10 * time.Second)
+
+	fmt.Printf("delivered to %d of 8 subscribers\n", delivered)
+	// Output: delivered to 8 of 8 subscribers
+}

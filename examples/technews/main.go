@@ -1,0 +1,134 @@
+// Technews: the paper's first target configuration (§10) — technical news
+// publishing by Slashdot-like sites, bootstrapped from RSS.
+//
+// A bootstrap agent (§10) polls an RSS channel, transforms new and changed
+// entries into NewsWire items, and publishes them into a simulated
+// 48-node cluster. Subscribers follow specific tech categories; revision
+// fusion in the end-system cache keeps only the newest version of each
+// story.
+//
+// Run with: go run ./examples/technews
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"newswire"
+	"newswire/internal/feed"
+)
+
+// pollOne is the RSS channel as seen on the first poll.
+const pollOne = `<?xml version="1.0"?>
+<rss version="2.0"><channel>
+  <title>Slashdot</title><link>http://slashdot.org/</link>
+  <item><title>Linux 2.5.8 released</title><guid>s1</guid>
+    <description>New devel kernel out.</description>
+    <category>Linux</category></item>
+  <item><title>New SSH vulnerability</title><guid>s2</guid>
+    <description>Patch your servers.</description>
+    <category>Security</category></item>
+</channel></rss>`
+
+// pollTwo is the same channel later: one entry updated, one new.
+const pollTwo = `<?xml version="1.0"?>
+<rss version="2.0"><channel>
+  <title>Slashdot</title><link>http://slashdot.org/</link>
+  <item><title>Linux 2.5.8 released</title><guid>s1</guid>
+    <description>New devel kernel out. UPDATE: mirrors are live.</description>
+    <category>Linux</category></item>
+  <item><title>New SSH vulnerability</title><guid>s2</guid>
+    <description>Patch your servers.</description>
+    <category>Security</category></item>
+  <item><title>AMD ships new CPU</title><guid>s3</guid>
+    <description>Benchmarks inside.</description>
+    <category>Hardware</category></item>
+</channel></rss>`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== NewsWire technews: RSS-bootstrapped tech publishing ==")
+
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N:         48,
+		Branching: 8,
+		Seed:      77,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.FuseRevisions = true // cache keeps newest revision only (§9)
+			node := i
+			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
+				if node == 1 || node == 30 {
+					fmt.Printf("  node %-2d <- %-24s rev %d  %s\n",
+						node, it.Key(), it.Revision, it.Headline)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Nodes follow different tech beats.
+	for i, node := range cluster.Nodes {
+		var subjects []string
+		switch i % 3 {
+		case 0:
+			subjects = []string{"tech/linux"}
+		case 1:
+			subjects = []string{"tech/security", "tech/linux"}
+		default:
+			subjects = []string{"tech/hardware"}
+		}
+		if err := node.Subscribe(subjects...); err != nil {
+			return err
+		}
+	}
+	cluster.RunRounds(10)
+
+	// The bootstrap agent transforms RSS polls into item streams (§10).
+	agent, err := feed.NewAgent("slashdot", nil)
+	if err != nil {
+		return err
+	}
+	publish := func(rss string) error {
+		channel, err := feed.ParseRSS([]byte(rss))
+		if err != nil {
+			return err
+		}
+		items := agent.Transform(channel, cluster.Eng.Now())
+		fmt.Printf("poll produced %d new/changed items\n", len(items))
+		for _, it := range items {
+			if err := cluster.Nodes[0].PublishItem(it, "", ""); err != nil {
+				return err
+			}
+		}
+		cluster.RunFor(5 * time.Second)
+		return nil
+	}
+
+	fmt.Println("\n-- first RSS poll --")
+	if err := publish(pollOne); err != nil {
+		return err
+	}
+	fmt.Println("\n-- second RSS poll (one update, one new story) --")
+	if err := publish(pollTwo); err != nil {
+		return err
+	}
+
+	// The cache of a linux+security subscriber holds the fused newest
+	// revisions only.
+	node1 := cluster.Nodes[1]
+	fmt.Printf("\nnode 1 cache: %d items (revision fusion on)\n", node1.Cache().Len())
+	if env, ok := node1.Cache().Latest("slashdot/rss-000001"); ok {
+		fmt.Printf("  newest revision of the kernel story: rev %d\n", env.Revision)
+	}
+	st := node1.Cache().Stats()
+	fmt.Printf("  cache stats: puts=%d dups=%d fused=%d\n", st.Puts, st.Duplicates, st.Fused)
+	return nil
+}

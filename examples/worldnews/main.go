@@ -1,0 +1,129 @@
+// Worldnews: the paper's second target configuration (§10) — general news
+// distribution by wire services — demonstrating two §8 features:
+//
+//   - zone-scoped publication ("allows the publisher to disseminate
+//     localized news items in Asia"), and
+//   - publisher dissemination predicates ("a publisher could send some
+//     item only to premium subscribers"), using a custom aggregation
+//     program that carries a BOOL_OR(premium) attribute up the hierarchy.
+//
+// Run with: go run ./examples/worldnews
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"newswire"
+	"newswire/internal/news"
+	"newswire/internal/sqlagg"
+	"newswire/internal/value"
+)
+
+// aggregation extends the default program with a premium flag so the
+// publisher predicate can prune whole zones without premium subscribers.
+var aggregation = sqlagg.MustParse(`SELECT
+	SUM(COALESCE(nmembers, 1)) AS nmembers,
+	REPS(3, load, COALESCE(reps, addr)) AS reps,
+	MINV(load, addr) AS addr,
+	MIN(load) AS load,
+	BIT_OR(subs) AS subs,
+	BOOL_OR(premium) AS premium,
+	UNION(pubs) AS pubs`)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== NewsWire worldnews: regional scoping + premium predicates ==")
+
+	// 8 nodes per region: indices 0-7 in the first zone ("asia"), 8-15
+	// in the second ("europe").
+	received := make(map[int][]string)
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N:         16,
+		Branching: 8,
+		Seed:      8,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.Aggregation = aggregation
+			node := i
+			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
+				received[node] = append(received[node], it.ID)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	asiaZone := cluster.Nodes[0].ZonePath()
+	fmt.Printf("region zones: asia=%s europe=%s\n",
+		asiaZone, cluster.Nodes[15].ZonePath())
+
+	// Everyone follows world news; even-numbered nodes are premium.
+	for i, node := range cluster.Nodes {
+		if err := node.Subscribe("world/asia", "world/europe"); err != nil {
+			return err
+		}
+		if i%2 == 0 {
+			node.Agent().SetAttr("premium", value.Bool(true))
+		}
+	}
+	cluster.RunRounds(10)
+
+	publish := func(id, subject, scope, predicate string) error {
+		it := &news.Item{
+			Publisher: "reuters", ID: id,
+			Headline: id, Body: "body",
+			Subjects:  []string{subject},
+			Urgency:   4,
+			Published: cluster.Eng.Now(),
+		}
+		return cluster.Nodes[8].PublishItem(it, scope, predicate)
+	}
+
+	// 1. Global story: everyone gets it.
+	if err := publish("global-summit", "world/europe", "", ""); err != nil {
+		return err
+	}
+	// 2. Asia-scoped story: only the asia zone's subtree.
+	if err := publish("typhoon-warning", "world/asia", asiaZone, ""); err != nil {
+		return err
+	}
+	// 3. Premium-only market flash: the predicate prunes zones and
+	// members without the premium attribute.
+	if err := publish("market-flash", "world/europe", "", "premium"); err != nil {
+		return err
+	}
+	cluster.RunFor(15 * time.Second)
+	// A few more gossip rounds so the publisher roster (a UNION-aggregated
+	// attribute) reaches every root table.
+	cluster.RunRounds(6)
+
+	counts := map[string]int{}
+	premiumLeak, scopeLeak := 0, 0
+	for i := range cluster.Nodes {
+		for _, id := range received[i] {
+			counts[id]++
+			if id == "market-flash" && i%2 != 0 {
+				premiumLeak++
+			}
+			if id == "typhoon-warning" && i >= 8 {
+				scopeLeak++
+			}
+		}
+	}
+	fmt.Printf("\n%-16s delivered to %2d nodes (want 16)\n", "global-summit", counts["global-summit"])
+	fmt.Printf("%-16s delivered to %2d nodes (want 8, asia only; leaks to europe: %d)\n",
+		"typhoon-warning", counts["typhoon-warning"], scopeLeak)
+	fmt.Printf("%-16s delivered to %2d nodes (want 8, premium only; leaks: %d)\n",
+		"market-flash", counts["market-flash"], premiumLeak)
+
+	pubs := cluster.Nodes[3].KnownPublishers()
+	fmt.Printf("\npublisher roster visible at node 3: %v\n", pubs)
+	return nil
+}

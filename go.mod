@@ -1,0 +1,3 @@
+module newswire
+
+go 1.22

@@ -1,0 +1,839 @@
+package astrolabe
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"newswire/internal/sqlagg"
+	"newswire/internal/transport"
+	"newswire/internal/value"
+	"newswire/internal/vtime"
+	"newswire/internal/wire"
+)
+
+// Well-known attribute names. The default aggregation program and the
+// pub/sub layer agree on these.
+const (
+	// AttrAddr is the transport address of a leaf agent, or the primary
+	// contact (least-loaded representative) of an aggregated zone.
+	AttrAddr = "addr"
+	// AttrLoad is the advertised load used for representative election.
+	AttrLoad = "load"
+	// AttrReps lists the elected multicast representatives of a zone.
+	AttrReps = "reps"
+	// AttrMembers counts the leaf nodes under a zone.
+	AttrMembers = "nmembers"
+	// AttrSubs is the OR-aggregated subscription Bloom filter (§6).
+	AttrSubs = "subs"
+	// AttrPubs is the roster of publishers known below a zone.
+	AttrPubs = "pubs"
+)
+
+// DefaultRepCount is how many multicast representatives the default
+// aggregation program elects per zone.
+const DefaultRepCount = 3
+
+// DefaultAggregationSource is the SQL aggregation program installed when
+// Config.Aggregation is nil. It computes exactly the summaries the paper
+// needs: member counts, the k least-loaded representatives with a primary
+// contact, the OR of subscription Bloom filters, and the publisher roster.
+const DefaultAggregationSource = `SELECT
+	SUM(COALESCE(nmembers, 1)) AS nmembers,
+	REPS(3, load, COALESCE(reps, addr)) AS reps,
+	MINV(load, addr) AS addr,
+	MIN(load) AS load,
+	BIT_OR(subs) AS subs,
+	UNION(pubs) AS pubs`
+
+// DefaultAggregation parses DefaultAggregationSource.
+func DefaultAggregation() *sqlagg.Program {
+	return sqlagg.MustParse(DefaultAggregationSource)
+}
+
+// PrefixOp is the merge operator a PrefixRule applies.
+type PrefixOp int
+
+// Prefix aggregation operators.
+const (
+	PrefixBitOr PrefixOp = iota + 1
+	PrefixBoolOr
+	PrefixSum
+)
+
+// PrefixRule aggregates every attribute whose name starts with Prefix,
+// independently per attribute name. This models the paper's early
+// prototype (§7), where "each available publisher is represented as an
+// attribute in Astrolabe" holding a category bit mask — a dynamic
+// attribute set a fixed SELECT list cannot name. Experiment E8 uses a
+// per-subscription prefix rule to reproduce the "poorly scalable"
+// attribute-per-subscription design the Bloom filter replaces.
+type PrefixRule struct {
+	Prefix string
+	Op     PrefixOp
+}
+
+// Config configures an Agent.
+type Config struct {
+	// Name is the agent's row name, unique within its leaf zone.
+	Name string
+	// ZonePath is the leaf zone the agent lives in, e.g. "/usa/ny".
+	ZonePath string
+	// Transport delivers and receives wire messages. The agent stores
+	// Transport.Addr() in its row's addr attribute.
+	Transport transport.Transport
+	// Clock supplies time (vtime.Real{} for live use, the simulator's
+	// virtual clock in experiments).
+	Clock vtime.Clock
+	// Rand drives gossip partner selection. Required: injecting it keeps
+	// simulations deterministic.
+	Rand *rand.Rand
+	// GossipInterval is the expected time between Tick calls; it scales
+	// the failure timeout. Default 2s.
+	GossipInterval time.Duration
+	// FailTimeout is how stale a leaf row may get before it is evicted
+	// (failure detection, §3). Default 10×GossipInterval.
+	FailTimeout time.Duration
+	// AggFailTimeout is the eviction timeout for aggregated zone rows.
+	// It must exceed FailTimeout: when a zone's only elected
+	// representative dies, sibling zones stop receiving refreshes until
+	// re-election completes (one FailTimeout later), and evicting the
+	// sibling row in that window would partition the hierarchy
+	// permanently. Default 4×FailTimeout.
+	AggFailTimeout time.Duration
+	// Fanout is how many partners to gossip with per level per Tick.
+	// Default 1.
+	Fanout int
+	// Aggregation is the zone aggregation program. Default
+	// DefaultAggregation().
+	Aggregation *sqlagg.Program
+	// PrefixRules aggregate dynamically named attributes (see PrefixRule).
+	PrefixRules []PrefixRule
+	// SignRow, when set, signs rows this agent issues (its own leaf row
+	// and aggregates it computes).
+	SignRow func(r *wire.RowUpdate)
+	// VerifyRow, when set, authenticates rows received in gossip; rows
+	// failing verification are discarded.
+	VerifyRow func(r *wire.RowUpdate) error
+}
+
+// Row is a snapshot of one MIB row. Attrs is shared with the agent's
+// internal state and must be treated as read-only.
+type Row struct {
+	Name   string
+	Attrs  value.Map
+	Issued time.Time
+	Owner  string
+	Signer string
+	Sig    []byte
+}
+
+// Stats counts agent activity, for tests and experiment tables.
+type Stats struct {
+	GossipsSent     int64
+	GossipsReceived int64
+	RepliesReceived int64
+	RowsMerged      int64
+	RowsRejected    int64
+	RowsExpired     int64
+}
+
+type table struct {
+	rows map[string]*Row
+}
+
+// Agent is one Astrolabe participant: it owns a row in its leaf zone,
+// replicates the tables of its ancestor chain, gossips them epidemically,
+// and recomputes aggregate rows for its chain.
+type Agent struct {
+	cfg   Config
+	name  string
+	addr  string
+	leaf  string
+	chain []string // root-first, ending at leaf zone
+
+	mu      sync.Mutex
+	tables  map[string]*table
+	ownRow  *Row
+	stats   Stats
+	started time.Time
+}
+
+// NewAgent validates cfg and returns an agent with its own row issued
+// (but not yet gossiped — call Tick to start participating).
+func NewAgent(cfg Config) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("astrolabe: agent name required")
+	}
+	if err := ValidateZonePath(cfg.ZonePath); err != nil {
+		return nil, err
+	}
+	if cfg.ZonePath == RootZone {
+		return nil, fmt.Errorf("astrolabe: agents must live below the root zone")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("astrolabe: transport required")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("astrolabe: clock required")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("astrolabe: rand required")
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 2 * time.Second
+	}
+	if cfg.FailTimeout <= 0 {
+		cfg.FailTimeout = 10 * cfg.GossipInterval
+	}
+	if cfg.AggFailTimeout <= 0 {
+		cfg.AggFailTimeout = 4 * cfg.FailTimeout
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 1
+	}
+	if cfg.Aggregation == nil {
+		cfg.Aggregation = DefaultAggregation()
+	}
+
+	a := &Agent{
+		cfg:    cfg,
+		name:   cfg.Name,
+		addr:   cfg.Transport.Addr(),
+		leaf:   cfg.ZonePath,
+		chain:  AncestorChain(cfg.ZonePath),
+		tables: make(map[string]*table),
+	}
+	for _, z := range a.chain {
+		a.tables[z] = &table{rows: make(map[string]*Row)}
+	}
+	now := cfg.Clock.Now()
+	a.started = now
+	a.ownRow = &Row{
+		Name: a.name,
+		Attrs: value.Map{
+			AttrAddr: value.String(a.addr),
+			AttrLoad: value.Float(0),
+		},
+		Issued: now,
+		Owner:  a.addr,
+	}
+	a.signRowLocked(a.ownRow, a.leaf)
+	a.tables[a.leaf].rows[a.name] = a.ownRow
+	a.recomputeAggregatesLocked()
+	return a, nil
+}
+
+// Name returns the agent's row name.
+func (a *Agent) Name() string { return a.name }
+
+// Addr returns the agent's transport address.
+func (a *Agent) Addr() string { return a.addr }
+
+// ZonePath returns the agent's leaf zone.
+func (a *Agent) ZonePath() string { return a.leaf }
+
+// Chain returns the agent's ancestor chain, root-first, ending at its
+// leaf zone. The returned slice is shared; do not modify.
+func (a *Agent) Chain() []string { return a.chain }
+
+// Stats returns a copy of the agent's activity counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// SetAttr updates one attribute of the agent's own row and re-issues it.
+// The agent's row map is copied on write, preserving the immutability of
+// previously gossiped maps.
+func (a *Agent) SetAttr(name string, v value.Value) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	attrs := a.ownRow.Attrs.Clone()
+	if v.IsValid() {
+		attrs[name] = v
+	} else {
+		delete(attrs, name)
+	}
+	a.reissueOwnRowLocked(attrs)
+	a.recomputeAggregatesLocked()
+}
+
+// SetAttrs updates several attributes at once (one re-issue).
+func (a *Agent) SetAttrs(m value.Map) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	attrs := a.ownRow.Attrs.Clone()
+	for name, v := range m {
+		if v.IsValid() {
+			attrs[name] = v
+		} else {
+			delete(attrs, name)
+		}
+	}
+	a.reissueOwnRowLocked(attrs)
+	a.recomputeAggregatesLocked()
+}
+
+// Attr reads one attribute of the agent's own row.
+func (a *Agent) Attr(name string) value.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ownRow.Attrs[name]
+}
+
+func (a *Agent) reissueOwnRowLocked(attrs value.Map) {
+	row := &Row{
+		Name:   a.name,
+		Attrs:  attrs,
+		Issued: a.cfg.Clock.Now(),
+		Owner:  a.addr,
+	}
+	a.signRowLocked(row, a.leaf)
+	a.ownRow = row
+	a.tables[a.leaf].rows[a.name] = row
+}
+
+func (a *Agent) signRowLocked(r *Row, zone string) {
+	if a.cfg.SignRow == nil {
+		return
+	}
+	u := wire.RowUpdate{
+		Zone:   zone,
+		Name:   r.Name,
+		Attrs:  r.Attrs,
+		Issued: r.Issued,
+		Owner:  r.Owner,
+	}
+	a.cfg.SignRow(&u)
+	r.Signer = u.Signer
+	r.Sig = u.Sig
+}
+
+// Table returns a snapshot of the rows of one replicated zone table,
+// sorted by row name. Attrs maps are shared and must be treated as
+// read-only. The second result reports whether the agent replicates the
+// zone at all.
+func (a *Agent) Table(zone string) ([]Row, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tables[zone]
+	if !ok {
+		return nil, false
+	}
+	rows := make([]Row, 0, len(t.rows))
+	for _, r := range t.rows {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, true
+}
+
+// Row returns one row of a replicated zone table.
+func (a *Agent) Row(zone, name string) (Row, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tables[zone]
+	if !ok {
+		return Row{}, false
+	}
+	r, ok := t.rows[name]
+	if !ok {
+		return Row{}, false
+	}
+	return *r, true
+}
+
+// IsRepresentative reports whether this agent is currently an elected
+// representative of its child zone within zone (i.e. whether it gossips
+// and forwards at that level). zone must be a proper ancestor of the
+// agent's leaf zone.
+func (a *Agent) IsRepresentative(zone string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.isRepresentativeLocked(zone)
+}
+
+func (a *Agent) isRepresentativeLocked(zone string) bool {
+	child, ok := ChildToward(zone, a.leaf)
+	if !ok {
+		// zone == leaf: every member participates at leaf level.
+		return zone == a.leaf
+	}
+	t, ok := a.tables[zone]
+	if !ok {
+		return false
+	}
+	row, ok := t.rows[ZoneName(child)]
+	if !ok {
+		return false
+	}
+	reps, ok := row.Attrs[AttrReps].AsStrings()
+	if !ok {
+		return false
+	}
+	for _, r := range reps {
+		if r == a.addr {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnRowUpdate returns the agent's current leaf row as a RowUpdate, for
+// seeding other agents' membership at bootstrap.
+func (a *Agent) OwnRowUpdate() wire.RowUpdate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return wire.RowUpdate{
+		Zone:   a.leaf,
+		Name:   a.ownRow.Name,
+		Attrs:  a.ownRow.Attrs,
+		Issued: a.ownRow.Issued,
+		Owner:  a.ownRow.Owner,
+		Signer: a.ownRow.Signer,
+		Sig:    a.ownRow.Sig,
+	}
+}
+
+// ChainRowUpdates returns the agent's own leaf row plus the aggregate row
+// it computed for each zone on its chain. Merging another agent's chain
+// rows is the bootstrap introduction: same-zone peers learn the leaf row,
+// distant peers learn the aggregated zone rows they share tables with (the
+// zone-placement configuration the paper defers to the Astrolabe effort,
+// §8).
+func (a *Agent) ChainRowUpdates() []wire.RowUpdate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := []wire.RowUpdate{{
+		Zone:   a.leaf,
+		Name:   a.ownRow.Name,
+		Attrs:  a.ownRow.Attrs,
+		Issued: a.ownRow.Issued,
+		Owner:  a.ownRow.Owner,
+		Signer: a.ownRow.Signer,
+		Sig:    a.ownRow.Sig,
+	}}
+	for i := len(a.chain) - 1; i >= 1; i-- {
+		child := a.chain[i]
+		parent := a.chain[i-1]
+		if r, ok := a.tables[parent].rows[ZoneName(child)]; ok {
+			out = append(out, wire.RowUpdate{
+				Zone:   parent,
+				Name:   r.Name,
+				Attrs:  r.Attrs,
+				Issued: r.Issued,
+				Owner:  r.Owner,
+				Signer: r.Signer,
+				Sig:    r.Sig,
+			})
+		}
+	}
+	return out
+}
+
+// MergeRows folds externally obtained rows (bootstrap seeds or state
+// transfer) into the agent's replicas, as if they had arrived in gossip.
+func (a *Agent) MergeRows(rows []wire.RowUpdate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mergeRowsLocked(rows)
+	a.recomputeAggregatesLocked()
+}
+
+// Tick advances the agent one gossip round: re-issue the heartbeat on its
+// own row, evict stale rows, recompute aggregates, and gossip with
+// partners at every level where this agent is active.
+func (a *Agent) Tick() {
+	a.mu.Lock()
+	now := a.cfg.Clock.Now()
+
+	// Heartbeat: re-issue own row so peers' failure detectors stay quiet.
+	a.reissueOwnRowLocked(a.ownRow.Attrs)
+
+	// Failure detection: evict rows that have not been refreshed.
+	a.expireLocked(now)
+
+	// Recompute the aggregate rows along this agent's chain.
+	a.recomputeAggregatesLocked()
+
+	// Choose gossip partners under the lock, send after releasing it.
+	type dest struct {
+		addr  string
+		level string // deepest shared zone
+	}
+	var dests []dest
+	for i := len(a.chain) - 1; i >= 0; i-- {
+		zone := a.chain[i]
+		if zone == a.leaf {
+			for _, addr := range a.pickLeafPartnersLocked(a.cfg.Fanout) {
+				dests = append(dests, dest{addr: addr, level: zone})
+			}
+			continue
+		}
+		if !a.isRepresentativeLocked(zone) {
+			continue
+		}
+		for _, addr := range a.pickZonePartnersLocked(zone, a.cfg.Fanout) {
+			dests = append(dests, dest{addr: addr, level: zone})
+		}
+	}
+
+	msgs := make([]*wire.Message, 0, len(dests))
+	addrs := make([]string, 0, len(dests))
+	for _, d := range dests {
+		msgs = append(msgs, &wire.Message{
+			Kind: wire.KindGossip,
+			Gossip: &wire.Gossip{
+				FromZone: a.leaf,
+				Rows:     a.sharedRowsLocked(d.level),
+			},
+		})
+		addrs = append(addrs, d.addr)
+		a.stats.GossipsSent++
+	}
+	tr := a.cfg.Transport
+	a.mu.Unlock()
+
+	for i, m := range msgs {
+		// Best-effort: the epidemic tolerates loss.
+		_ = tr.Send(addrs[i], m)
+	}
+}
+
+// HandleMessage processes one inbound message. Non-gossip messages are
+// ignored (the pub/sub layer routes those before they get here).
+func (a *Agent) HandleMessage(msg *wire.Message) {
+	switch msg.Kind {
+	case wire.KindGossip:
+		a.handleGossip(msg)
+	case wire.KindGossipReply:
+		a.handleGossipReply(msg)
+	default:
+	}
+}
+
+func (a *Agent) handleGossip(msg *wire.Message) {
+	g := msg.Gossip
+	a.mu.Lock()
+	a.stats.GossipsReceived++
+	// Merged rows take effect in routing immediately; the aggregate rows
+	// they feed are recomputed once per Tick rather than per message —
+	// an eventual-consistency system gains nothing from paying the SQL
+	// evaluation on every gossip exchange, and at 10⁵ nodes that cost
+	// dominates the simulation.
+	a.mergeRowsLocked(g.Rows)
+
+	// Reply with our rows of the tables the two agents share.
+	common := CommonAncestor(a.leaf, g.FromZone)
+	reply := &wire.Message{
+		Kind: wire.KindGossipReply,
+		GossipReply: &wire.GossipReply{
+			FromZone: a.leaf,
+			Rows:     a.sharedRowsLocked(common),
+		},
+	}
+	tr := a.cfg.Transport
+	a.mu.Unlock()
+
+	_ = tr.Send(msg.From, reply)
+}
+
+func (a *Agent) handleGossipReply(msg *wire.Message) {
+	a.mu.Lock()
+	a.stats.RepliesReceived++
+	a.mergeRowsLocked(msg.GossipReply.Rows)
+	a.mu.Unlock()
+}
+
+// sharedRowsLocked collects every row of the tables from `deepest` up to
+// the root. When deepest is the agent's leaf zone the whole chain is sent.
+func (a *Agent) sharedRowsLocked(deepest string) []wire.RowUpdate {
+	var out []wire.RowUpdate
+	for _, zone := range a.chain {
+		// Include zone if it is an ancestor-or-equal of the deepest
+		// shared zone.
+		if !ZoneContains(zone, deepest) {
+			continue
+		}
+		t := a.tables[zone]
+		for _, r := range t.rows {
+			out = append(out, wire.RowUpdate{
+				Zone:   zone,
+				Name:   r.Name,
+				Attrs:  r.Attrs,
+				Issued: r.Issued,
+				Owner:  r.Owner,
+				Signer: r.Signer,
+				Sig:    r.Sig,
+			})
+		}
+	}
+	return out
+}
+
+func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
+	for i := range rows {
+		u := &rows[i]
+		t, ok := a.tables[u.Zone]
+		if !ok {
+			continue // we do not replicate that table
+		}
+		if u.Zone == a.leaf && u.Name == a.name {
+			continue // we are authoritative for our own row
+		}
+		existing, exists := t.rows[u.Name]
+		if exists && !u.Issued.After(existing.Issued) {
+			if !u.Issued.Equal(existing.Issued) {
+				continue
+			}
+			// Same timestamp. The overwhelmingly common case in steady
+			// state is an identical re-delivery — skip it cheaply before
+			// paying for the encoded tie-break.
+			if existing.Attrs.Equal(u.Attrs) {
+				continue
+			}
+			// Equal timestamps with different content: deterministic
+			// tie-break on the encoded attributes so all replicas agree.
+			if !attrsLess(existing.Attrs, u.Attrs) {
+				continue
+			}
+		}
+		if a.cfg.VerifyRow != nil {
+			if err := a.cfg.VerifyRow(u); err != nil {
+				a.stats.RowsRejected++
+				continue
+			}
+		}
+		t.rows[u.Name] = &Row{
+			Name:   u.Name,
+			Attrs:  u.Attrs,
+			Issued: u.Issued,
+			Owner:  u.Owner,
+			Signer: u.Signer,
+			Sig:    u.Sig,
+		}
+		a.stats.RowsMerged++
+	}
+}
+
+// attrsLess orders attribute maps by their canonical encoding.
+func attrsLess(a, b value.Map) bool {
+	ea := a.AppendBinary(nil)
+	eb := b.AppendBinary(nil)
+	return string(ea) < string(eb)
+}
+
+func (a *Agent) expireLocked(now time.Time) {
+	leafCutoff := now.Add(-a.cfg.FailTimeout)
+	aggCutoff := now.Add(-a.cfg.AggFailTimeout)
+	for zone, t := range a.tables {
+		cutoff := aggCutoff
+		if zone == a.leaf {
+			cutoff = leafCutoff
+		}
+		for name, r := range t.rows {
+			if zone == a.leaf && name == a.name {
+				continue
+			}
+			if r.Issued.Before(cutoff) {
+				delete(t.rows, name)
+				a.stats.RowsExpired++
+			}
+		}
+	}
+}
+
+// recomputeAggregatesLocked recomputes the aggregate row of each zone on
+// this agent's chain into its parent's table. The aggregate row's issue
+// time is the max issue time of its inputs, which makes the computation
+// deterministic across replicas: same inputs produce the same row with the
+// same timestamp, so freshest-wins merging converges.
+func (a *Agent) recomputeAggregatesLocked() {
+	for i := len(a.chain) - 1; i >= 1; i-- {
+		child := a.chain[i]
+		parent := a.chain[i-1]
+		ct := a.tables[child]
+		if len(ct.rows) == 0 {
+			continue
+		}
+		inputs := make([]value.Map, 0, len(ct.rows))
+		var latest time.Time
+		for _, r := range ct.rows {
+			inputs = append(inputs, r.Attrs)
+			if r.Issued.After(latest) {
+				latest = r.Issued
+			}
+		}
+		// Deterministic input order (map iteration is random).
+		sort.Slice(inputs, func(x, y int) bool {
+			ax, _ := inputs[x][AttrAddr].AsString()
+			ay, _ := inputs[y][AttrAddr].AsString()
+			if ax != ay {
+				return ax < ay
+			}
+			return attrsLess(inputs[x], inputs[y])
+		})
+		out, err := a.cfg.Aggregation.Eval(inputs)
+		if err != nil {
+			continue // a broken program must not kill the agent
+		}
+		applyPrefixRules(a.cfg.PrefixRules, inputs, out)
+
+		name := ZoneName(child)
+		pt := a.tables[parent]
+		existing, exists := pt.rows[name]
+		if exists && existing.Issued.After(latest) {
+			continue // a peer computed from fresher inputs
+		}
+		if exists && existing.Issued.Equal(latest) {
+			if existing.Attrs.Equal(out) || !attrsLess(existing.Attrs, out) {
+				continue
+			}
+		}
+		row := &Row{
+			Name:   name,
+			Attrs:  out,
+			Issued: latest,
+			Owner:  a.addr,
+		}
+		a.signRowLocked(row, parent)
+		pt.rows[name] = row
+	}
+}
+
+// applyPrefixRules aggregates dynamically named attributes into out.
+func applyPrefixRules(rules []PrefixRule, inputs []value.Map, out value.Map) {
+	for _, rule := range rules {
+		merged := make(map[string]value.Value)
+		for _, row := range inputs {
+			for name, v := range row {
+				if len(name) < len(rule.Prefix) || name[:len(rule.Prefix)] != rule.Prefix {
+					continue
+				}
+				acc, ok := merged[name]
+				if !ok {
+					merged[name] = v
+					continue
+				}
+				merged[name] = mergePrefixValue(rule.Op, acc, v)
+			}
+		}
+		for name, v := range merged {
+			if v.IsValid() {
+				out[name] = v
+			}
+		}
+	}
+}
+
+func mergePrefixValue(op PrefixOp, acc, v value.Value) value.Value {
+	switch op {
+	case PrefixBitOr:
+		ab, ok1 := acc.RawBytes()
+		vb, ok2 := v.RawBytes()
+		if !ok1 {
+			return v
+		}
+		if !ok2 {
+			return acc
+		}
+		n := len(ab)
+		if len(vb) > n {
+			n = len(vb)
+		}
+		out := make([]byte, n)
+		copy(out, ab)
+		for i, x := range vb {
+			out[i] |= x
+		}
+		return value.Bytes(out)
+	case PrefixBoolOr:
+		a, _ := acc.AsBool()
+		b, _ := v.AsBool()
+		return value.Bool(a || b)
+	case PrefixSum:
+		a, ok1 := acc.AsFloat()
+		b, ok2 := v.AsFloat()
+		if !ok1 || !ok2 {
+			return acc
+		}
+		return value.Float(a + b)
+	default:
+		return acc
+	}
+}
+
+// pickLeafPartnersLocked selects up to n random gossip partners from the
+// agent's leaf table (excluding itself). A joining agent placed into a
+// zone whose members it does not know yet has an empty leaf table; it
+// falls back to the representatives its parent-table replica lists for
+// the zone, whose gossip replies then carry the full leaf table (the
+// join path of §8).
+func (a *Agent) pickLeafPartnersLocked(n int) []string {
+	t := a.tables[a.leaf]
+	candidates := make([]string, 0, len(t.rows))
+	for name, r := range t.rows {
+		if name == a.name {
+			continue
+		}
+		if addr, ok := r.Attrs[AttrAddr].AsString(); ok {
+			candidates = append(candidates, addr)
+		}
+	}
+	if len(candidates) == 0 {
+		if parent, ok := ParentZone(a.leaf); ok {
+			if pt, ok := a.tables[parent]; ok {
+				if row, ok := pt.rows[ZoneName(a.leaf)]; ok {
+					if reps, ok := row.Attrs[AttrReps].AsStrings(); ok {
+						for _, rep := range reps {
+							if rep != a.addr {
+								candidates = append(candidates, rep)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return samplePartners(a.cfg.Rand, candidates, n)
+}
+
+// pickZonePartnersLocked selects up to n partner addresses among the
+// representatives of sibling child zones in `zone`'s table.
+func (a *Agent) pickZonePartnersLocked(zone string, n int) []string {
+	child, _ := ChildToward(zone, a.leaf)
+	ownName := ZoneName(child)
+	t := a.tables[zone]
+	var candidates []string
+	for name, r := range t.rows {
+		if name == ownName {
+			continue
+		}
+		if reps, ok := r.Attrs[AttrReps].AsStrings(); ok && len(reps) > 0 {
+			candidates = append(candidates, reps[a.cfg.Rand.Intn(len(reps))])
+		} else if addr, ok := r.Attrs[AttrAddr].AsString(); ok {
+			candidates = append(candidates, addr)
+		}
+	}
+	return samplePartners(a.cfg.Rand, candidates, n)
+}
+
+// samplePartners picks up to n distinct elements of candidates, sorted
+// first for determinism (map iteration order is random).
+func samplePartners(rng *rand.Rand, candidates []string, n int) []string {
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Strings(candidates)
+	if n >= len(candidates) {
+		return candidates
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	return candidates[:n]
+}

@@ -1,0 +1,146 @@
+// Package astrolabe reimplements the Astrolabe distributed monitoring and
+// aggregation substrate the paper builds on (§3–4): a virtual hierarchy of
+// zones, each a small table of attribute rows; leaf rows owned by agents;
+// parent rows computed by SQL aggregation programs; all state disseminated
+// by epidemic (anti-entropy) gossip with freshest-row-wins merging; row
+// timeouts providing failure detection and automatic zone reconfiguration.
+//
+// An Agent is a passive state machine: the caller (a live runtime or the
+// discrete-event simulator) delivers messages via HandleMessage and drives
+// time via Tick. All randomness comes from an injected *rand.Rand so
+// simulated runs are deterministic.
+package astrolabe
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RootZone is the path of the root zone.
+const RootZone = "/"
+
+// ValidateZonePath checks a zone path: "/" or "/"-separated non-empty
+// segments without whitespace, e.g. "/usa/ny/ithaca".
+func ValidateZonePath(path string) error {
+	if path == RootZone {
+		return nil
+	}
+	if !strings.HasPrefix(path, "/") {
+		return fmt.Errorf("astrolabe: zone path %q must start with /", path)
+	}
+	if strings.HasSuffix(path, "/") {
+		return fmt.Errorf("astrolabe: zone path %q must not end with /", path)
+	}
+	for _, seg := range strings.Split(path[1:], "/") {
+		if seg == "" {
+			return fmt.Errorf("astrolabe: zone path %q has an empty segment", path)
+		}
+		if strings.ContainsAny(seg, " \t\n") {
+			return fmt.Errorf("astrolabe: zone segment %q contains whitespace", seg)
+		}
+	}
+	return nil
+}
+
+// ParentZone returns the parent of a zone path, and false for the root.
+func ParentZone(path string) (string, bool) {
+	if path == RootZone {
+		return "", false
+	}
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return RootZone, true
+	}
+	return path[:i], true
+}
+
+// ZoneName returns the last path segment (the row name a zone contributes
+// to its parent's table). The root has no name.
+func ZoneName(path string) string {
+	if path == RootZone {
+		return ""
+	}
+	i := strings.LastIndexByte(path, '/')
+	return path[i+1:]
+}
+
+// JoinZone appends a child segment to a zone path.
+func JoinZone(parent, child string) string {
+	if parent == RootZone {
+		return RootZone + child
+	}
+	return parent + "/" + child
+}
+
+// AncestorChain returns the zones from the root down to and including
+// path: AncestorChain("/usa/ny") = ["/", "/usa", "/usa/ny"].
+func AncestorChain(path string) []string {
+	if path == RootZone {
+		return []string{RootZone}
+	}
+	segs := strings.Split(path[1:], "/")
+	chain := make([]string, 0, len(segs)+1)
+	chain = append(chain, RootZone)
+	cur := ""
+	for _, s := range segs {
+		cur = cur + "/" + s
+		chain = append(chain, cur)
+	}
+	return chain
+}
+
+// ZoneContains reports whether zone ancestor contains (or equals) path.
+func ZoneContains(ancestor, path string) bool {
+	if ancestor == RootZone {
+		return true
+	}
+	if ancestor == path {
+		return true
+	}
+	return strings.HasPrefix(path, ancestor+"/")
+}
+
+// CommonAncestor returns the deepest zone containing both paths.
+func CommonAncestor(a, b string) string {
+	ca := AncestorChain(a)
+	cb := AncestorChain(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	common := RootZone
+	for i := 0; i < n; i++ {
+		if ca[i] != cb[i] {
+			break
+		}
+		common = ca[i]
+	}
+	return common
+}
+
+// ChildToward returns the child of ancestor that lies on the path toward
+// descendant, and false if descendant is not strictly below ancestor.
+// ChildToward("/", "/usa/ny") = "/usa".
+func ChildToward(ancestor, descendant string) (string, bool) {
+	if !ZoneContains(ancestor, descendant) || ancestor == descendant {
+		return "", false
+	}
+	rest := descendant
+	if ancestor != RootZone {
+		rest = descendant[len(ancestor):]
+	}
+	// rest starts with "/segment...".
+	rest = rest[1:]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return JoinZone(ancestor, rest), true
+}
+
+// ZoneDepth returns the number of segments below the root (root = 0).
+func ZoneDepth(path string) int {
+	if path == RootZone {
+		return 0
+	}
+	return strings.Count(path, "/")
+}

@@ -1,0 +1,302 @@
+// Package baseline implements the content-delivery models NewsWire is
+// compared against (paper §1): the centralized pull-model web site (full
+// page pulls, RSS summary pulls, and delta-encoded pulls), with a finite
+// request-serving capacity that flash crowds can saturate; and the direct
+// one-to-many unicast push of "current push solutions" (§2), where the
+// publisher ships every item to every consumer itself.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"newswire/internal/flow"
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+)
+
+// FetchMode is how a pull reader retrieves the site.
+type FetchMode int
+
+// Pull fetch modes (§1's three access patterns).
+const (
+	// FetchFull downloads the whole front page every visit.
+	FetchFull FetchMode = iota + 1
+	// FetchRSS downloads the RSS summary, then the full text of items
+	// the reader has not seen.
+	FetchRSS
+	// FetchDelta uses if-modified-since: the server returns only items
+	// newer than the reader's previous visit.
+	FetchDelta
+)
+
+// String names the fetch mode.
+func (m FetchMode) String() string {
+	switch m {
+	case FetchFull:
+		return "full"
+	case FetchRSS:
+		return "rss"
+	case FetchDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// rssEntryBytes approximates one RSS channel entry (headline + URL).
+const rssEntryBytes = 120
+
+// PullStats aggregates server-side counters.
+type PullStats struct {
+	Requests  int64
+	Served    int64
+	Rejected  int64
+	BytesOut  int64
+	Published int64
+}
+
+// PullServer models a centralized news site: a front page of the most
+// recent items and a bounded request-serving capacity.
+type PullServer struct {
+	clock    vtime.Clock
+	capacity *flow.TokenBucket // requests/second the site can serve
+
+	mu    sync.Mutex
+	front []*news.Item // newest first
+	max   int
+	stats PullStats
+}
+
+// NewPullServer creates a site whose front page shows frontSize items and
+// that can serve capacityRPS requests per second (0 = unlimited).
+func NewPullServer(clock vtime.Clock, frontSize int, capacityRPS float64) (*PullServer, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("baseline: clock required")
+	}
+	if frontSize <= 0 {
+		return nil, fmt.Errorf("baseline: front page size must be positive")
+	}
+	s := &PullServer{clock: clock, max: frontSize}
+	if capacityRPS > 0 {
+		bucket, err := flow.NewTokenBucket(clock, capacityRPS, capacityRPS)
+		if err != nil {
+			return nil, err
+		}
+		s.capacity = bucket
+	}
+	return s, nil
+}
+
+// Publish places a new item (or revision) at the top of the front page.
+// A revision replaces its older revision in place.
+func (s *PullServer) Publish(it *news.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Published++
+	for i, existing := range s.front {
+		if existing.SeriesKey() == it.SeriesKey() {
+			// Revision: move to top.
+			copy(s.front[1:i+1], s.front[:i])
+			s.front[0] = it
+			return
+		}
+	}
+	s.front = append([]*news.Item{it}, s.front...)
+	if len(s.front) > s.max {
+		s.front = s.front[:s.max]
+	}
+}
+
+// FrontPage returns the current front page, newest first.
+func (s *PullServer) FrontPage() []*news.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*news.Item, len(s.front))
+	copy(out, s.front)
+	return out
+}
+
+// Stats returns a copy of the server counters.
+func (s *PullServer) Stats() PullStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Reader tracks one pull consumer's state across visits.
+type Reader struct {
+	seen      map[string]bool
+	lastVisit int64 // unix nanos of previous successful visit
+
+	// TotalBytes and RedundantBytes accumulate across visits: the
+	// redundancy fraction of E2 is Redundant/Total.
+	TotalBytes     int64
+	RedundantBytes int64
+	Visits         int64
+	Failures       int64
+}
+
+// NewReader returns a reader who has seen nothing.
+func NewReader() *Reader {
+	return &Reader{seen: make(map[string]bool)}
+}
+
+// Visit performs one pull in the given mode. ok is false when the server
+// rejected the request (over capacity) — the §1 overload failure mode.
+func (s *PullServer) Visit(r *Reader, mode FetchMode) (ok bool) {
+	s.mu.Lock()
+	s.stats.Requests++
+	admitted := s.capacity == nil || s.capacity.Allow(1)
+	if !admitted {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		r.Failures++
+		return false
+	}
+	s.stats.Served++
+	page := make([]*news.Item, len(s.front))
+	copy(page, s.front)
+	s.mu.Unlock()
+
+	r.Visits++
+	now := s.clock.Now().UnixNano()
+	switch mode {
+	case FetchRSS:
+		// The summary itself is always transferred (and is redundant for
+		// already-seen entries); unseen items are fetched in full.
+		for _, it := range page {
+			r.TotalBytes += rssEntryBytes
+			if r.seen[it.Key()] {
+				r.RedundantBytes += rssEntryBytes
+				continue
+			}
+			// RSS fetch of the full article is a separate request.
+			s.mu.Lock()
+			s.stats.Requests++
+			fetchOK := s.capacity == nil || s.capacity.Allow(1)
+			if fetchOK {
+				s.stats.Served++
+				s.stats.BytesOut += int64(it.Size())
+			} else {
+				s.stats.Rejected++
+			}
+			s.mu.Unlock()
+			if fetchOK {
+				r.TotalBytes += int64(it.Size())
+				r.seen[it.Key()] = true
+			}
+		}
+		s.addBytes(int64(len(page) * rssEntryBytes))
+
+	case FetchDelta:
+		for _, it := range page {
+			if it.Published.UnixNano() <= r.lastVisit {
+				continue // not transferred at all
+			}
+			size := int64(it.Size())
+			r.TotalBytes += size
+			s.addBytes(size)
+			if r.seen[it.Key()] {
+				r.RedundantBytes += size
+			}
+			r.seen[it.Key()] = true
+		}
+
+	default: // FetchFull
+		for _, it := range page {
+			size := int64(it.Size())
+			r.TotalBytes += size
+			s.addBytes(size)
+			if r.seen[it.Key()] {
+				r.RedundantBytes += size
+			}
+			r.seen[it.Key()] = true
+		}
+	}
+	r.lastVisit = now
+	return true
+}
+
+func (s *PullServer) addBytes(n int64) {
+	s.mu.Lock()
+	s.stats.BytesOut += n
+	s.mu.Unlock()
+}
+
+// RedundancyFraction returns the fraction of bytes the reader received
+// redundantly, the paper's ~70% headline number for 4-visit readers.
+func (r *Reader) RedundancyFraction() float64 {
+	if r.TotalBytes == 0 {
+		return 0
+	}
+	return float64(r.RedundantBytes) / float64(r.TotalBytes)
+}
+
+// DirectPushStats counts the publisher-side cost of one-to-many unicast.
+type DirectPushStats struct {
+	ItemsPublished int64
+	MsgsSent       int64
+	BytesSent      int64
+}
+
+// DirectPush models the proprietary push services of §2: the publisher
+// delivers personalized content directly to each consumer, so its egress
+// grows linearly with the audience. Subscribers are registered with their
+// subject interests; only matching subscribers receive an item (the
+// publisher does the filtering itself, also at its own cost).
+type DirectPush struct {
+	mu          sync.Mutex
+	subscribers map[string][]string // subscriber -> subjects
+	stats       DirectPushStats
+	// FilterOps counts per-item subscription evaluations, the publisher
+	// CPU cost E4 reports alongside bandwidth.
+	FilterOps int64
+}
+
+// NewDirectPush returns an empty registry.
+func NewDirectPush() *DirectPush {
+	return &DirectPush{subscribers: make(map[string][]string)}
+}
+
+// Subscribe registers a consumer and its subjects.
+func (d *DirectPush) Subscribe(id string, subjects []string) {
+	d.mu.Lock()
+	cp := make([]string, len(subjects))
+	copy(cp, subjects)
+	d.subscribers[id] = cp
+	d.mu.Unlock()
+}
+
+// Publish sends the item to every matching subscriber and returns how
+// many copies left the publisher.
+func (d *DirectPush) Publish(it *news.Item) int {
+	size := int64(it.Size())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.ItemsPublished++
+	sent := 0
+	for _, subjects := range d.subscribers {
+		d.FilterOps++
+		if it.MatchesAny(subjects) {
+			d.stats.MsgsSent++
+			d.stats.BytesSent += size
+			sent++
+		}
+	}
+	return sent
+}
+
+// Stats returns a copy of the counters.
+func (d *DirectPush) Stats() DirectPushStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Subscribers returns the registered consumer count.
+func (d *DirectPush) Subscribers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.subscribers)
+}

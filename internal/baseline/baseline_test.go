@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+	"newswire/internal/workload"
+)
+
+func item(id string, published time.Time) *news.Item {
+	// Body sized like a real article (~2 KB) so the RSS summary overhead
+	// (~120 B/entry) stays small relative to full-text transfers.
+	return &news.Item{
+		Publisher: "slashdot",
+		ID:        id,
+		Headline:  "headline " + id,
+		Body:      strings.Repeat("body of "+id+" ", 150),
+		Subjects:  []string{"tech/linux"},
+		Urgency:   5,
+		Published: published,
+	}
+}
+
+func TestNewPullServerValidation(t *testing.T) {
+	if _, err := NewPullServer(nil, 10, 0); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewPullServer(vtime.NewVirtual(), 0, 0); err == nil {
+		t.Error("zero front size accepted")
+	}
+}
+
+func TestFetchModeString(t *testing.T) {
+	if FetchFull.String() != "full" || FetchRSS.String() != "rss" || FetchDelta.String() != "delta" {
+		t.Fatal("mode names wrong")
+	}
+	if FetchMode(9).String() != "mode(9)" {
+		t.Fatal("unknown mode name wrong")
+	}
+}
+
+func TestFrontPageOrderingAndTrim(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 3, 0)
+	for i := 0; i < 5; i++ {
+		s.Publish(item(fmt.Sprintf("i%d", i), clock.Now()))
+		clock.Advance(time.Minute)
+	}
+	page := s.FrontPage()
+	if len(page) != 3 {
+		t.Fatalf("front page has %d items, want 3", len(page))
+	}
+	if page[0].ID != "i4" || page[2].ID != "i2" {
+		t.Fatalf("ordering wrong: %s .. %s", page[0].ID, page[2].ID)
+	}
+}
+
+func TestPublishRevisionReplacesInPlace(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 10, 0)
+	orig := item("story", clock.Now())
+	s.Publish(orig)
+	s.Publish(item("other", clock.Now()))
+	rev := *orig
+	rev.Revision = 1
+	s.Publish(&rev)
+	page := s.FrontPage()
+	if len(page) != 2 {
+		t.Fatalf("revision duplicated the story: %d items", len(page))
+	}
+	if page[0].ID != "story" || page[0].Revision != 1 {
+		t.Fatalf("revision not at top: %+v", page[0])
+	}
+}
+
+func TestFullPullRedundancyGrowsWithVisits(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 15, 0)
+	// Stable front page: publish 15 items, then a reader visits 4 times
+	// with one new item between visits.
+	for i := 0; i < 15; i++ {
+		s.Publish(item(fmt.Sprintf("seed%d", i), clock.Now()))
+	}
+	r := NewReader()
+	for visit := 0; visit < 4; visit++ {
+		if !s.Visit(r, FetchFull) {
+			t.Fatal("visit rejected without capacity limit")
+		}
+		clock.Advance(6 * time.Hour)
+		s.Publish(item(fmt.Sprintf("new%d", visit), clock.Now()))
+	}
+	// Of 4 pulls of a 15-item page with ~1 new item per revisit, the
+	// redundant fraction must be substantial (the paper says ~70%).
+	frac := r.RedundancyFraction()
+	if frac < 0.5 || frac > 0.95 {
+		t.Fatalf("redundancy fraction = %v, want 0.5..0.95", frac)
+	}
+	if r.Visits != 4 {
+		t.Fatalf("visits = %d", r.Visits)
+	}
+}
+
+func TestDeltaPullAvoidsRedundancy(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 15, 0)
+	for i := 0; i < 15; i++ {
+		s.Publish(item(fmt.Sprintf("seed%d", i), clock.Now()))
+	}
+	r := NewReader()
+	for visit := 0; visit < 4; visit++ {
+		s.Visit(r, FetchDelta)
+		clock.Advance(6 * time.Hour)
+		s.Publish(item(fmt.Sprintf("new%d", visit), clock.Now()))
+	}
+	if frac := r.RedundancyFraction(); frac > 0.05 {
+		t.Fatalf("delta redundancy = %v, want ~0", frac)
+	}
+	if r.TotalBytes == 0 {
+		t.Fatal("delta reader received nothing")
+	}
+}
+
+func TestRSSPullReducesRedundancy(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 15, 0)
+	for i := 0; i < 15; i++ {
+		s.Publish(item(fmt.Sprintf("seed%d", i), clock.Now()))
+	}
+	full, rss := NewReader(), NewReader()
+	for visit := 0; visit < 4; visit++ {
+		s.Visit(full, FetchFull)
+		s.Visit(rss, FetchRSS)
+		clock.Advance(6 * time.Hour)
+		s.Publish(item(fmt.Sprintf("new%d", visit), clock.Now()))
+	}
+	if rss.RedundancyFraction() >= full.RedundancyFraction() {
+		t.Fatalf("RSS (%v) should beat full pulls (%v)",
+			rss.RedundancyFraction(), full.RedundancyFraction())
+	}
+	if rss.TotalBytes >= full.TotalBytes {
+		t.Fatalf("RSS bytes %d should be below full bytes %d", rss.TotalBytes, full.TotalBytes)
+	}
+}
+
+func TestCapacityRejectsOverload(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 5, 10) // 10 requests/second
+	s.Publish(item("a", clock.Now()))
+
+	served, rejected := 0, 0
+	for i := 0; i < 100; i++ {
+		r := NewReader()
+		if s.Visit(r, FetchFull) {
+			served++
+		} else {
+			rejected++
+			if r.Failures != 1 {
+				t.Fatal("failure not recorded on reader")
+			}
+		}
+	}
+	if served == 0 || rejected == 0 {
+		t.Fatalf("served=%d rejected=%d, want both nonzero", served, rejected)
+	}
+	st := s.Stats()
+	if st.Rejected != int64(rejected) {
+		t.Fatalf("server rejected counter %d != %d", st.Rejected, rejected)
+	}
+	// Capacity recovers after time passes.
+	clock.Advance(10 * time.Second)
+	if !s.Visit(NewReader(), FetchFull) {
+		t.Fatal("capacity did not recover")
+	}
+}
+
+func TestPullServerStats(t *testing.T) {
+	clock := vtime.NewVirtual()
+	s, _ := NewPullServer(clock, 5, 0)
+	s.Publish(item("a", clock.Now()))
+	s.Visit(NewReader(), FetchFull)
+	st := s.Stats()
+	if st.Published != 1 || st.Requests != 1 || st.Served != 1 || st.BytesOut == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDirectPushFiltersAndCounts(t *testing.T) {
+	d := NewDirectPush()
+	d.Subscribe("alice", []string{"tech/linux"})
+	d.Subscribe("bob", []string{"sports/soccer"})
+	d.Subscribe("carol", []string{"tech/linux", "world/asia"})
+	if d.Subscribers() != 3 {
+		t.Fatalf("Subscribers = %d", d.Subscribers())
+	}
+
+	it := item("x", vtime.Epoch)
+	sent := d.Publish(it)
+	if sent != 2 {
+		t.Fatalf("sent to %d, want 2 (alice, carol)", sent)
+	}
+	st := d.Stats()
+	if st.MsgsSent != 2 || st.ItemsPublished != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesSent != int64(2*it.Size()) {
+		t.Fatalf("BytesSent = %d, want %d", st.BytesSent, 2*it.Size())
+	}
+	// Publisher-side filter work is linear in the audience.
+	if d.FilterOps != 3 {
+		t.Fatalf("FilterOps = %d, want 3", d.FilterOps)
+	}
+}
+
+func TestDirectPushEgressLinearInAudience(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 100} {
+		d := NewDirectPush()
+		for i := 0; i < n; i++ {
+			d.Subscribe(fmt.Sprintf("s%d", i),
+				workload.SampleSubscriptions(rng, news.StandardSubjects, 3, 1.0))
+		}
+		it := item("story", vtime.Epoch)
+		it.Subjects = news.StandardSubjects // matches everyone
+		if sent := d.Publish(it); sent != n {
+			t.Fatalf("n=%d: sent %d", n, sent)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"newswire/internal/vtime"
+	"newswire/internal/wire"
+)
+
+func env(pub, id string, rev int, published time.Time, subjects ...string) wire.ItemEnvelope {
+	if len(subjects) == 0 {
+		subjects = []string{"tech/linux"}
+	}
+	return wire.ItemEnvelope{
+		Publisher: pub,
+		ItemID:    id,
+		Revision:  rev,
+		Subjects:  subjects,
+		Published: published,
+	}
+}
+
+func newTestCache(t *testing.T, cfg Config) (*Cache, *vtime.Virtual) {
+	t.Helper()
+	clock := vtime.NewVirtual()
+	cfg.Clock = clock
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := New(Config{Clock: vtime.Real{}, MaxItems: -1}); err == nil {
+		t.Error("negative MaxItems accepted")
+	}
+}
+
+func TestPutAndGet(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	e := env("p", "a", 0, clock.Now())
+	if !c.Put(e) {
+		t.Fatal("first Put returned duplicate")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got, ok := c.Get("p/a#0")
+	if !ok || got.ItemID != "a" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if !c.Has("p/a#0") {
+		t.Fatal("Has = false")
+	}
+	if c.Has("p/a#1") {
+		t.Fatal("Has for absent key = true")
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	e := env("p", "a", 0, clock.Now())
+	c.Put(e)
+	if c.Put(e) {
+		t.Fatal("duplicate Put returned true")
+	}
+	st := c.Stats()
+	if st.Duplicates != 1 || st.Puts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRevisionFusion(t *testing.T) {
+	c, clock := newTestCache(t, Config{FuseRevisions: true})
+	c.Put(env("p", "a", 0, clock.Now()))
+	if !c.Put(env("p", "a", 1, clock.Now())) {
+		t.Fatal("newer revision rejected")
+	}
+	// Old revision fused away.
+	if _, ok := c.Get("p/a#0"); ok {
+		t.Fatal("superseded revision still cached")
+	}
+	if _, ok := c.Get("p/a#1"); !ok {
+		t.Fatal("newest revision missing")
+	}
+	// Late arrival of a superseded revision is a duplicate.
+	if c.Put(env("p", "a", 0, clock.Now())) {
+		t.Fatal("late superseded revision accepted")
+	}
+	// Has considers fused revisions present.
+	if !c.Has("p/a#0") {
+		t.Fatal("fused revision should count as seen")
+	}
+	if st := c.Stats(); st.Fused != 1 {
+		t.Fatalf("Fused = %d", st.Fused)
+	}
+}
+
+func TestNoFusionKeepsRevisions(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	c.Put(env("p", "a", 0, clock.Now()))
+	c.Put(env("p", "a", 1, clock.Now()))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want both revisions", c.Len())
+	}
+	if c.Has("p/a#2") {
+		t.Fatal("unseen revision reported present without fusion")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	c.Put(env("p", "a", 0, clock.Now()))
+	c.Put(env("p", "a", 2, clock.Now()))
+	c.Put(env("p", "b", 5, clock.Now()))
+	got, ok := c.Latest("p/a")
+	if !ok || got.Revision != 2 {
+		t.Fatalf("Latest = %+v, %v", got, ok)
+	}
+	if _, ok := c.Latest("p/zzz"); ok {
+		t.Fatal("Latest for unknown series = true")
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	c, clock := newTestCache(t, Config{MaxItems: 3})
+	for i := 0; i < 5; i++ {
+		c.Put(env("p", fmt.Sprintf("i%d", i), 0, clock.Now()))
+		clock.Advance(time.Second)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// The two oldest are gone.
+	if c.Has("p/i0#0") || c.Has("p/i1#0") {
+		t.Fatal("oldest entries not evicted")
+	}
+	if !c.Has("p/i4#0") {
+		t.Fatal("newest entry evicted")
+	}
+	if st := c.Stats(); st.Evicted != 2 {
+		t.Fatalf("Evicted = %d", st.Evicted)
+	}
+}
+
+func TestGCExpiresByTTL(t *testing.T) {
+	c, clock := newTestCache(t, Config{TTL: 10 * time.Second})
+	c.Put(env("p", "old", 0, clock.Now()))
+	clock.Advance(11 * time.Second)
+	c.Put(env("p", "new", 0, clock.Now()))
+	if n := c.GC(); n != 1 {
+		t.Fatalf("GC removed %d, want 1", n)
+	}
+	if c.Has("p/old#0") {
+		t.Fatal("expired entry still present")
+	}
+	if !c.Has("p/new#0") {
+		t.Fatal("fresh entry expired")
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d", st.Expired)
+	}
+}
+
+func TestGCDisabledWithoutTTL(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	c.Put(env("p", "a", 0, clock.Now()))
+	clock.Advance(time.Hour)
+	if n := c.GC(); n != 0 {
+		t.Fatalf("GC without TTL removed %d", n)
+	}
+}
+
+func TestSinceOrderingAndFiltering(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	t0 := clock.Now()
+	c.Put(env("p", "late", 0, t0.Add(3*time.Second)))
+	c.Put(env("p", "early", 0, t0.Add(1*time.Second)))
+	c.Put(env("p", "mid", 0, t0.Add(2*time.Second), "sports/soccer"))
+	c.Put(env("p", "ancient", 0, t0.Add(-time.Hour)))
+
+	// All since t0, ordered by publication.
+	envs, truncated := c.Since(t0, nil, 0)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	if len(envs) != 3 {
+		t.Fatalf("got %d envelopes", len(envs))
+	}
+	if envs[0].ItemID != "early" || envs[1].ItemID != "mid" || envs[2].ItemID != "late" {
+		t.Fatalf("order = %v %v %v", envs[0].ItemID, envs[1].ItemID, envs[2].ItemID)
+	}
+
+	// Subject filter.
+	envs, _ = c.Since(t0, []string{"sports/soccer"}, 0)
+	if len(envs) != 1 || envs[0].ItemID != "mid" {
+		t.Fatalf("subject filter = %v", envs)
+	}
+
+	// Max with truncation flag.
+	envs, truncated = c.Since(t0, nil, 2)
+	if len(envs) != 2 || !truncated {
+		t.Fatalf("max: %d envelopes, truncated=%v", len(envs), truncated)
+	}
+}
+
+func TestSinceEmpty(t *testing.T) {
+	c, clock := newTestCache(t, Config{})
+	envs, truncated := c.Since(clock.Now(), nil, 10)
+	if len(envs) != 0 || truncated {
+		t.Fatalf("Since on empty cache = %v, %v", envs, truncated)
+	}
+}
+
+// Property: after Put(env) returns true, Has(env.Key()) is true and Len
+// never exceeds MaxItems.
+func TestQuickPutHasAndCapInvariant(t *testing.T) {
+	f := func(ids []uint8, maxItems uint8) bool {
+		cap := int(maxItems%32) + 1
+		clock := vtime.NewVirtual()
+		c, err := New(Config{Clock: clock, MaxItems: cap})
+		if err != nil {
+			return false
+		}
+		for _, id := range ids {
+			e := env("p", fmt.Sprintf("i%d", id), 0, clock.Now())
+			stored := c.Put(e)
+			if stored && !c.Has(e.Key()) {
+				return false
+			}
+			if c.Len() > cap {
+				return false
+			}
+			clock.Advance(time.Second)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with fusion on, at most one revision of a series is ever
+// cached.
+func TestQuickFusionKeepsOneRevision(t *testing.T) {
+	f := func(revs []uint8) bool {
+		clock := vtime.NewVirtual()
+		c, err := New(Config{Clock: clock, FuseRevisions: true})
+		if err != nil {
+			return false
+		}
+		for _, r := range revs {
+			c.Put(env("p", "story", int(r), clock.Now()))
+		}
+		return c.Len() <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionSkipsFusedTombstones(t *testing.T) {
+	// Fusion removes entries out of insertion order; eviction must skip
+	// those tombstones and still evict the right (oldest live) entries.
+	c, clock := newTestCache(t, Config{MaxItems: 3, FuseRevisions: true})
+	c.Put(env("p", "a", 0, clock.Now())) // will be fused by rev 1
+	c.Put(env("p", "b", 0, clock.Now()))
+	c.Put(env("p", "a", 1, clock.Now())) // fuses a#0
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Put(env("p", "c", 0, clock.Now()))
+	c.Put(env("p", "d", 0, clock.Now())) // over capacity: evict oldest live = b
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Note Get, not Has: with fusion on, Has remembers seen revisions via
+	// the series map even after storage eviction (dedup semantics).
+	if _, ok := c.Get("p/b#0"); ok {
+		t.Fatal("oldest live entry not evicted")
+	}
+	for _, k := range []string{"p/a#1", "p/c#0", "p/d#0"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+}
+
+func TestEvictionQueueCompaction(t *testing.T) {
+	// Heavy fusion must not leave the order queue growing unboundedly.
+	c, clock := newTestCache(t, Config{MaxItems: 100, FuseRevisions: true})
+	for rev := 0; rev < 10000; rev++ {
+		c.Put(env("p", "hot", rev, clock.Now()))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 fused entry", c.Len())
+	}
+}

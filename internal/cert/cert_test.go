@@ -1,0 +1,250 @@
+package cert
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var testTime = time.Date(2002, time.April, 1, 12, 0, 0, 0, time.UTC)
+
+func mustKey(t *testing.T) KeyPair {
+	t.Helper()
+	kp, err := GenerateKeyPair(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		role Role
+		want string
+	}{
+		{RoleAuthority, "authority"},
+		{RoleMember, "member"},
+		{RolePublisher, "publisher"},
+		{Role(99), "role(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.role.String(); got != tt.want {
+			t.Errorf("Role(%d).String() = %q, want %q", tt.role, got, tt.want)
+		}
+	}
+}
+
+func TestSignVerifyBlob(t *testing.T) {
+	kp := mustKey(t)
+	payload := []byte("news item body")
+	sig := SignBlob("reuters", kp, payload)
+	if sig.Signer != "reuters" {
+		t.Fatalf("signer = %q", sig.Signer)
+	}
+	if err := VerifyBlob(sig, kp.Public, payload); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := VerifyBlob(sig, kp.Public, []byte("tampered")); err == nil {
+		t.Fatal("tampered payload should fail verification")
+	}
+	other := mustKey(t)
+	if err := VerifyBlob(sig, other.Public, payload); err == nil {
+		t.Fatal("wrong key should fail verification")
+	}
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	authority := mustKey(t)
+	member := mustKey(t)
+	c := Issue("root", authority, "node-1", RoleMember, member.Public, testTime.Add(time.Hour))
+	if err := c.VerifyWith(authority.Public, testTime); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyExpired(t *testing.T) {
+	authority := mustKey(t)
+	member := mustKey(t)
+	c := Issue("root", authority, "node-1", RoleMember, member.Public, testTime.Add(-time.Second))
+	err := c.VerifyWith(authority.Public, testTime)
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestVerifyTamperedFields(t *testing.T) {
+	authority := mustKey(t)
+	member := mustKey(t)
+	c := Issue("root", authority, "node-1", RoleMember, member.Public, testTime.Add(time.Hour))
+
+	tampered := *c
+	tampered.Subject = "node-evil"
+	if err := tampered.VerifyWith(authority.Public, testTime); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered subject: err = %v, want ErrBadSignature", err)
+	}
+
+	tampered = *c
+	tampered.Role = RoleAuthority
+	if err := tampered.VerifyWith(authority.Public, testTime); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered role: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestSelfSign(t *testing.T) {
+	authority := mustKey(t)
+	root := SelfSign("root", authority, testTime.Add(time.Hour))
+	if root.Subject != root.Issuer {
+		t.Fatal("self-signed cert must have subject == issuer")
+	}
+	if err := root.VerifyWith(authority.Public, testTime); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestChainVerify(t *testing.T) {
+	rootKey := mustKey(t)
+	zoneKey := mustKey(t)
+	nodeKey := mustKey(t)
+	exp := testTime.Add(time.Hour)
+
+	root := SelfSign("root", rootKey, exp)
+	zone := Issue("root", rootKey, "zone-usa", RoleAuthority, zoneKey.Public, exp)
+	node := Issue("zone-usa", zoneKey, "node-1", RoleMember, nodeKey.Public, exp)
+
+	leaf, err := Chain{root, zone, node}.Verify(testTime)
+	if err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+	if leaf.Subject != "node-1" {
+		t.Fatalf("leaf = %q, want node-1", leaf.Subject)
+	}
+}
+
+func TestChainRejectsNonAuthorityIntermediate(t *testing.T) {
+	rootKey := mustKey(t)
+	midKey := mustKey(t)
+	leafKey := mustKey(t)
+	exp := testTime.Add(time.Hour)
+
+	root := SelfSign("root", rootKey, exp)
+	mid := Issue("root", rootKey, "mid", RoleMember, midKey.Public, exp) // not an authority
+	leaf := Issue("mid", midKey, "leaf", RoleMember, leafKey.Public, exp)
+
+	_, err := Chain{root, mid, leaf}.Verify(testTime)
+	if !errors.Is(err, ErrNotAuthority) {
+		t.Fatalf("err = %v, want ErrNotAuthority", err)
+	}
+}
+
+func TestChainRejectsWrongIssuer(t *testing.T) {
+	rootKey := mustKey(t)
+	zoneKey := mustKey(t)
+	leafKey := mustKey(t)
+	exp := testTime.Add(time.Hour)
+
+	root := SelfSign("root", rootKey, exp)
+	leaf := Issue("someone-else", zoneKey, "leaf", RoleMember, leafKey.Public, exp)
+
+	_, err := Chain{root, leaf}.Verify(testTime)
+	if !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("err = %v, want ErrBrokenChain", err)
+	}
+}
+
+func TestChainRejectsEmptyAndBadRoot(t *testing.T) {
+	if _, err := (Chain{}).Verify(testTime); !errors.Is(err, ErrBrokenChain) {
+		t.Errorf("empty chain: err = %v, want ErrBrokenChain", err)
+	}
+	rootKey := mustKey(t)
+	notSelf := Issue("other", rootKey, "root", RoleAuthority, rootKey.Public, testTime.Add(time.Hour))
+	if _, err := (Chain{notSelf}).Verify(testTime); !errors.Is(err, ErrBrokenChain) {
+		t.Errorf("non-self-signed root: err = %v, want ErrBrokenChain", err)
+	}
+	memberRoot := SelfSign("root", rootKey, testTime.Add(time.Hour))
+	memberRoot.Role = RoleMember
+	if _, err := (Chain{memberRoot}).Verify(testTime); !errors.Is(err, ErrNotAuthority) {
+		t.Errorf("member root: err = %v, want ErrNotAuthority", err)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	kp := mustKey(t)
+	fp := Fingerprint(kp.Public)
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint length = %d, want 16 hex chars", len(fp))
+	}
+	if Fingerprint(kp.Public) != fp {
+		t.Fatal("fingerprint not deterministic")
+	}
+	short := Fingerprint([]byte{1, 2})
+	if short != "0102" {
+		t.Fatalf("short key fingerprint = %q", short)
+	}
+}
+
+func TestStore(t *testing.T) {
+	authority := mustKey(t)
+	pubKey := mustKey(t)
+	exp := testTime.Add(time.Hour)
+	c := Issue("root", authority, "reuters", RolePublisher, pubKey.Public, exp)
+
+	s := NewStore()
+	if s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.Add(c)
+	if s.Len() != 1 {
+		t.Fatal("Add did not store")
+	}
+	got, ok := s.Lookup("reuters")
+	if !ok || got.Subject != "reuters" {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := s.Lookup("absent"); ok {
+		t.Fatal("Lookup of absent subject succeeded")
+	}
+}
+
+func TestStoreVerifySigned(t *testing.T) {
+	authority := mustKey(t)
+	pubKey := mustKey(t)
+	exp := testTime.Add(time.Hour)
+	s := NewStore()
+	s.Add(Issue("root", authority, "reuters", RolePublisher, pubKey.Public, exp))
+
+	payload := []byte("item")
+	sig := SignBlob("reuters", pubKey, payload)
+
+	if err := s.VerifySigned(sig, payload, authority.Public, testTime, RolePublisher); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Wrong accepted role.
+	if err := s.VerifySigned(sig, payload, authority.Public, testTime, RoleMember); err == nil {
+		t.Fatal("wrong role should fail")
+	}
+	// Unknown signer.
+	badSig := SignBlob("unknown", pubKey, payload)
+	if err := s.VerifySigned(badSig, payload, authority.Public, testTime, RolePublisher); err == nil {
+		t.Fatal("unknown signer should fail")
+	}
+	// Certificate not really from the authority.
+	rogue := mustKey(t)
+	s2 := NewStore()
+	s2.Add(Issue("root", rogue, "reuters", RolePublisher, pubKey.Public, exp))
+	if err := s2.VerifySigned(sig, payload, authority.Public, testTime, RolePublisher); err == nil {
+		t.Fatal("rogue-issued certificate should fail")
+	}
+	// Tampered payload.
+	if err := s.VerifySigned(sig, []byte("other"), authority.Public, testTime, RolePublisher); err == nil {
+		t.Fatal("tampered payload should fail")
+	}
+}
+
+func TestGenerateKeyPairDeterministicSource(t *testing.T) {
+	// Two keys from crypto/rand must differ.
+	a := mustKey(t)
+	b := mustKey(t)
+	if string(a.Public) == string(b.Public) {
+		t.Fatal("two generated keys are identical")
+	}
+}

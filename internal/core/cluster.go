@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/sim"
+	"newswire/internal/wire"
+)
+
+// ClusterConfig describes a simulated NewsWire deployment.
+type ClusterConfig struct {
+	// N is the number of nodes.
+	N int
+	// Branching bounds both members per leaf zone and child zones per
+	// parent (the paper's "each of these tables is limited to some small
+	// size (say, 64-rows)"). Default 64.
+	Branching int
+	// Link models every network link. Default sim.DefaultWAN.
+	Link sim.LinkModel
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// GossipInterval is each node's Tick cadence. Default 2s.
+	GossipInterval time.Duration
+	// Customize, when set, adjusts each node's Config before creation
+	// (the cluster fills Transport/Clock/Rand/Name/ZonePath itself).
+	Customize func(i int, cfg *Config)
+}
+
+// Cluster is a set of simulated nodes arranged in a balanced zone tree.
+type Cluster struct {
+	Eng   *sim.Engine
+	Net   *sim.Network
+	Nodes []*Node
+
+	cfg     ClusterConfig
+	tickers []*sim.Ticker
+}
+
+// ZonePathFor computes node i's leaf zone in a balanced tree with the
+// given branching: nodes fill leaf zones of up to b members; leaf zones
+// fill parents of up to b children; and so on until one root level
+// suffices. Paths look like "/z04/z12".
+func ZonePathFor(i, n, b int) string {
+	if b < 2 {
+		b = 2
+	}
+	// Number of leaf zones and tree depth above them.
+	leafZone := i / b
+	numLeafZones := (n + b - 1) / b
+	// Build the zone index path from the leaf zone upward.
+	var indices []int
+	zones := numLeafZones
+	idx := leafZone
+	for zones > 1 {
+		indices = append(indices, idx%b)
+		idx /= b
+		zones = (zones + b - 1) / b
+	}
+	if len(indices) == 0 {
+		indices = []int{0}
+	}
+	// indices is leaf-first; render root-first.
+	path := ""
+	for j := len(indices) - 1; j >= 0; j-- {
+		path += fmt.Sprintf("/z%02d", indices[j])
+	}
+	return path
+}
+
+// NewCluster builds, bootstraps and returns a simulated cluster. Nodes
+// are created with addresses "n0".."n<N-1>" and names "node-<i>".
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one node")
+	}
+	if cfg.Branching <= 0 {
+		cfg.Branching = 64
+	}
+	if cfg.Link == (sim.LinkModel{}) {
+		cfg.Link = sim.DefaultWAN
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 2 * time.Second
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	net := sim.NewNetwork(eng, cfg.Link)
+	c := &Cluster{Eng: eng, Net: net, cfg: cfg}
+
+	for i := 0; i < cfg.N; i++ {
+		addr := fmt.Sprintf("n%d", i)
+		var node *Node
+		ep := net.Attach(addr, func(m *wire.Message) {
+			node.HandleMessage(m)
+		})
+		nodeCfg := Config{
+			Name:           fmt.Sprintf("node-%d", i),
+			ZonePath:       ZonePathFor(i, cfg.N, cfg.Branching),
+			Transport:      ep,
+			Clock:          eng.Clock(),
+			Rand:           rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
+			GossipInterval: cfg.GossipInterval,
+		}
+		if cfg.Customize != nil {
+			cfg.Customize(i, &nodeCfg)
+		}
+		n, err := NewNode(nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		node = n
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.bootstrap()
+	return c, nil
+}
+
+// bootstrap introduces nodes to each other without O(N²) work: members of
+// a leaf zone exchange leaf rows; at each higher level, one delegate per
+// zone contributes its aggregate row to every node sharing that table.
+func (c *Cluster) bootstrap() {
+	// Group nodes by leaf zone.
+	byLeaf := make(map[string][]*Node)
+	for _, n := range c.Nodes {
+		byLeaf[n.ZonePath()] = append(byLeaf[n.ZonePath()], n)
+	}
+	// Leaf-level introductions.
+	for _, members := range byLeaf {
+		rows := make([]wire.RowUpdate, 0, len(members))
+		for _, m := range members {
+			rows = append(rows, m.agent.OwnRowUpdate())
+		}
+		for _, m := range members {
+			m.agent.MergeRows(rows)
+		}
+	}
+	// Higher levels: collect one delegate's chain rows per leaf zone,
+	// bucket them by table zone, and hand every node the rows of the
+	// tables it replicates. Delegates of sibling leaf zones produce
+	// same-named aggregate rows with identical (construction-time) issue
+	// stamps but different partial contents; keep exactly one per
+	// (zone, name) — these are bootstrap hints, and the first gossip
+	// rounds replace them with converged aggregates. Without the dedup a
+	// large cluster pays hundreds of millions of encoded tie-breaks.
+	rowsByZone := make(map[string]map[string]wire.RowUpdate)
+	for _, members := range byLeaf {
+		delegate := members[0]
+		for _, u := range delegate.agent.ChainRowUpdates() {
+			if u.Zone == delegate.ZonePath() {
+				continue // leaf rows were handled above
+			}
+			byName := rowsByZone[u.Zone]
+			if byName == nil {
+				byName = make(map[string]wire.RowUpdate)
+				rowsByZone[u.Zone] = byName
+			}
+			if _, seen := byName[u.Name]; !seen {
+				byName[u.Name] = u
+			}
+		}
+	}
+	for _, n := range c.Nodes {
+		var seeds []wire.RowUpdate
+		for _, zone := range n.agent.Chain() {
+			for _, u := range rowsByZone[zone] {
+				seeds = append(seeds, u)
+			}
+		}
+		n.agent.MergeRows(seeds)
+	}
+}
+
+// StartTicking schedules every node's Tick on the engine with ±25%
+// jitter, as a live deployment would behave.
+func (c *Cluster) StartTicking() {
+	for _, n := range c.Nodes {
+		n := n
+		t := c.Eng.Every(c.cfg.GossipInterval, 0.25, n.Tick)
+		c.tickers = append(c.tickers, t)
+	}
+}
+
+// StopTicking cancels the tickers started by StartTicking.
+func (c *Cluster) StopTicking() {
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+}
+
+// RunRounds ticks every node once per gossip interval for r rounds,
+// advancing virtual time between rounds. Use either this or StartTicking,
+// not both.
+func (c *Cluster) RunRounds(r int) {
+	for i := 0; i < r; i++ {
+		for _, n := range c.Nodes {
+			if !c.Net.Crashed(n.Addr()) {
+				n.Tick()
+			}
+		}
+		c.Eng.RunFor(c.cfg.GossipInterval)
+	}
+}
+
+// RunFor advances virtual time (delivering messages and firing tickers).
+func (c *Cluster) RunFor(d time.Duration) {
+	c.Eng.RunFor(d)
+}
+
+// NodesInZone returns the nodes whose leaf zone lies under zone.
+func (c *Cluster) NodesInZone(zone string) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if astrolabe.ZoneContains(zone, n.ZonePath()) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

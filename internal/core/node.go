@@ -1,0 +1,612 @@
+// Package core composes the NewsWire node the paper describes (§8): "a
+// single application that people can download and use to insert
+// themselves into the Collaborative Content Delivery Network". A Node is
+// an Astrolabe leaf agent, a multicast forwarding component, a pub/sub
+// subscriber, an end-system message cache, and (optionally) an
+// authenticated publisher — all behind one API. "Under the covers of the
+// publisher is an application identical to the subscriber application
+// core."
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/cache"
+	"newswire/internal/flow"
+	"newswire/internal/multicast"
+	"newswire/internal/news"
+	"newswire/internal/pubsub"
+	"newswire/internal/sqlagg"
+	"newswire/internal/transport"
+	"newswire/internal/value"
+	"newswire/internal/vtime"
+	"newswire/internal/wire"
+)
+
+// ItemHandler receives items delivered to the local application, after
+// dedup and the leaf's exact-match test.
+type ItemHandler func(it *news.Item, env *wire.ItemEnvelope)
+
+// Config configures a Node.
+type Config struct {
+	// Name is the node's row name, unique within its leaf zone.
+	Name string
+	// ZonePath is the node's leaf zone.
+	ZonePath string
+	// Transport carries all the node's traffic.
+	Transport transport.Transport
+	// Clock supplies time (vtime.Real{} live, virtual in simulation).
+	Clock vtime.Clock
+	// Rand drives gossip partner and representative choice. Required.
+	Rand *rand.Rand
+
+	// GossipInterval is the expected Tick cadence. Default 2s.
+	GossipInterval time.Duration
+	// FailTimeout is the leaf-row failure-detection timeout. Default
+	// 10×GossipInterval.
+	FailTimeout time.Duration
+	// Fanout is gossip partners per level per Tick. Default 1.
+	Fanout int
+
+	// Mode is the subscription-summary representation. Default ModeBloom.
+	Mode pubsub.Mode
+	// Geometry is the Bloom geometry. Default pubsub.DefaultGeometry.
+	Geometry pubsub.Geometry
+	// Vocabulary backs ModeCategoryMask. Default news.StandardSubjects.
+	Vocabulary []string
+
+	// RepCount is the forwarding redundancy k. Default 1.
+	RepCount int
+	// Aggregation overrides the zone aggregation program.
+	Aggregation *sqlagg.Program
+	// Sender overrides direct sends in the forwarding component (queue
+	// ablations).
+	Sender multicast.Sender
+
+	// CacheItems bounds the message cache. Default 1024.
+	CacheItems int
+	// CacheTTL ages cache entries out (0 = never).
+	CacheTTL time.Duration
+	// FuseRevisions keeps only the newest revision per item series.
+	FuseRevisions bool
+
+	// PublishRate and PublishBurst flow-control inbound publications per
+	// publisher at this forwarder (0 disables admission control).
+	PublishRate  float64
+	PublishBurst float64
+
+	// AntiEntropyEvery, when positive, makes the node exchange recent
+	// cache contents with one random zone peer every that-many Ticks —
+	// the background repair phase that gives the dissemination protocol
+	// "many of the properties of Bimodal Multicast" (§5): items missed
+	// by the best-effort multicast are recovered automatically without
+	// an explicit RecoverFromZonePeer call. 0 disables it.
+	AntiEntropyEvery int
+	// AntiEntropyWindow bounds how far back each exchange looks.
+	// Default 10×GossipInterval.
+	AntiEntropyWindow time.Duration
+
+	// Security enables certificates: signed rows, signed items, and
+	// verification of both. Nil runs open (trusted network / simulation).
+	Security *Security
+
+	// OnItem receives delivered items. Optional.
+	OnItem ItemHandler
+}
+
+// Node is one NewsWire participant. It is safe for concurrent use: the
+// live runtime calls HandleMessage from transport goroutines while a
+// ticker drives Tick.
+type Node struct {
+	cfg    Config
+	agent  *astrolabe.Agent
+	router *multicast.Router
+	sub    *pubsub.Subscriber
+	cache  *cache.Cache
+	limit  *flow.Limiter
+
+	mu         sync.Mutex
+	delivered  int64
+	lastSeen   time.Time // newest Published among delivered items
+	gcCounter  int
+	publishers map[string]bool // publishers this node announced
+}
+
+// NewNode validates cfg and assembles a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: clock required")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("core: rand required")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = pubsub.ModeBloom
+	}
+	if cfg.Geometry.Bits == 0 {
+		cfg.Geometry = pubsub.DefaultGeometry
+	}
+
+	n := &Node{cfg: cfg, publishers: make(map[string]bool)}
+
+	// Prefix rules follow the subscription mode.
+	var prefixRules []astrolabe.PrefixRule
+	switch cfg.Mode {
+	case pubsub.ModeAttributes:
+		prefixRules = append(prefixRules,
+			astrolabe.PrefixRule{Prefix: pubsub.AttrSubPrefix, Op: astrolabe.PrefixBoolOr})
+	case pubsub.ModeCategoryMask:
+		prefixRules = append(prefixRules,
+			astrolabe.PrefixRule{Prefix: pubsub.AttrPubPrefix, Op: astrolabe.PrefixBitOr})
+	}
+
+	agentCfg := astrolabe.Config{
+		Name:           cfg.Name,
+		ZonePath:       cfg.ZonePath,
+		Transport:      cfg.Transport,
+		Clock:          cfg.Clock,
+		Rand:           cfg.Rand,
+		GossipInterval: cfg.GossipInterval,
+		FailTimeout:    cfg.FailTimeout,
+		Fanout:         cfg.Fanout,
+		Aggregation:    cfg.Aggregation,
+		PrefixRules:    prefixRules,
+	}
+	if cfg.Security != nil {
+		agentCfg.SignRow = cfg.Security.signRow
+		agentCfg.VerifyRow = cfg.Security.verifyRow
+	}
+	agent, err := astrolabe.NewAgent(agentCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.agent = agent
+
+	sub, err := pubsub.NewSubscriber(pubsub.Config{
+		Agent:      agent,
+		Mode:       cfg.Mode,
+		Geometry:   cfg.Geometry,
+		Vocabulary: cfg.Vocabulary,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.sub = sub
+
+	store, err := cache.New(cache.Config{
+		Clock:         cfg.Clock,
+		MaxItems:      cfg.CacheItems,
+		TTL:           cfg.CacheTTL,
+		FuseRevisions: cfg.FuseRevisions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.cache = store
+
+	routerCfg := multicast.Config{
+		View:      agent,
+		Transport: cfg.Transport,
+		RepCount:  cfg.RepCount,
+		Rand:      cfg.Rand,
+		Filter:    n.forwardFilter(),
+		Deliver:   n.deliver,
+		Sender:    cfg.Sender,
+	}
+	if cfg.Security != nil {
+		routerCfg.VerifyEnvelope = cfg.Security.verifyEnvelope
+	}
+	router, err := multicast.NewRouter(routerCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.router = router
+
+	if cfg.PublishRate > 0 {
+		burst := cfg.PublishBurst
+		if burst <= 0 {
+			burst = cfg.PublishRate
+		}
+		limiter, err := flow.NewLimiter(cfg.Clock, cfg.PublishRate, burst)
+		if err != nil {
+			return nil, err
+		}
+		n.limit = limiter
+	}
+	return n, nil
+}
+
+// forwardFilter combines the mode's subscription-summary test with
+// per-publisher admission control at this forwarding component (§8:
+// forwarders "protect the system from flooding by publishers").
+func (n *Node) forwardFilter() multicast.Filter {
+	base := pubsub.ForwardFilter(n.cfg.Mode, n.cfg.Geometry)
+	return func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
+		return base(zone, row, env)
+	}
+}
+
+// Agent exposes the Astrolabe agent (experiments read its tables).
+func (n *Node) Agent() *astrolabe.Agent { return n.agent }
+
+// Router exposes the multicast router (experiments read its stats).
+func (n *Node) Router() *multicast.Router { return n.router }
+
+// Cache exposes the message cache.
+func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.agent.Addr() }
+
+// Name returns the node's row name.
+func (n *Node) Name() string { return n.agent.Name() }
+
+// ZonePath returns the node's leaf zone.
+func (n *Node) ZonePath() string { return n.agent.ZonePath() }
+
+// Delivered returns how many distinct items reached the application.
+func (n *Node) Delivered() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}
+
+// Subscribe adds subjects to the node's subscription set.
+func (n *Node) Subscribe(subjects ...string) error {
+	return n.sub.Subscribe(subjects...)
+}
+
+// Unsubscribe removes subjects.
+func (n *Node) Unsubscribe(subjects ...string) {
+	n.sub.Unsubscribe(subjects...)
+}
+
+// SubscribePublisher registers per-publisher category interest
+// (ModeCategoryMask).
+func (n *Node) SubscribePublisher(publisher string, categories ...string) error {
+	return n.sub.SubscribePublisher(publisher, categories...)
+}
+
+// SetPredicate installs the subscriber's SQL selection query (§8).
+func (n *Node) SetPredicate(expr string) error {
+	return n.sub.SetPredicate(expr)
+}
+
+// Subjects returns the node's current subscriptions.
+func (n *Node) Subjects() []string { return n.sub.Subjects() }
+
+// SetLoad advertises the node's load for representative election.
+func (n *Node) SetLoad(load float64) {
+	n.agent.SetAttr(astrolabe.AttrLoad, value.Float(load))
+}
+
+// Tick advances the node one gossip round, runs periodic cache GC and —
+// when configured — one step of item anti-entropy.
+func (n *Node) Tick() {
+	n.agent.Tick()
+	n.mu.Lock()
+	n.gcCounter++
+	runGC := n.gcCounter%10 == 0
+	runAE := n.cfg.AntiEntropyEvery > 0 && n.gcCounter%n.cfg.AntiEntropyEvery == 0
+	n.mu.Unlock()
+	if runGC {
+		n.cache.GC()
+	}
+	if runAE {
+		n.antiEntropyStep()
+	}
+}
+
+// antiEntropyStep asks one random zone peer for items published inside
+// the anti-entropy window that match this node's subscriptions. Replies
+// dedup against the cache, so a fully caught-up node pays one small
+// round trip.
+func (n *Node) antiEntropyStep() {
+	peers := n.recoveryCandidates()
+	if len(peers) == 0 {
+		return
+	}
+	peer := peers[n.cfg.Rand.Intn(len(peers))]
+	window := n.cfg.AntiEntropyWindow
+	if window <= 0 {
+		interval := n.cfg.GossipInterval
+		if interval <= 0 {
+			interval = 2 * time.Second
+		}
+		window = 10 * interval
+	}
+	since := n.cfg.Clock.Now().Add(-window)
+	_ = n.RequestStateTransfer(peer, since, 256)
+}
+
+// HandleMessage dispatches one inbound message to the right component.
+func (n *Node) HandleMessage(msg *wire.Message) {
+	switch msg.Kind {
+	case wire.KindGossip, wire.KindGossipReply:
+		n.agent.HandleMessage(msg)
+	case wire.KindMulticast:
+		if n.admit(msg) {
+			n.router.HandleMessage(msg)
+		}
+	case wire.KindStateRequest:
+		n.handleStateRequest(msg)
+	case wire.KindStateReply:
+		n.handleStateReply(msg)
+	}
+}
+
+// admit applies per-publisher flow control to forwarded publications.
+func (n *Node) admit(msg *wire.Message) bool {
+	if n.limit == nil || msg.Multicast == nil {
+		return true
+	}
+	return n.limit.Allow(msg.Multicast.Envelope.Publisher, 1)
+}
+
+// DeniedPublications reports how many forwards were refused for a
+// publisher by this node's admission control.
+func (n *Node) DeniedPublications(publisher string) int64 {
+	if n.limit == nil {
+		return 0
+	}
+	return n.limit.Denied(publisher)
+}
+
+// deliver is the router's local-delivery callback: exact-match test,
+// cache dedup, decode, hand to the application.
+func (n *Node) deliver(env *wire.ItemEnvelope) {
+	if !n.sub.ShouldDeliver(env) {
+		return
+	}
+	n.ingest(env)
+}
+
+// ingest stores and (if new) surfaces one envelope.
+func (n *Node) ingest(env *wire.ItemEnvelope) {
+	if !n.cache.Put(*env) {
+		return // duplicate or superseded
+	}
+	n.mu.Lock()
+	n.delivered++
+	if env.Published.After(n.lastSeen) {
+		n.lastSeen = env.Published
+	}
+	n.mu.Unlock()
+	if n.cfg.OnItem == nil {
+		return
+	}
+	it, err := pubsub.DecodeItem(env)
+	if err != nil {
+		return // malformed payload; cached copy retained for forensics
+	}
+	n.cfg.OnItem(it, env)
+}
+
+// PublishItem injects a news item into the network, disseminating to
+// every subscribed leaf under scope ("" = everywhere). predicate
+// optionally gates forwarding on zone/member attributes (§8).
+func (n *Node) PublishItem(it *news.Item, scope, predicate string) error {
+	if err := it.Validate(); err != nil {
+		return err
+	}
+	if predicate != "" {
+		if _, err := sqlagg.ParsePredicate(predicate); err != nil {
+			return err
+		}
+	}
+	if n.limit != nil && !n.limit.Allow(it.Publisher, 1) {
+		return fmt.Errorf("core: publisher %q over admission rate", it.Publisher)
+	}
+	env, err := pubsub.EncodeItem(it, n.cfg.Mode, n.cfg.Geometry, n.cfg.Vocabulary)
+	if err != nil {
+		return err
+	}
+	env.Predicate = predicate
+	if scope == "" {
+		scope = astrolabe.RootZone
+	}
+	// The scope is covered by the signature, so stamp it before signing
+	// (Router.Publish re-stamps the identical value).
+	env.ScopeZone = scope
+	if n.cfg.Security != nil {
+		if err := n.cfg.Security.signEnvelope(&env); err != nil {
+			return err
+		}
+	}
+	n.announcePublisher(it.Publisher)
+	return n.router.Publish(env, scope)
+}
+
+// announcePublisher adds the publisher to this node's roster attribute so
+// the UNION aggregation advertises it system-wide.
+func (n *Node) announcePublisher(publisher string) {
+	n.mu.Lock()
+	if n.publishers[publisher] {
+		n.mu.Unlock()
+		return
+	}
+	n.publishers[publisher] = true
+	names := make([]string, 0, len(n.publishers))
+	for p := range n.publishers {
+		names = append(names, p)
+	}
+	n.mu.Unlock()
+	sort.Strings(names)
+	n.agent.SetAttr(astrolabe.AttrPubs, value.Strings(names))
+}
+
+// KnownPublishers returns the system-wide publisher roster visible in the
+// node's root table.
+func (n *Node) KnownPublishers() []string {
+	rows, ok := n.agent.Table(astrolabe.RootZone)
+	if !ok {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if pubs, ok := r.Attrs[astrolabe.AttrPubs].AsStrings(); ok {
+			for _, p := range pubs {
+				seen[p] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntroduceTo sends this node's chain rows to the given peers as a
+// gossip request; their replies carry the tables the two sides share,
+// bootstrapping the joiner's replicas. Joining a zone whose members the
+// node does not know yet requires introducing to at least one member (or
+// representative) of that zone — gossip with siblings alone cannot reveal
+// a foreign zone's leaf table. ZoneRepresentatives on a bootstrap peer
+// supplies suitable targets.
+func (n *Node) IntroduceTo(peers ...string) {
+	msg := &wire.Message{
+		Kind: wire.KindGossip,
+		Gossip: &wire.Gossip{
+			FromZone: n.agent.ZonePath(),
+			Rows:     n.agent.ChainRowUpdates(),
+		},
+	}
+	for _, peer := range peers {
+		_ = n.cfg.Transport.Send(peer, msg)
+	}
+}
+
+// ZoneRepresentatives reads the representative addresses this node's
+// tables list for an arbitrary zone, walking down from the root. Used by
+// join flows to find introduction targets inside a placement zone.
+func (n *Node) ZoneRepresentatives(zone string) []string {
+	parent, ok := astrolabe.ParentZone(zone)
+	if !ok {
+		return nil
+	}
+	row, ok := n.agent.Row(parent, astrolabe.ZoneName(zone))
+	if !ok {
+		return nil
+	}
+	if reps, ok := row.Attrs[astrolabe.AttrReps].AsStrings(); ok {
+		return reps
+	}
+	if addr, ok := row.Attrs[astrolabe.AttrAddr].AsString(); ok {
+		return []string{addr}
+	}
+	return nil
+}
+
+// RequestStateTransfer asks a peer's cache for items published since t
+// that match this node's subscriptions — the joining/recovery path of §9.
+func (n *Node) RequestStateTransfer(peer string, since time.Time, maxItems int) error {
+	return n.cfg.Transport.Send(peer, &wire.Message{
+		Kind: wire.KindStateRequest,
+		StateRequest: &wire.StateRequest{
+			Since:    since,
+			MaxItems: maxItems,
+			Subjects: n.sub.Subjects(),
+		},
+	})
+}
+
+// RecoverFromZonePeer requests the items published after the newest item
+// this node has seen from up to three peers: same-zone members first,
+// then representatives of sibling zones up the chain (a whole leaf zone
+// can miss an item when its only representative died, so intra-zone peers
+// are not always enough). This is the end-to-end recovery of §9.
+func (n *Node) RecoverFromZonePeer(maxItems int) error {
+	peers := n.recoveryCandidates()
+	if len(peers) == 0 {
+		return fmt.Errorf("core: no peers to recover from")
+	}
+	n.cfg.Rand.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	if len(peers) > 3 {
+		peers = peers[:3]
+	}
+	n.mu.Lock()
+	since := n.lastSeen
+	n.mu.Unlock()
+	var firstErr error
+	for _, peer := range peers {
+		if err := n.RequestStateTransfer(peer, since, maxItems); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// recoveryCandidates lists peer addresses whose caches may hold missed
+// items: leaf-zone members, then sibling-zone representatives at every
+// level.
+func (n *Node) recoveryCandidates() []string {
+	seen := map[string]bool{n.Addr(): true}
+	var out []string
+	add := func(addr string) {
+		if addr != "" && !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	if rows, ok := n.agent.Table(n.agent.ZonePath()); ok {
+		for _, r := range rows {
+			if r.Name == n.agent.Name() {
+				continue
+			}
+			if addr, ok := r.Attrs[astrolabe.AttrAddr].AsString(); ok {
+				add(addr)
+			}
+		}
+	}
+	chain := n.agent.Chain()
+	for i := len(chain) - 2; i >= 0; i-- {
+		zone := chain[i]
+		rows, ok := n.agent.Table(zone)
+		if !ok {
+			continue
+		}
+		for _, r := range rows {
+			if reps, ok := r.Attrs[astrolabe.AttrReps].AsStrings(); ok {
+				for _, rep := range reps {
+					add(rep)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (n *Node) handleStateRequest(msg *wire.Message) {
+	req := msg.StateRequest
+	maxItems := req.MaxItems
+	if maxItems <= 0 || maxItems > 4096 {
+		maxItems = 4096
+	}
+	envs, truncated := n.cache.Since(req.Since, req.Subjects, maxItems)
+	_ = n.cfg.Transport.Send(msg.From, &wire.Message{
+		Kind:       wire.KindStateReply,
+		StateReply: &wire.StateReply{Envelopes: envs, Truncated: truncated},
+	})
+}
+
+func (n *Node) handleStateReply(msg *wire.Message) {
+	for i := range msg.StateReply.Envelopes {
+		env := &msg.StateReply.Envelopes[i]
+		if n.cfg.Security != nil {
+			if err := n.cfg.Security.verifyEnvelope(env); err != nil {
+				continue
+			}
+		}
+		if !n.sub.ShouldDeliver(env) {
+			continue
+		}
+		n.ingest(env)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"newswire/internal/astrolabe"
+)
+
+// ChooseZone suggests a leaf zone for a joining node, implementing the
+// "automatic configuration of application instances into zones" the paper
+// defers to the broader Astrolabe effort (§8). The policy keeps the tree
+// balanced using only information already in the hierarchy: starting at
+// the root of a bootstrap peer's view, repeatedly descend into the child
+// zone with the fewest members (ties break lexicographically), until a
+// zone with spare leaf capacity is found.
+//
+// view is any agent whose tables to consult (typically a bootstrap
+// peer's); branching is the table-size cap (§3's "say, 64-rows").
+func ChooseZone(view *astrolabe.Agent, branching int) (string, error) {
+	if view == nil {
+		return "", fmt.Errorf("core: placement needs a bootstrap view")
+	}
+	if branching < 2 {
+		branching = 2
+	}
+	zone := astrolabe.RootZone
+	for depth := 0; depth < 16; depth++ {
+		rows, ok := view.Table(zone)
+		if !ok || len(rows) == 0 {
+			// The view cannot see below this zone; if the zone itself is
+			// a leaf zone on the view's chain we can join it, otherwise
+			// fall back to the view's own leaf zone.
+			if zone != astrolabe.RootZone {
+				return zone, nil
+			}
+			return view.ZonePath(), nil
+		}
+		// Is this table a leaf table (rows are members, with addresses
+		// but no member counts) or an internal table (rows are zones)?
+		if _, isZoneTable := rows[0].Attrs[astrolabe.AttrMembers]; !isZoneTable {
+			// Leaf table: join here.
+			return zone, nil
+		}
+		best := pickSmallestChild(rows)
+		if best == "" {
+			return "", fmt.Errorf("core: zone %s has no usable children", zone)
+		}
+		child := astrolabe.JoinZone(zone, best)
+		// If the smallest child is itself a full leaf zone and the parent
+		// has room for a sibling zone, propose a fresh sibling instead.
+		if n := memberCount(rows, best); n >= int64(branching) {
+			if len(rows) < branching {
+				return astrolabe.JoinZone(zone, freshChildName(rows)), nil
+			}
+		}
+		zone = child
+		// Descend only while the view replicates the child's table;
+		// otherwise the child zone is the answer.
+		if _, ok := view.Table(zone); !ok {
+			return zone, nil
+		}
+	}
+	return "", fmt.Errorf("core: placement exceeded maximum depth")
+}
+
+// pickSmallestChild returns the child row name with the fewest members.
+func pickSmallestChild(rows []astrolabe.Row) string {
+	bestName := ""
+	var bestCount int64 = -1
+	for _, r := range rows {
+		n, ok := r.Attrs[astrolabe.AttrMembers].AsInt()
+		if !ok {
+			continue
+		}
+		if bestCount == -1 || n < bestCount || (n == bestCount && r.Name < bestName) {
+			bestName = r.Name
+			bestCount = n
+		}
+	}
+	return bestName
+}
+
+func memberCount(rows []astrolabe.Row, name string) int64 {
+	for _, r := range rows {
+		if r.Name == name {
+			n, _ := r.Attrs[astrolabe.AttrMembers].AsInt()
+			return n
+		}
+	}
+	return 0
+}
+
+// freshChildName invents a child zone name not present in the table.
+func freshChildName(rows []astrolabe.Row) string {
+	taken := make(map[string]bool, len(rows))
+	names := make([]string, 0, len(rows))
+	for _, r := range rows {
+		taken[r.Name] = true
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	for i := 0; ; i++ {
+		candidate := fmt.Sprintf("z%02d", len(rows)+i)
+		if !taken[candidate] {
+			return candidate
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"newswire/internal/core"
+	"newswire/internal/metrics"
+	"newswire/internal/multicast"
+	"newswire/internal/news"
+	"newswire/internal/sim"
+	"newswire/internal/sqlagg"
+	"newswire/internal/wire"
+)
+
+// RunA1 compares forwarding-queue drain strategies (§9: "The best strategy
+// to fill queues is still under research. We are experimenting with
+// weighted round-robin strategies, as well as some more aggressive
+// techniques").
+func RunA1(opt Options) *Table {
+	t := &Table{
+		ID:    "A1",
+		Title: "forwarding queue strategies under constrained egress",
+		Claim: "queue strategy choice is an open design question (§9)",
+		Columns: []string{"strategy", "urgent p50 wait", "urgent p99 wait",
+			"routine p50 wait", "drops"},
+	}
+	for _, strategy := range []multicast.Strategy{
+		multicast.FIFO, multicast.WeightedRoundRobin, multicast.UrgencyFirst,
+	} {
+		t.AddRow(runA1Strategy(opt.Seed, strategy)...)
+	}
+	t.Notes = append(t.Notes,
+		"one forwarder, 3 child destinations, 600 items (10% urgent), egress 20 msgs/s, offered 60 msgs/s burst")
+	return t
+}
+
+func runA1Strategy(seed int64, strategy multicast.Strategy) []string {
+	eng := sim.NewEngine(seed + int64(strategy))
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	ep := net.Attach("fwd", nil)
+
+	type pending struct {
+		urgent   bool
+		enqueued time.Time
+	}
+	inflight := make(map[string]pending)
+	urgentWait := &metrics.Histogram{}
+	routineWait := &metrics.Histogram{}
+	for _, dest := range []string{"d1", "d2", "d3"} {
+		dest := dest
+		net.Attach(dest, func(m *wire.Message) {
+			key := m.Multicast.Envelope.Key()
+			p, ok := inflight[key]
+			if !ok {
+				return
+			}
+			wait := eng.Now().Sub(p.enqueued).Seconds()
+			if p.urgent {
+				urgentWait.Observe(wait)
+			} else {
+				routineWait.Observe(wait)
+			}
+		})
+	}
+
+	q, err := multicast.NewForwardQueue(ep, strategy, 1000)
+	if err != nil {
+		return []string{"error", err.Error(), "", "", ""}
+	}
+
+	// Offered load: bursts of 3 items every 50ms (60/s) for 10s; egress
+	// drains 1 item every 50ms (20/s).
+	rng := rand.New(rand.NewSource(seed + 5))
+	seq := 0
+	producer := eng.Every(50*time.Millisecond, 0, func() {
+		for b := 0; b < 3; b++ {
+			seq++
+			urgent := rng.Float64() < 0.1
+			urg := 8
+			if urgent {
+				urg = 1
+			}
+			dest := []string{"d1", "d2", "d3"}[seq%3]
+			msg := &wire.Message{
+				Kind: wire.KindMulticast,
+				Multicast: &wire.Multicast{
+					TargetZone: "/x",
+					Envelope: wire.ItemEnvelope{
+						Publisher: "p", ItemID: fmt.Sprintf("i%d", seq),
+						Urgency: urg,
+					},
+				},
+			}
+			inflight[msg.Multicast.Envelope.Key()] = pending{urgent: urgent, enqueued: eng.Now()}
+			_ = q.Enqueue(dest, msg)
+		}
+	})
+	drainer := eng.Every(50*time.Millisecond, 0, func() { q.Drain(1) })
+
+	eng.RunFor(10 * time.Second)
+	producer.Stop()
+	// Keep draining until empty.
+	eng.RunFor(30 * time.Second)
+	drainer.Stop()
+	eng.RunUntilIdle(0)
+
+	_, drops := q.Counters()
+	return []string{
+		strategy.String(),
+		fmtMS(urgentWait.Quantile(0.5)),
+		fmtMS(urgentWait.Quantile(0.99)),
+		fmtMS(routineWait.Quantile(0.5)),
+		fmtI(drops),
+	}
+}
+
+// RunA2 compares representative-election policies (§5: representatives
+// are elected by "an aggregation function that combines the local
+// knowledge of availability of independent network paths to a node, the
+// load on those paths and the load on each node").
+func RunA2(opt Options) *Table {
+	t := &Table{
+		ID:    "A2",
+		Title: "representative election: min-load vs. random",
+		Claim: "load-aware election spreads forwarding away from loaded nodes (§5)",
+		Columns: []string{"policy", "fwd by loaded nodes", "fwd by others",
+			"loaded-node share"},
+	}
+	policies := map[string]*sqlagg.Program{
+		"min-load": nil, // default aggregation
+		"random": sqlagg.MustParse(`SELECT
+			SUM(COALESCE(nmembers, 1)) AS nmembers,
+			REPS(3, HASH(addr), COALESCE(reps, addr)) AS reps,
+			MINV(HASH(addr), addr) AS addr,
+			MIN(load) AS load,
+			BIT_OR(subs) AS subs,
+			UNION(pubs) AS pubs`),
+	}
+	for _, name := range []string{"min-load", "random"} {
+		t.AddRow(runA2Policy(opt.Seed, name, policies[name])...)
+	}
+	t.Notes = append(t.Notes,
+		"64 nodes; one third advertise load 0.9 (loaded), the rest 0.1; 20 items published")
+	return t
+}
+
+func runA2Policy(seed int64, name string, aggr *sqlagg.Program) []string {
+	const n = 64
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, Branching: 8, Seed: seed + 31,
+		Customize: func(i int, cfg *core.Config) {
+			cfg.Aggregation = aggr
+		},
+	})
+	if err != nil {
+		return []string{name, "error", err.Error(), ""}
+	}
+	loaded := make(map[string]bool)
+	for i, node := range cluster.Nodes {
+		_ = node.Subscribe("business/economy")
+		if i%3 == 0 {
+			node.SetLoad(0.9)
+			loaded[node.Addr()] = true
+		} else {
+			node.SetLoad(0.1)
+		}
+	}
+	cluster.RunRounds(10)
+
+	for i := 0; i < 20; i++ {
+		it := &news.Item{
+			Publisher: "reuters", ID: fmt.Sprintf("a2-%d", i),
+			Headline: "x", Body: "y", Subjects: []string{"business/economy"},
+			Published: cluster.Eng.Now(),
+		}
+		_ = cluster.Nodes[i%n].PublishItem(it, "", "")
+		cluster.RunFor(time.Second)
+	}
+	cluster.RunFor(10 * time.Second)
+
+	var loadedFwd, otherFwd int64
+	for _, node := range cluster.Nodes {
+		f := node.Router().Stats().Forwarded
+		if loaded[node.Addr()] {
+			loadedFwd += f
+		} else {
+			otherFwd += f
+		}
+	}
+	share := float64(loadedFwd) / float64(loadedFwd+otherFwd)
+	return []string{name, fmtI(loadedFwd), fmtI(otherFwd), fmtPct(share)}
+}
+
+// RunA3 measures the traffic saved by publishing into a sub-zone instead
+// of the root (§8: "A publisher is able to restrict the scope of the
+// dissemination ... for example allows the publisher to disseminate
+// localized news items in Asia").
+func RunA3(opt Options) *Table {
+	t := &Table{
+		ID:    "A3",
+		Title: "publication scope: root vs. regional zone",
+		Claim: "zone scoping contains dissemination traffic (§8)",
+		Columns: []string{"scope", "deliveries", "multicast msgs",
+			"msgs/delivery"},
+	}
+	const n = 96
+	for _, scope := range []string{"/", "regional"} {
+		t.AddRow(runA3Scope(opt.Seed, n, scope)...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d nodes; all subscribe; 'regional' scopes to the first top-level zone", n))
+	return t
+}
+
+func runA3Scope(seed int64, n int, scope string) []string {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, Branching: 8, Seed: seed + 77,
+	})
+	if err != nil {
+		return []string{scope, "error", err.Error(), ""}
+	}
+	for _, node := range cluster.Nodes {
+		_ = node.Subscribe("world/asia")
+	}
+	cluster.RunRounds(10)
+
+	target := scope
+	if scope == "regional" {
+		// The first top-level zone on the publisher's chain.
+		target = cluster.Nodes[0].Agent().Chain()[1]
+	}
+	it := &news.Item{
+		Publisher: "reuters", ID: "scoped", Headline: "x", Body: "y",
+		Subjects: []string{"world/asia"}, Geography: "asia",
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[0].PublishItem(it, target, ""); err != nil {
+		return []string{scope, "error", err.Error(), ""}
+	}
+	cluster.RunFor(20 * time.Second)
+
+	var delivered, forwarded int64
+	for _, node := range cluster.Nodes {
+		delivered += node.Delivered()
+		forwarded += node.Router().Stats().Forwarded
+	}
+	per := "n/a"
+	if delivered > 0 {
+		per = fmtF(float64(forwarded) / float64(delivered))
+	}
+	return []string{scope, fmtI(delivered), fmtI(forwarded), per}
+}
+
+// RunA4 sweeps gossip fanout — the robustness/traffic trade-off of the
+// epidemic substrate.
+func RunA4(opt Options) *Table {
+	t := &Table{
+		ID:      "A4",
+		Title:   "gossip fanout vs. convergence and traffic",
+		Claim:   "epidemic parameters trade bandwidth for convergence speed (§3)",
+		Columns: []string{"fanout", "rounds to converge", "msgs/node/round"},
+	}
+	for _, fanout := range []int{1, 2, 3} {
+		t.AddRow(runA4Fanout(opt.Seed, fanout)...)
+	}
+	t.Notes = append(t.Notes, "128 nodes, branching 16; convergence = new subscription visible in every node's root table")
+	return t
+}
+
+func runA4Fanout(seed int64, fanout int) []string {
+	const n = 128
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, Branching: 16, Seed: seed + int64(fanout)*13,
+		Customize: func(i int, cfg *core.Config) {
+			cfg.Fanout = fanout
+		},
+	})
+	if err != nil {
+		return []string{fmt.Sprint(fanout), "error", err.Error()}
+	}
+	cluster.RunRounds(6)
+
+	sent0, _, _ := cluster.Net.Totals()
+	subject := "culture/film"
+	_ = cluster.Nodes[n/3].Subscribe(subject)
+
+	rounds := convergenceRounds(cluster, subject, 200)
+	sent1, _, _ := cluster.Net.Totals()
+	roundsRun := rounds
+	if roundsRun <= 0 {
+		roundsRun = 200
+	}
+	msgsPerNodeRound := float64(sent1-sent0) / float64(n) / float64(roundsRun)
+
+	r := "never"
+	if rounds > 0 {
+		r = fmt.Sprint(rounds)
+	}
+	return []string{fmt.Sprint(fanout), r, fmtF(msgsPerNodeRound)}
+}

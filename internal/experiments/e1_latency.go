@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/core"
+	"newswire/internal/metrics"
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+	"newswire/internal/wire"
+)
+
+// RunE1 measures publish-to-deliver latency across system sizes — the
+// abstract's "deliver news updates to hundreds of thousands of subscribers
+// within tens of seconds of the moment of publishing".
+func RunE1(opt Options) *Table {
+	sizes := []int{64, 512, 4096}
+	if opt.Quick {
+		sizes = []int{64, 512}
+	}
+	if opt.Big {
+		sizes = append(sizes, 32768, 131072)
+	}
+	t := &Table{
+		ID:    "E1",
+		Title: "delivery latency vs. system size",
+		Claim: "hundreds of thousands of subscribers within tens of seconds (§Abstract)",
+		Columns: []string{"nodes", "zones", "levels", "p50", "p99", "max",
+			"delivered"},
+	}
+	for _, n := range sizes {
+		row := runE1Size(n, opt.Seed)
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"simulated WAN links 20-180ms, 1% loss; latency is virtual time from publish to app delivery")
+	return t
+}
+
+func runE1Size(n int, seed int64) []string {
+	branching := 64
+	if n < 256 {
+		branching = 16
+	}
+	lat := &metrics.Histogram{}
+	var clock vtime.Clock
+	var publishAt time.Time
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N:         n,
+		Branching: branching,
+		Seed:      seed,
+		Customize: func(i int, cfg *core.Config) {
+			// k=2 redundant representatives, as the system description
+			// prescribes for robust delivery over lossy links (§9-10).
+			cfg.RepCount = 2
+			cfg.OnItem = func(*news.Item, *wire.ItemEnvelope) {
+				lat.Observe(clock.Now().Sub(publishAt).Seconds())
+			}
+		},
+	})
+	if err != nil {
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}
+	}
+	clock = cluster.Eng.Clock()
+	for _, node := range cluster.Nodes {
+		_ = node.Subscribe("tech/linux")
+	}
+	// Let subscription summaries aggregate to the root.
+	warmRounds := 8 + 2*treeLevels(n, branching)
+	cluster.RunRounds(warmRounds)
+
+	publishAt = cluster.Eng.Now()
+	it := &news.Item{
+		Publisher: "reuters", ID: "breaking", Headline: "breaking news",
+		Body: "body", Subjects: []string{"tech/linux"}, Urgency: 1,
+		Published: publishAt,
+	}
+	if err := cluster.Nodes[0].PublishItem(it, "", ""); err != nil {
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}
+	}
+	cluster.RunFor(60 * time.Second)
+
+	delivered := lat.Count()
+	p50 := lat.Quantile(0.5)
+	p99 := lat.Quantile(0.99)
+	max := lat.Max()
+
+	zones := make(map[string]bool)
+	for _, node := range cluster.Nodes {
+		zones[node.ZonePath()] = true
+	}
+	return []string{
+		fmt.Sprint(n),
+		fmt.Sprint(len(zones)),
+		fmt.Sprint(treeLevels(n, branching)),
+		fmtMS(p50),
+		fmtMS(p99),
+		fmtMS(max),
+		fmtPct(float64(delivered) / float64(n)),
+	}
+}
+
+// treeLevels returns the depth of the balanced tree the cluster builder
+// produces for n nodes with the given branching.
+func treeLevels(n, b int) int {
+	return astrolabe.ZoneDepth(core.ZonePathFor(0, n, b))
+}

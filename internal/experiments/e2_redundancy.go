@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"newswire/internal/baseline"
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+	"newswire/internal/workload"
+)
+
+// RunE2 reproduces the §1 redundancy claim: "a consumer who returns 4
+// times during a day receives about 70% redundant data", comparing the
+// full-page pull, RSS pull and delta-encoded pull against NewsWire push.
+//
+// The claim is about *returning* readers, so the simulation runs two
+// days: day one warms each reader up (they have read yesterday's front
+// page), day two is measured.
+func RunE2(opt Options) *Table {
+	visitClasses := []int{1, 2, 4, 8, 24}
+	readersPerClass := 100
+	if opt.Quick {
+		readersPerClass = 25
+	}
+	t := &Table{
+		ID:    "E2",
+		Title: "pull-model redundancy for returning readers (steady state day)",
+		Claim: "4-visit/day readers receive ~70% redundant data (§1)",
+		Columns: []string{"visits/day", "full-pull", "rss-pull",
+			"delta-pull", "push", "full KB/reader"},
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	clock := vtime.NewVirtual()
+	day1 := clock.Now()
+	day2 := day1.Add(24 * time.Hour)
+
+	// Two Slashdot-like days of articles (~24 stories/day).
+	gen, err := workload.NewArticleGen(workload.SlashdotProfile(), rng)
+	if err != nil {
+		t.Notes = append(t.Notes, "generator error: "+err.Error())
+		return t
+	}
+	var items []*news.Item
+	items = append(items, gen.DayOfArticles(day1)...)
+	items = append(items, gen.DayOfArticles(day2)...)
+
+	servers := map[baseline.FetchMode]*baseline.PullServer{}
+	modes := []baseline.FetchMode{baseline.FetchFull, baseline.FetchRSS, baseline.FetchDelta}
+	for _, mode := range modes {
+		s, err := baseline.NewPullServer(clock, 15, 0)
+		if err != nil {
+			t.Notes = append(t.Notes, "server error: "+err.Error())
+			return t
+		}
+		servers[mode] = s
+	}
+
+	type visit struct {
+		at     time.Time
+		class  int
+		reader int
+	}
+	var visits []visit
+	readers := make(map[int]map[baseline.FetchMode][]*baseline.Reader)
+	for _, v := range visitClasses {
+		readers[v] = map[baseline.FetchMode][]*baseline.Reader{}
+		for _, mode := range modes {
+			rs := make([]*baseline.Reader, readersPerClass)
+			for i := range rs {
+				rs[i] = baseline.NewReader()
+			}
+			readers[v][mode] = rs
+		}
+		for i := 0; i < readersPerClass; i++ {
+			profile := workload.ReaderProfile{VisitsPerDay: v}
+			for _, at := range profile.VisitTimes(rng, day1) {
+				visits = append(visits, visit{at: at, class: v, reader: i})
+			}
+			for _, at := range profile.VisitTimes(rng, day2) {
+				visits = append(visits, visit{at: at, class: v, reader: i})
+			}
+		}
+	}
+	sort.Slice(visits, func(i, j int) bool { return visits[i].at.Before(visits[j].at) })
+
+	// Replay both days, snapshotting each reader's counters at the day
+	// boundary so only day-two traffic is reported.
+	type snapshot struct{ total, redundant int64 }
+	snaps := make(map[*baseline.Reader]snapshot)
+	snapped := false
+	pi := 0
+	for _, vis := range visits {
+		if !snapped && !vis.at.Before(day2) {
+			for _, v := range visitClasses {
+				for _, mode := range modes {
+					for _, r := range readers[v][mode] {
+						snaps[r] = snapshot{total: r.TotalBytes, redundant: r.RedundantBytes}
+					}
+				}
+			}
+			snapped = true
+		}
+		for pi < len(items) && !items[pi].Published.After(vis.at) {
+			for _, s := range servers {
+				s.Publish(items[pi])
+			}
+			pi++
+		}
+		clock.SetNow(vis.at)
+		for _, mode := range modes {
+			servers[mode].Visit(readers[vis.class][mode][vis.reader], mode)
+		}
+	}
+
+	// Push bytes for day two only.
+	var pushBytes int64
+	for _, it := range items {
+		if !it.Published.Before(day2) {
+			pushBytes += int64(it.Size())
+		}
+	}
+
+	for _, v := range visitClasses {
+		agg := func(mode baseline.FetchMode) (frac float64, perReader int64) {
+			var red, tot int64
+			for _, r := range readers[v][mode] {
+				s := snaps[r]
+				red += r.RedundantBytes - s.redundant
+				tot += r.TotalBytes - s.total
+			}
+			if tot == 0 {
+				return 0, 0
+			}
+			return float64(red) / float64(tot), tot / int64(readersPerClass)
+		}
+		fullFrac, fullBytes := agg(baseline.FetchFull)
+		rssFrac, _ := agg(baseline.FetchRSS)
+		deltaFrac, _ := agg(baseline.FetchDelta)
+		t.AddRow(
+			fmt.Sprint(v),
+			fmtPct(fullFrac),
+			fmtPct(rssFrac),
+			fmtPct(deltaFrac),
+			fmtPct(0), // push never re-sends
+			fmt.Sprintf("%.0f", float64(fullBytes)/1024),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d articles over two days, front page of 15, %d readers/class; day two measured",
+			len(items), readersPerClass),
+		fmt.Sprintf("push delivers %.0f KB/reader for the same day", float64(pushBytes)/1024))
+	return t
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"newswire/internal/baseline"
+	"newswire/internal/core"
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+)
+
+// RunE5 reproduces the overload story of §1 ("Internet news sites become
+// completely useless under overload, failing even to service a small
+// percentage of the visitors") and the abstract's claim that NewsWire
+// "guarantees delivery even in the face of publisher overload or denial
+// of service attacks".
+func RunE5(opt Options) *Table {
+	multipliers := []float64{1, 10, 100}
+	t := &Table{
+		ID:    "E5",
+		Title: "flash-crowd overload: pull site vs. NewsWire",
+		Claim: "pull sites fail under flash crowds; NewsWire keeps delivering (§1, §Abstract)",
+		Columns: []string{"demand", "pull served", "nw delivered",
+			"nw flood delivered", "nw flood denied"},
+	}
+
+	const (
+		readers     = 200
+		capacityRPS = 50 // the site serves 50 requests/second
+		window      = 10 * time.Second
+	)
+	n := 128
+	if opt.Quick {
+		n = 64
+	}
+
+	for _, f := range multipliers {
+		// --- Pull baseline: readers all rush the site in one window ---
+		clock := vtime.NewVirtual()
+		server, err := baseline.NewPullServer(clock, 15, capacityRPS)
+		if err != nil {
+			t.Notes = append(t.Notes, "server error: "+err.Error())
+			return t
+		}
+		server.Publish(&news.Item{
+			Publisher: "site", ID: "breaking", Headline: "breaking",
+			Body: "big story", Subjects: []string{"world/americas"},
+			Published: clock.Now(),
+		})
+		requests := int(float64(readers) * f)
+		served := 0
+		// Requests spread evenly over the window.
+		gap := window / time.Duration(requests)
+		for i := 0; i < requests; i++ {
+			clock.Advance(gap)
+			if server.Visit(baseline.NewReader(), baseline.FetchFull) {
+				served++
+			}
+		}
+		pullServed := float64(served) / float64(requests)
+
+		// --- NewsWire under the same event: a rogue publisher floods
+		// f×base items while a legitimate publisher keeps publishing.
+		// Per-publisher admission control at forwarders bounds the flood
+		// without touching legitimate traffic. ---
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: n, Branching: 16, Seed: opt.Seed + int64(f),
+			Customize: func(i int, cfg *core.Config) {
+				cfg.PublishRate = 2 // each forwarder admits 2 items/s/publisher
+				cfg.PublishBurst = 10
+				// Bimodal repair recovers copies lost to link loss.
+				cfg.AntiEntropyEvery = 3
+				cfg.AntiEntropyWindow = 5 * time.Minute
+			},
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, "cluster error: "+err.Error())
+			return t
+		}
+		for _, node := range cluster.Nodes {
+			_ = node.Subscribe("world/americas")
+		}
+		cluster.RunRounds(10)
+
+		const legitItems = 10
+		floodItems := int(10 * f)
+		publishStart := cluster.Eng.Now()
+		for i := 0; i < floodItems; i++ {
+			it := &news.Item{
+				Publisher: "flooder", ID: fmt.Sprintf("junk-%d", i),
+				Headline: "junk", Body: "junk",
+				Subjects:  []string{"world/americas"},
+				Published: publishStart,
+			}
+			// The flooder bypasses its own admission by injecting at a
+			// node without local rate limiting? No: it publishes from
+			// node 1 and is clipped there and at every forwarder.
+			_ = cluster.Nodes[1].PublishItem(it, "", "")
+			cluster.RunFor(50 * time.Millisecond)
+		}
+		for i := 0; i < legitItems; i++ {
+			it := &news.Item{
+				Publisher: "reuters", ID: fmt.Sprintf("real-%d", i),
+				Headline: "real", Body: "real",
+				Subjects:  []string{"world/americas"},
+				Published: cluster.Eng.Now(),
+			}
+			_ = cluster.Nodes[0].PublishItem(it, "", "")
+			cluster.RunFor(time.Second)
+		}
+		cluster.RunFor(30 * time.Second)
+		// A few gossip rounds so the background anti-entropy runs.
+		cluster.RunRounds(8)
+
+		// Count per-node deliveries of legit vs flood items.
+		var legitDelivered, floodDelivered, floodDenied int64
+		for _, node := range cluster.Nodes {
+			for i := 0; i < legitItems; i++ {
+				if node.Cache().Has(fmt.Sprintf("reuters/real-%d#0", i)) {
+					legitDelivered++
+				}
+			}
+			for i := 0; i < floodItems; i++ {
+				if node.Cache().Has(fmt.Sprintf("flooder/junk-%d#0", i)) {
+					floodDelivered++
+				}
+			}
+			floodDenied += node.DeniedPublications("flooder")
+		}
+		legitFrac := float64(legitDelivered) / float64(int64(legitItems)*int64(n))
+		floodFrac := float64(floodDelivered) / float64(int64(floodItems)*int64(n))
+
+		t.AddRow(
+			fmt.Sprintf("%.0fx", f),
+			fmtPct(pullServed),
+			fmtPct(legitFrac),
+			fmtPct(floodFrac),
+			fmtI(floodDenied),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("pull site capacity %d req/s, %d base readers in a %v window", capacityRPS, readers, window),
+		fmt.Sprintf("NewsWire: %d nodes, per-publisher admission 2 items/s (burst 10) at every forwarder", n))
+	return t
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"newswire/internal/core"
+	"newswire/internal/news"
+)
+
+// RunE6 measures delivery under forwarder failure with and without
+// k-redundant representatives and cache-based end-to-end recovery — the
+// §9–10 machinery ("multiple representatives to forward a new item, to
+// increase the robustness of the delivery"; "the same cache is used for
+// assisting in achieving end-to-end reliability in the case of forwarding
+// node failures").
+func RunE6(opt Options) *Table {
+	killFractions := []float64{0, 0.05, 0.10, 0.20}
+	repCounts := []int{1, 2, 3}
+	if opt.Quick {
+		killFractions = []float64{0, 0.10}
+		repCounts = []int{1, 3}
+	}
+	n := 192
+	if opt.Quick {
+		n = 96
+	}
+	t := &Table{
+		ID:    "E6",
+		Title: "delivery under forwarder failure (k reps, cache recovery)",
+		Claim: "redundant representatives + cache recovery preserve delivery (§9-10)",
+		Columns: []string{"killed", "k", "delivered", "after recovery",
+			"dup forwards"},
+	}
+
+	const itemCount = 10
+	for _, phi := range killFractions {
+		for _, k := range repCounts {
+			row := runE6Case(opt.Seed, n, phi, k, itemCount)
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d nodes, branching 16; failures injected right before publishing (tables still list the dead)", n),
+		"'delivered' counts live subscribers only; recovery = one RecoverFromZonePeer round")
+	return t
+}
+
+func runE6Case(seed int64, n int, phi float64, k, itemCount int) []string {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, Branching: 16, Seed: seed + int64(phi*100) + int64(k),
+		Customize: func(i int, cfg *core.Config) {
+			cfg.RepCount = k
+		},
+	})
+	if err != nil {
+		return []string{"error", err.Error(), "", "", ""}
+	}
+	for _, node := range cluster.Nodes {
+		_ = node.Subscribe("tech/security")
+	}
+	cluster.RunRounds(10)
+
+	// Kill a fraction of nodes (never the publisher, node 0) right
+	// before publishing so every table still lists them as live
+	// representatives.
+	killed := int(phi * float64(n))
+	for i := 0; i < killed; i++ {
+		victim := cluster.Nodes[1+(i*7)%(n-1)]
+		cluster.Net.Crash(victim.Addr())
+	}
+
+	pubAt := cluster.Eng.Now()
+	for i := 0; i < itemCount; i++ {
+		it := &news.Item{
+			Publisher: "reuters", ID: fmt.Sprintf("rob-%d", i),
+			Headline: "x", Body: "y",
+			Subjects:  []string{"tech/security"},
+			Published: pubAt,
+		}
+		_ = cluster.Nodes[0].PublishItem(it, "", "")
+	}
+	cluster.RunFor(20 * time.Second)
+
+	liveNodes := 0
+	var got int64
+	for _, node := range cluster.Nodes {
+		if cluster.Net.Crashed(node.Addr()) {
+			continue
+		}
+		liveNodes++
+		got += node.Delivered()
+	}
+	want := int64(liveNodes * itemCount)
+	before := float64(got) / float64(want)
+
+	// End-to-end recovery: every live node that missed something asks a
+	// zone peer's cache.
+	for _, node := range cluster.Nodes {
+		if cluster.Net.Crashed(node.Addr()) {
+			continue
+		}
+		if node.Delivered() < int64(itemCount) {
+			_ = node.RecoverFromZonePeer(itemCount * 2)
+		}
+	}
+	cluster.RunFor(10 * time.Second)
+	// A second pass covers peers that themselves recovered first.
+	for _, node := range cluster.Nodes {
+		if cluster.Net.Crashed(node.Addr()) {
+			continue
+		}
+		if node.Delivered() < int64(itemCount) {
+			_ = node.RecoverFromZonePeer(itemCount * 2)
+		}
+	}
+	cluster.RunFor(10 * time.Second)
+
+	got = 0
+	var dups int64
+	for _, node := range cluster.Nodes {
+		if cluster.Net.Crashed(node.Addr()) {
+			continue
+		}
+		got += node.Delivered()
+		dups += node.Router().Stats().Duplicates
+	}
+	after := float64(got) / float64(want)
+
+	return []string{
+		fmtPct(phi),
+		fmt.Sprint(k),
+		fmtPct(before),
+		fmtPct(after),
+		fmtI(dups),
+	}
+}

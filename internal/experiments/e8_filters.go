@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/core"
+	"newswire/internal/news"
+	"newswire/internal/pubsub"
+	"newswire/internal/workload"
+)
+
+// RunE8 contrasts the Bloom-filter subscription summary with the
+// attribute-per-subscription design §6 rejects: "having an attribute for
+// each possible subscription would be poorly scalable because the work
+// done for purposes of filtering would be at least linear in the number
+// of subscriptions".
+func RunE8(opt Options) *Table {
+	subCounts := []int{16, 64, 256, 1024}
+	if opt.Quick {
+		subCounts = []int{16, 256}
+	}
+	t := &Table{
+		ID:    "E8",
+		Title: "Bloom filter vs. per-subscription attributes",
+		Claim: "attribute-per-subscription is poorly scalable; Bloom replaces it (§6)",
+		Columns: []string{"subscriptions", "mode", "root row attrs",
+			"gossip KB/round/node", "ns/filter-op"},
+	}
+
+	const n = 48
+	for _, subs := range subCounts {
+		for _, mode := range []pubsub.Mode{pubsub.ModeBloom, pubsub.ModeAttributes} {
+			t.AddRow(runE8Case(opt.Seed, n, subs, mode)...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d nodes, each holding distinct subjects drawn from the pool; Bloom geometry %d bits",
+			n, pubsub.DefaultGeometry.Bits))
+	return t
+}
+
+func runE8Case(seed int64, n, subjectPool int, mode pubsub.Mode) []string {
+	// Build the synthetic subject universe.
+	pool := make([]string, subjectPool)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("topic-%04d/sub", i)
+	}
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, Branching: 16, Seed: seed + int64(subjectPool) + int64(mode),
+		Customize: func(i int, cfg *core.Config) {
+			cfg.Mode = mode
+		},
+	})
+	if err != nil {
+		return []string{"error", err.Error(), "", "", ""}
+	}
+	rng := rand.New(rand.NewSource(seed + 80))
+	for _, node := range cluster.Nodes {
+		subs := workload.SampleSubscriptions(rng, pool, 4, 1.0)
+		if err := node.Subscribe(subs...); err != nil {
+			return []string{"error", err.Error(), "", "", ""}
+		}
+	}
+	// Measure gossip volume over a fixed window after warm-up.
+	cluster.RunRounds(6)
+	_, _, _ = cluster.Net.Totals()
+	startStats := make([]int64, len(cluster.Nodes))
+	for i, node := range cluster.Nodes {
+		startStats[i] = cluster.Net.Stats(node.Addr()).BytesSent
+	}
+	const windowRounds = 5
+	cluster.RunRounds(windowRounds)
+	var totalBytes int64
+	for i, node := range cluster.Nodes {
+		totalBytes += cluster.Net.Stats(node.Addr()).BytesSent - startStats[i]
+	}
+	kbPerRoundPerNode := float64(totalBytes) / 1024 / float64(windowRounds) / float64(n)
+
+	// Root-row attribute counts (the gossip payload growth the paper
+	// warns about).
+	rows, _ := cluster.Nodes[0].Agent().Table(astrolabe.RootZone)
+	maxAttrs := 0
+	for _, r := range rows {
+		if len(r.Attrs) > maxAttrs {
+			maxAttrs = len(r.Attrs)
+		}
+	}
+
+	// Per-forward filtering cost: time the forwarding filter against a
+	// root row.
+	env, _ := pubsub.EncodeItem(itemWithSubject(pool[0]), mode,
+		pubsub.DefaultGeometry, nil)
+	filter := pubsub.ForwardFilter(mode, pubsub.DefaultGeometry)
+	var row astrolabe.Row
+	if len(rows) > 0 {
+		row = rows[0]
+	}
+	const reps = 20000
+	startT := time.Now()
+	for i := 0; i < reps; i++ {
+		filter("/", row, &env)
+	}
+	perOp := time.Since(startT) / reps
+
+	return []string{
+		fmt.Sprint(subjectPool),
+		mode.String(),
+		fmt.Sprint(maxAttrs),
+		fmt.Sprintf("%.1f", kbPerRoundPerNode),
+		fmt.Sprint(perOp.Nanoseconds()),
+	}
+}
+
+func itemWithSubject(subject string) *news.Item {
+	return &news.Item{
+		Publisher: "bench", ID: "probe", Headline: "probe", Body: "b",
+		Subjects:  []string{subject},
+		Published: time.Date(2002, 4, 1, 0, 0, 0, 0, time.UTC),
+	}
+}

@@ -1,0 +1,141 @@
+// Package experiments implements one runner per experiment in DESIGN.md's
+// experiment index (E1–E8 and ablations A1–A4). The paper is a position
+// paper with no numbered tables or figures, so each experiment reproduces
+// one quantitative claim; EXPERIMENTS.md records claim vs. measurement.
+//
+// Runners are deterministic given Options.Seed and are shared by the
+// cmd/newswire-bench binary and the root-level testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options scales experiment size.
+type Options struct {
+	// Quick shrinks every experiment for CI and benchmarks.
+	Quick bool
+	// Big enables the largest configurations (the 131072-node E1 point).
+	Big bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim being tested
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "   claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		fmt.Fprintf(w, "   %s\n", strings.Join(parts, "  "))
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(opt Options) *Table
+}
+
+// All lists every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{ID: "E1", Name: "delivery latency vs. system size", Run: RunE1},
+		{ID: "E2", Name: "pull-model redundancy", Run: RunE2},
+		{ID: "E3", Name: "Bloom filter accuracy vs. size", Run: RunE3},
+		{ID: "E4", Name: "publisher load vs. direct push", Run: RunE4},
+		{ID: "E5", Name: "flash-crowd overload", Run: RunE5},
+		{ID: "E6", Name: "robustness under forwarder failure", Run: RunE6},
+		{ID: "E7", Name: "gossip convergence to the root", Run: RunE7},
+		{ID: "E8", Name: "Bloom vs. per-subscription attributes", Run: RunE8},
+		{ID: "A1", Name: "forwarding queue strategies", Run: RunA1},
+		{ID: "A2", Name: "representative election policies", Run: RunA2},
+		{ID: "A3", Name: "publication zone scoping", Run: RunA3},
+		{ID: "A4", Name: "gossip fanout/interval trade-off", Run: RunA4},
+	}
+}
+
+// fmtMS renders a duration-in-seconds as milliseconds.
+func fmtMS(seconds float64) string {
+	return fmt.Sprintf("%.0fms", seconds*1000)
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+// fmtF renders a float compactly.
+func fmtF(f float64) string {
+	return fmt.Sprintf("%.2f", f)
+}
+
+// fmtI renders an int.
+func fmtI(i int64) string {
+	return fmt.Sprintf("%d", i)
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+// parsePct turns "42.0%" back into 0.42 for assertions.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("not a percentage: %q", s)
+	}
+	return v / 100
+}
+
+func parseMS(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+	if err != nil {
+		t.Fatalf("not a millisecond value: %q", s)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 12 {
+		t.Fatalf("got %d runners, want 12", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("runner %s incomplete", r.ID)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "test", Claim: "c",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"note"},
+	}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	for _, want := range []string{"== X: test", "claim: c", "a", "bee", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1DeliversToEveryoneFast(t *testing.T) {
+	tab := RunE1(quick)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		delivered := parsePct(t, row[6])
+		// 1% link loss with k=2 redundancy: essentially everyone; the
+		// residue is recovered by anti-entropy in steady state (E6).
+		if delivered < 0.995 {
+			t.Errorf("n=%s delivered %s, want ≈100%%", row[0], row[6])
+		}
+		p99 := parseMS(t, row[4])
+		if p99 > 30000 {
+			t.Errorf("n=%s p99 %s exceeds tens of seconds", row[0], row[4])
+		}
+	}
+}
+
+func TestE2ReproducesRedundancyShape(t *testing.T) {
+	tab := RunE2(quick)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row with 4 visits/day: the paper's ~70% claim; accept 50–90%.
+	var fourVisit []string
+	for _, row := range tab.Rows {
+		if row[0] == "4" {
+			fourVisit = row
+		}
+	}
+	full := parsePct(t, fourVisit[1])
+	if full < 0.5 || full > 0.9 {
+		t.Errorf("4-visit full-pull redundancy %v, want ~0.7", full)
+	}
+	// Redundancy grows with visit frequency.
+	first := parsePct(t, tab.Rows[0][1])
+	last := parsePct(t, tab.Rows[len(tab.Rows)-1][1])
+	if !(last > first) {
+		t.Errorf("redundancy should grow with visits: %v .. %v", first, last)
+	}
+	// Push is always 0%.
+	for _, row := range tab.Rows {
+		if parsePct(t, row[4]) != 0 {
+			t.Errorf("push redundancy nonzero: %v", row)
+		}
+	}
+	// Delta never loses to full, and beats it whenever full pays
+	// redundancy.
+	for _, row := range tab.Rows {
+		full, delta := parsePct(t, row[1]), parsePct(t, row[3])
+		if delta > full {
+			t.Errorf("delta (%s) should not exceed full (%s)", row[3], row[1])
+		}
+		if full > 0.1 && delta >= full {
+			t.Errorf("delta (%s) should beat full (%s)", row[3], row[1])
+		}
+	}
+}
+
+func TestE3AccuracyImprovesWithBits(t *testing.T) {
+	tab := RunE3(quick)
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// FP rate at the zone level should fall monotonically in bits
+	// (single subscriber count in quick mode).
+	prev := 2.0
+	for _, row := range tab.Rows {
+		fp := parsePct(t, row[4])
+		if fp > prev+0.02 {
+			t.Errorf("zone FP rate rose with more bits: %v after %v", fp, prev)
+		}
+		prev = fp
+	}
+	// The 16384-bit filter should be nearly exact.
+	last := tab.Rows[len(tab.Rows)-1]
+	if fp := parsePct(t, last[4]); fp > 0.05 {
+		t.Errorf("largest filter FP %v, want <5%%", fp)
+	}
+}
+
+func TestE4PublisherLoadReduced(t *testing.T) {
+	tab := RunE4(quick)
+	for _, row := range tab.Rows {
+		direct, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad direct msgs %q", row[1])
+		}
+		nw, err := strconv.ParseInt(row[3], 10, 64)
+		if err != nil {
+			t.Fatalf("bad nw msgs %q", row[3])
+		}
+		if nw >= direct {
+			t.Errorf("n=%s: NewsWire publisher sent %d msgs, direct %d — no reduction",
+				row[0], nw, direct)
+		}
+	}
+	// Reduction factor grows with audience size.
+	if len(tab.Rows) >= 2 {
+		first, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[0][5], "x"), 64)
+		last, _ := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[len(tab.Rows)-1][5], "x"), 64)
+		if last <= first {
+			t.Errorf("reduction should grow with audience: %v .. %v", first, last)
+		}
+	}
+}
+
+func TestE5OverloadShape(t *testing.T) {
+	tab := RunE5(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Pull served fraction collapses with the multiplier...
+	p1 := parsePct(t, tab.Rows[0][1])
+	p100 := parsePct(t, tab.Rows[2][1])
+	if !(p100 < p1) {
+		t.Errorf("pull service should degrade: 1x=%v 100x=%v", p1, p100)
+	}
+	if p100 > 0.3 {
+		t.Errorf("pull service at 100x = %v, want collapse", p100)
+	}
+	// ...while NewsWire keeps delivering the legitimate stream.
+	for _, row := range tab.Rows {
+		if nw := parsePct(t, row[2]); nw < 0.95 {
+			t.Errorf("demand %s: NewsWire delivered only %v of legit items", row[0], nw)
+		}
+	}
+	// The flood is clipped at higher multipliers.
+	f100 := parsePct(t, tab.Rows[2][3])
+	if f100 > 0.5 {
+		t.Errorf("flood delivery fraction %v at 100x, want clipped", f100)
+	}
+}
+
+func TestE6RedundancyHelps(t *testing.T) {
+	tab := RunE6(quick)
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// No failures: near-perfect delivery (k=1 can drop a copy to the 1%
+	// link loss before recovery; k=3 should be essentially complete).
+	row := byKey["0.0%/1"]
+	if row == nil {
+		t.Fatalf("missing baseline row: %v", tab.Rows)
+	}
+	if d := parsePct(t, row[2]); d < 0.95 {
+		t.Errorf("no-failure k=1 delivery %v, want ≥95%%", d)
+	}
+	if d := parsePct(t, byKey["0.0%/3"][2]); d < 0.995 {
+		t.Errorf("no-failure k=3 delivery %v, want ≈100%%", d)
+	}
+	// With 10% killed, k=3 must beat k=1 before recovery.
+	k1 := parsePct(t, byKey["10.0%/1"][2])
+	k3 := parsePct(t, byKey["10.0%/3"][2])
+	if !(k3 >= k1) {
+		t.Errorf("k=3 (%v) should not lose to k=1 (%v) under failures", k3, k1)
+	}
+	// Recovery closes the gap for every row.
+	for _, row := range tab.Rows {
+		before := parsePct(t, row[2])
+		after := parsePct(t, row[3])
+		if after+1e-9 < before {
+			t.Errorf("recovery reduced delivery: %v -> %v", before, after)
+		}
+		if after < 0.99 {
+			t.Errorf("after recovery %v, want ~100%% (row %v)", after, row)
+		}
+	}
+}
+
+func TestE7ConvergesWithinTensOfSeconds(t *testing.T) {
+	tab := RunE7(quick)
+	for _, row := range tab.Rows {
+		if row[2] == "never" || row[4] == "never" {
+			t.Fatalf("n=%s never converged: %v", row[0], row)
+		}
+		rounds, _ := strconv.Atoi(row[4])
+		if rounds > 30 { // 30 rounds × 2s = 60s
+			t.Errorf("n=%s took %d rounds, exceeding tens of seconds", row[0], rounds)
+		}
+	}
+}
+
+func TestE8AttributesScaleWorse(t *testing.T) {
+	tab := RunE8(quick)
+	// Pair rows (bloom, attributes) per subscription count.
+	type pair struct{ bloom, attrs []string }
+	pairs := map[string]*pair{}
+	for _, row := range tab.Rows {
+		p := pairs[row[0]]
+		if p == nil {
+			p = &pair{}
+			pairs[row[0]] = p
+		}
+		if row[1] == "bloom" {
+			p.bloom = row
+		} else {
+			p.attrs = row
+		}
+	}
+	big := pairs["256"]
+	if big == nil || big.bloom == nil || big.attrs == nil {
+		t.Fatalf("missing 256-subscription rows: %v", tab.Rows)
+	}
+	bloomAttrs, _ := strconv.Atoi(big.bloom[2])
+	attrAttrs, _ := strconv.Atoi(big.attrs[2])
+	if attrAttrs <= bloomAttrs {
+		t.Errorf("attribute mode row size (%d) should exceed bloom (%d)", attrAttrs, bloomAttrs)
+	}
+	// Attribute-mode row size grows with subscriptions; bloom stays flat.
+	small := pairs["16"]
+	smallAttrAttrs, _ := strconv.Atoi(small.attrs[2])
+	if attrAttrs <= smallAttrAttrs {
+		t.Errorf("attribute rows should grow with subscriptions: %d -> %d",
+			smallAttrAttrs, attrAttrs)
+	}
+	smallBloomAttrs, _ := strconv.Atoi(small.bloom[2])
+	if bloomAttrs > smallBloomAttrs+2 {
+		t.Errorf("bloom rows should stay ~flat: %d -> %d", smallBloomAttrs, bloomAttrs)
+	}
+}
+
+func TestA1UrgencyStrategyPrioritizes(t *testing.T) {
+	tab := RunA1(quick)
+	byStrategy := map[string][]string{}
+	for _, row := range tab.Rows {
+		byStrategy[row[0]] = row
+	}
+	fifoUrgent := parseMS(t, byStrategy["fifo"][2])
+	urgUrgent := parseMS(t, byStrategy["urgency"][2])
+	if !(urgUrgent < fifoUrgent) {
+		t.Errorf("urgency-first p99 urgent wait (%v) should beat FIFO (%v)",
+			urgUrgent, fifoUrgent)
+	}
+}
+
+func TestA2LoadAwareElectionShiftsWork(t *testing.T) {
+	tab := RunA2(quick)
+	byPolicy := map[string][]string{}
+	for _, row := range tab.Rows {
+		byPolicy[row[0]] = row
+	}
+	minLoad := parsePct(t, byPolicy["min-load"][3])
+	random := parsePct(t, byPolicy["random"][3])
+	if !(minLoad < random) {
+		t.Errorf("min-load share %v should be below random %v", minLoad, random)
+	}
+}
+
+func TestA3ScopingContainsTraffic(t *testing.T) {
+	tab := RunA3(quick)
+	byScope := map[string][]string{}
+	for _, row := range tab.Rows {
+		byScope[row[0]] = row
+	}
+	rootMsgs, _ := strconv.ParseInt(byScope["/"][2], 10, 64)
+	regionalMsgs, _ := strconv.ParseInt(byScope["regional"][2], 10, 64)
+	if !(regionalMsgs < rootMsgs) {
+		t.Errorf("regional scope used %d msgs, root %d — no containment",
+			regionalMsgs, rootMsgs)
+	}
+	rootDel, _ := strconv.ParseInt(byScope["/"][1], 10, 64)
+	regDel, _ := strconv.ParseInt(byScope["regional"][1], 10, 64)
+	if !(regDel < rootDel) {
+		t.Errorf("regional deliveries %d should be below root %d", regDel, rootDel)
+	}
+}
+
+func TestA4FanoutSpeedsConvergence(t *testing.T) {
+	tab := RunA4(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	r1, _ := strconv.Atoi(tab.Rows[0][1])
+	r3, _ := strconv.Atoi(tab.Rows[2][1])
+	if r1 == 0 || r3 == 0 {
+		t.Fatalf("convergence failed: %v", tab.Rows)
+	}
+	if r3 > r1 {
+		t.Errorf("fanout 3 (%d rounds) should not converge slower than fanout 1 (%d)", r3, r1)
+	}
+	m1, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	m3, _ := strconv.ParseFloat(tab.Rows[2][2], 64)
+	if !(m3 > m1) {
+		t.Errorf("fanout 3 should cost more messages: %v vs %v", m3, m1)
+	}
+}

@@ -1,0 +1,233 @@
+// Package feed implements the bootstrap agents of paper §10: "we have
+// already developed some agents that are capable of transforming the
+// current RSS/HTML information from some publishers into message streams
+// for the system to bootstrap it". It parses RSS 0.91/2.0 channel
+// documents and converts new or changed entries into news items ready for
+// publication into NewsWire.
+package feed
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"newswire/internal/news"
+)
+
+// Channel is a parsed RSS channel.
+type Channel struct {
+	Title       string
+	Link        string
+	Description string
+	Items       []Entry
+}
+
+// Entry is one RSS channel entry.
+type Entry struct {
+	Title       string
+	Link        string
+	Description string
+	GUID        string
+	Categories  []string
+	Published   time.Time
+}
+
+type rssDoc struct {
+	XMLName xml.Name   `xml:"rss"`
+	Channel rssChannel `xml:"channel"`
+}
+
+type rssChannel struct {
+	Title       string    `xml:"title"`
+	Link        string    `xml:"link"`
+	Description string    `xml:"description"`
+	Items       []rssItem `xml:"item"`
+}
+
+type rssItem struct {
+	Title       string   `xml:"title"`
+	Link        string   `xml:"link"`
+	Description string   `xml:"description"`
+	GUID        string   `xml:"guid"`
+	Categories  []string `xml:"category"`
+	PubDate     string   `xml:"pubDate"`
+}
+
+// ParseRSS parses an RSS 0.91/2.0 document.
+func ParseRSS(data []byte) (*Channel, error) {
+	var doc rssDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: parse rss: %w", err)
+	}
+	ch := &Channel{
+		Title:       strings.TrimSpace(doc.Channel.Title),
+		Link:        strings.TrimSpace(doc.Channel.Link),
+		Description: strings.TrimSpace(doc.Channel.Description),
+	}
+	if ch.Title == "" {
+		return nil, fmt.Errorf("feed: rss channel has no title")
+	}
+	for i, it := range doc.Channel.Items {
+		e := Entry{
+			Title:       strings.TrimSpace(it.Title),
+			Link:        strings.TrimSpace(it.Link),
+			Description: strings.TrimSpace(it.Description),
+			GUID:        strings.TrimSpace(it.GUID),
+		}
+		if e.Title == "" {
+			return nil, fmt.Errorf("feed: rss item %d has no title", i)
+		}
+		if e.GUID == "" {
+			e.GUID = e.Link
+		}
+		if e.GUID == "" {
+			return nil, fmt.Errorf("feed: rss item %q has neither guid nor link", e.Title)
+		}
+		for _, c := range it.Categories {
+			if c = strings.TrimSpace(c); c != "" {
+				e.Categories = append(e.Categories, c)
+			}
+		}
+		if pd := strings.TrimSpace(it.PubDate); pd != "" {
+			ts, err := parsePubDate(pd)
+			if err != nil {
+				return nil, fmt.Errorf("feed: rss item %q: %w", e.Title, err)
+			}
+			e.Published = ts
+		}
+		ch.Items = append(ch.Items, e)
+	}
+	return ch, nil
+}
+
+// pubDateFormats are the date layouts seen in the wild for RSS pubDate.
+var pubDateFormats = []string{
+	time.RFC1123Z,
+	time.RFC1123,
+	time.RFC822Z,
+	time.RFC822,
+	time.RFC3339,
+}
+
+func parsePubDate(s string) (time.Time, error) {
+	for _, layout := range pubDateFormats {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized pubDate %q", s)
+}
+
+// SubjectMapper maps an RSS entry's categories (and, as a fallback, its
+// title) to NewsWire subscription subjects.
+type SubjectMapper func(entry *Entry) []string
+
+// DefaultSubjectMapper lower-cases categories, slash-joins them under the
+// given top-level prefix when they are bare words, and keeps already
+// hierarchical ones. Entries with no category map to fallback.
+func DefaultSubjectMapper(prefix, fallback string) SubjectMapper {
+	return func(entry *Entry) []string {
+		var out []string
+		for _, c := range entry.Categories {
+			c = strings.ToLower(strings.TrimSpace(c))
+			c = strings.ReplaceAll(c, " ", "-")
+			if c == "" {
+				continue
+			}
+			if !strings.Contains(c, "/") {
+				c = prefix + "/" + c
+			}
+			out = append(out, c)
+		}
+		if len(out) == 0 {
+			out = []string{fallback}
+		}
+		sort.Strings(out)
+		return out
+	}
+}
+
+// Agent turns successive polls of one publisher's RSS channel into a
+// stream of new items and revisions: unseen GUIDs become revision 0;
+// changed descriptions of known GUIDs become the next revision; unchanged
+// entries produce nothing.
+type Agent struct {
+	publisher string
+	mapper    SubjectMapper
+	seen      map[string]entryState // GUID -> state
+	nextSeq   int
+}
+
+type entryState struct {
+	itemID   string
+	revision int
+	content  string
+}
+
+// NewAgent creates a bootstrap agent publishing under the given name.
+func NewAgent(publisher string, mapper SubjectMapper) (*Agent, error) {
+	if publisher == "" {
+		return nil, fmt.Errorf("feed: publisher required")
+	}
+	if mapper == nil {
+		mapper = DefaultSubjectMapper("tech", "tech/internet")
+	}
+	return &Agent{
+		publisher: publisher,
+		mapper:    mapper,
+		seen:      make(map[string]entryState),
+	}, nil
+}
+
+// Transform converts the channel's new/changed entries into items, using
+// now for entries that carry no pubDate. Items come back in channel order.
+func (a *Agent) Transform(ch *Channel, now time.Time) []*news.Item {
+	var out []*news.Item
+	for i := range ch.Items {
+		e := &ch.Items[i]
+		content := e.Title + "\x00" + e.Description
+		state, known := a.seen[e.GUID]
+		if known && state.content == content {
+			continue // unchanged
+		}
+		if !known {
+			a.nextSeq++
+			state = entryState{itemID: fmt.Sprintf("rss-%06d", a.nextSeq), revision: 0}
+		} else {
+			state.revision++
+		}
+		state.content = content
+		a.seen[e.GUID] = state
+
+		published := e.Published
+		if published.IsZero() {
+			published = now
+		}
+		out = append(out, &news.Item{
+			Publisher: a.publisher,
+			ID:        state.itemID,
+			Revision:  state.revision,
+			Headline:  e.Title,
+			Abstract:  firstSentence(e.Description),
+			Body:      e.Description + "\n\n" + e.Link,
+			Subjects:  a.mapper(e),
+			Urgency:   5,
+			Published: published,
+		})
+	}
+	return out
+}
+
+// firstSentence truncates a description at its first period (or 140
+// bytes) for use as an abstract.
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, '.'); i >= 0 && i < 140 {
+		return s[:i+1]
+	}
+	if len(s) > 140 {
+		return s[:140]
+	}
+	return s
+}

@@ -1,0 +1,214 @@
+package feed
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const sampleRSS = `<?xml version="1.0"?>
+<rss version="2.0">
+  <channel>
+    <title>Slashdot</title>
+    <link>http://slashdot.org/</link>
+    <description>News for nerds</description>
+    <item>
+      <title>Linux 2.5 kernel status</title>
+      <link>http://slashdot.org/article/1</link>
+      <description>The kernel marches on. More inside.</description>
+      <guid>slashdot-1</guid>
+      <category>Linux</category>
+      <pubDate>Mon, 01 Apr 2002 09:00:00 -0500</pubDate>
+    </item>
+    <item>
+      <title>New worm spreading</title>
+      <link>http://slashdot.org/article/2</link>
+      <description>A worm exploits unpatched servers.</description>
+      <guid>slashdot-2</guid>
+      <category>Security</category>
+      <category>tech/internet</category>
+    </item>
+  </channel>
+</rss>`
+
+func TestParseRSS(t *testing.T) {
+	ch, err := ParseRSS([]byte(sampleRSS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Title != "Slashdot" || ch.Link != "http://slashdot.org/" {
+		t.Fatalf("channel header: %+v", ch)
+	}
+	if len(ch.Items) != 2 {
+		t.Fatalf("items = %d", len(ch.Items))
+	}
+	first := ch.Items[0]
+	if first.Title != "Linux 2.5 kernel status" || first.GUID != "slashdot-1" {
+		t.Fatalf("first item: %+v", first)
+	}
+	if first.Published.IsZero() {
+		t.Fatal("pubDate not parsed")
+	}
+	if first.Published.UTC().Hour() != 14 {
+		t.Fatalf("pubDate timezone wrong: %v", first.Published.UTC())
+	}
+	second := ch.Items[1]
+	if len(second.Categories) != 2 {
+		t.Fatalf("categories: %v", second.Categories)
+	}
+	if !second.Published.IsZero() {
+		t.Fatal("missing pubDate should stay zero")
+	}
+}
+
+func TestParseRSSErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not xml at all <",
+		"no title":      `<rss><channel><link>x</link></channel></rss>`,
+		"item untitled": `<rss><channel><title>t</title><item><guid>g</guid></item></channel></rss>`,
+		"no guid/link":  `<rss><channel><title>t</title><item><title>i</title></item></channel></rss>`,
+		"bad date":      `<rss><channel><title>t</title><item><title>i</title><guid>g</guid><pubDate>someday</pubDate></item></channel></rss>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseRSS([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseRSSGUIDFallsBackToLink(t *testing.T) {
+	doc := `<rss><channel><title>t</title><item><title>i</title><link>http://x/1</link></item></channel></rss>`
+	ch, err := ParseRSS([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Items[0].GUID != "http://x/1" {
+		t.Fatalf("GUID = %q", ch.Items[0].GUID)
+	}
+}
+
+func TestDefaultSubjectMapper(t *testing.T) {
+	m := DefaultSubjectMapper("tech", "tech/internet")
+	subjects := m(&Entry{Categories: []string{"Linux", "tech/security", "Ask Slashdot"}})
+	want := []string{"tech/ask-slashdot", "tech/linux", "tech/security"}
+	if len(subjects) != len(want) {
+		t.Fatalf("subjects = %v", subjects)
+	}
+	for i := range want {
+		if subjects[i] != want[i] {
+			t.Fatalf("subjects = %v, want %v", subjects, want)
+		}
+	}
+	// Fallback for uncategorized entries.
+	if got := m(&Entry{}); len(got) != 1 || got[0] != "tech/internet" {
+		t.Fatalf("fallback = %v", got)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent("", nil); err == nil {
+		t.Fatal("empty publisher accepted")
+	}
+	if _, err := NewAgent("slashdot", nil); err != nil {
+		t.Fatalf("nil mapper should default: %v", err)
+	}
+}
+
+func TestAgentTransformNewEntries(t *testing.T) {
+	a, _ := NewAgent("slashdot", nil)
+	ch, _ := ParseRSS([]byte(sampleRSS))
+	now := time.Date(2002, 4, 1, 12, 0, 0, 0, time.UTC)
+
+	items := a.Transform(ch, now)
+	if len(items) != 2 {
+		t.Fatalf("got %d items", len(items))
+	}
+	for _, it := range items {
+		if err := it.Validate(); err != nil {
+			t.Fatalf("item invalid: %v", err)
+		}
+		if it.Publisher != "slashdot" || it.Revision != 0 {
+			t.Fatalf("item: %+v", it)
+		}
+	}
+	// The entry with a pubDate keeps it; the other gets now.
+	if items[0].Published.Equal(now) {
+		t.Fatal("pubDate entry should keep its own time")
+	}
+	if !items[1].Published.Equal(now) {
+		t.Fatal("dateless entry should get the poll time")
+	}
+	if !strings.Contains(items[0].Body, "http://slashdot.org/article/1") {
+		t.Fatal("link not embedded in body")
+	}
+}
+
+func TestAgentTransformIdempotentOnUnchangedFeed(t *testing.T) {
+	a, _ := NewAgent("slashdot", nil)
+	ch, _ := ParseRSS([]byte(sampleRSS))
+	now := time.Now()
+	if got := a.Transform(ch, now); len(got) != 2 {
+		t.Fatalf("first poll: %d", len(got))
+	}
+	if got := a.Transform(ch, now); len(got) != 0 {
+		t.Fatalf("second poll of identical feed produced %d items", len(got))
+	}
+}
+
+func TestAgentTransformDetectsRevision(t *testing.T) {
+	a, _ := NewAgent("slashdot", nil)
+	ch, _ := ParseRSS([]byte(sampleRSS))
+	now := time.Now()
+	first := a.Transform(ch, now)
+
+	// Same GUID, changed description: a revision.
+	ch.Items[0].Description = "Updated: the kernel has been released."
+	second := a.Transform(ch, now.Add(time.Hour))
+	if len(second) != 1 {
+		t.Fatalf("revision poll produced %d items", len(second))
+	}
+	rev := second[0]
+	if rev.Revision != 1 {
+		t.Fatalf("revision = %d, want 1", rev.Revision)
+	}
+	if rev.ID != first[0].ID {
+		t.Fatalf("revision changed item ID: %q vs %q", rev.ID, first[0].ID)
+	}
+}
+
+func TestAgentNewEntriesGetNewIDs(t *testing.T) {
+	a, _ := NewAgent("p", nil)
+	ch := &Channel{Title: "t", Items: []Entry{
+		{Title: "one", GUID: "g1"},
+		{Title: "two", GUID: "g2"},
+	}}
+	items := a.Transform(ch, time.Now())
+	if items[0].ID == items[1].ID {
+		t.Fatal("distinct entries share an item ID")
+	}
+}
+
+func TestFirstSentence(t *testing.T) {
+	if got := firstSentence("Short. More after."); got != "Short." {
+		t.Fatalf("got %q", got)
+	}
+	long := strings.Repeat("a", 300)
+	if got := firstSentence(long); len(got) != 140 {
+		t.Fatalf("long truncation = %d bytes", len(got))
+	}
+	if got := firstSentence("no period here"); got != "no period here" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// Property: ParseRSS never panics on arbitrary byte input.
+func TestQuickParseRSSRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseRSS(data) // errors fine, panics not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package flow implements the flow-control machinery of paper §8: news
+// producers publish "according to a restrictive set of rules ... to
+// perform flow control", and "the selection and filtering mechanisms used
+// in each forwarding component protect the system from flooding by
+// publishers". Publishers are rate-limited by token buckets; forwarding
+// components can apply per-publisher admission control.
+package flow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"newswire/internal/vtime"
+)
+
+// TokenBucket is a classic token-bucket rate limiter driven by an
+// injected clock so simulations stay deterministic.
+type TokenBucket struct {
+	clock vtime.Clock
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a bucket that refills at rate tokens/second up to
+// burst, starting full.
+func NewTokenBucket(clock vtime.Clock, rate, burst float64) (*TokenBucket, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("flow: clock required")
+	}
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("flow: rate and burst must be positive (rate=%v burst=%v)", rate, burst)
+	}
+	return &TokenBucket{
+		clock:  clock,
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   clock.Now(),
+	}, nil
+}
+
+// Allow consumes n tokens if available and reports whether the action is
+// admitted.
+func (b *TokenBucket) Allow(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Available returns the current token count.
+func (b *TokenBucket) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.clock.Now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Limiter applies independent token buckets per key (publisher name), so
+// one flooding publisher cannot consume another's budget.
+type Limiter struct {
+	clock vtime.Clock
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*TokenBucket
+	denied  map[string]int64
+}
+
+// NewLimiter returns a per-key limiter with a shared rate/burst policy.
+func NewLimiter(clock vtime.Clock, rate, burst float64) (*Limiter, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("flow: clock required")
+	}
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("flow: rate and burst must be positive")
+	}
+	return &Limiter{
+		clock:   clock,
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*TokenBucket),
+		denied:  make(map[string]int64),
+	}, nil
+}
+
+// Allow consumes n tokens from key's bucket.
+func (l *Limiter) Allow(key string, n float64) bool {
+	l.mu.Lock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b, _ = NewTokenBucket(l.clock, l.rate, l.burst)
+		l.buckets[key] = b
+	}
+	l.mu.Unlock()
+
+	if b.Allow(n) {
+		return true
+	}
+	l.mu.Lock()
+	l.denied[key]++
+	l.mu.Unlock()
+	return false
+}
+
+// Denied returns how many admissions key has been refused.
+func (l *Limiter) Denied(key string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.denied[key]
+}
+
+// Keys returns the number of tracked keys.
+func (l *Limiter) Keys() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,132 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"newswire/internal/vtime"
+)
+
+func TestNewTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(nil, 1, 1); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewTokenBucket(vtime.Real{}, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(vtime.Real{}, 1, -1); err == nil {
+		t.Error("negative burst accepted")
+	}
+}
+
+func TestTokenBucketStartsFull(t *testing.T) {
+	clock := vtime.NewVirtual()
+	b, err := NewTokenBucket(clock, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Available(); got != 5 {
+		t.Fatalf("Available = %v, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow(1) {
+			t.Fatalf("burst allowance exhausted early at %d", i)
+		}
+	}
+	if b.Allow(1) {
+		t.Fatal("over-burst admitted")
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	clock := vtime.NewVirtual()
+	b, _ := NewTokenBucket(clock, 2, 4) // 2 tokens/sec
+	for b.Allow(1) {
+	}
+	clock.Advance(time.Second)
+	if !b.Allow(2) {
+		t.Fatal("refill did not credit 2 tokens after 1s")
+	}
+	if b.Allow(1) {
+		t.Fatal("refill credited too much")
+	}
+	// Refill caps at burst.
+	clock.Advance(time.Hour)
+	if got := b.Available(); got != 4 {
+		t.Fatalf("Available after long idle = %v, want burst 4", got)
+	}
+}
+
+func TestTokenBucketNonPositiveCost(t *testing.T) {
+	clock := vtime.NewVirtual()
+	b, _ := NewTokenBucket(clock, 1, 1)
+	if !b.Allow(0) || !b.Allow(-3) {
+		t.Fatal("non-positive cost should always be admitted")
+	}
+	if got := b.Available(); got != 1 {
+		t.Fatalf("non-positive cost consumed tokens: %v", got)
+	}
+}
+
+func TestTokenBucketFractionalCost(t *testing.T) {
+	clock := vtime.NewVirtual()
+	b, _ := NewTokenBucket(clock, 1, 1)
+	if !b.Allow(0.5) || !b.Allow(0.5) {
+		t.Fatal("fractional costs rejected")
+	}
+	if b.Allow(0.1) {
+		t.Fatal("empty bucket admitted")
+	}
+}
+
+func TestLimiterPerKeyIsolation(t *testing.T) {
+	clock := vtime.NewVirtual()
+	l, err := NewLimiter(clock, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publisher "flood" drains its own bucket.
+	if !l.Allow("flood", 2) {
+		t.Fatal("initial burst rejected")
+	}
+	if l.Allow("flood", 1) {
+		t.Fatal("over-budget admitted")
+	}
+	// Publisher "calm" is unaffected.
+	if !l.Allow("calm", 1) {
+		t.Fatal("independent key throttled by another's flood")
+	}
+	if l.Denied("flood") != 1 {
+		t.Fatalf("Denied(flood) = %d", l.Denied("flood"))
+	}
+	if l.Denied("calm") != 0 {
+		t.Fatalf("Denied(calm) = %d", l.Denied("calm"))
+	}
+	if l.Keys() != 2 {
+		t.Fatalf("Keys = %d", l.Keys())
+	}
+}
+
+func TestLimiterValidation(t *testing.T) {
+	if _, err := NewLimiter(nil, 1, 1); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewLimiter(vtime.Real{}, -1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	clock := vtime.NewVirtual()
+	l, _ := NewLimiter(clock, 10, 10)
+	for i := 0; i < 10; i++ {
+		l.Allow("p", 1)
+	}
+	if l.Allow("p", 1) {
+		t.Fatal("drained key admitted")
+	}
+	clock.Advance(time.Second)
+	if !l.Allow("p", 10) {
+		t.Fatal("refill did not restore budget")
+	}
+}

@@ -1,0 +1,455 @@
+// Package multicast implements the Astrolabe-based application-level
+// multicast of paper §5: SendToZone(zone, data) walks the zone hierarchy,
+// consulting each zone's aggregated table to find per-child-zone
+// representatives (elected by the aggregation function on load and
+// availability) and forwarding recursively until leaves deliver to the
+// application.
+//
+// Redundant delivery through k representatives (in the manner of the MIT
+// mesh-routing work the paper cites) is supported; duplicates are
+// suppressed via the items' unique publisher/ID/revision keys (§9).
+// The selective pub/sub forwarding of §6 plugs in through the Filter hook.
+package multicast
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/sqlagg"
+	"newswire/internal/transport"
+	"newswire/internal/wire"
+)
+
+// View is the slice of an Astrolabe agent the router needs: the replicated
+// zone tables and the agent's own placement. *astrolabe.Agent implements it.
+type View interface {
+	Addr() string
+	Name() string
+	ZonePath() string
+	Chain() []string
+	Table(zone string) ([]astrolabe.Row, bool)
+	Row(zone, name string) (astrolabe.Row, bool)
+}
+
+var _ View = (*astrolabe.Agent)(nil)
+
+// Filter decides whether an item should be forwarded toward the subtree
+// or member described by row (the pub/sub Bloom test of §6). zone is the
+// table the row came from. A nil Filter forwards everything (pure
+// multicast).
+type Filter func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool
+
+// Deliver consumes an item that reached this leaf.
+type Deliver func(env *wire.ItemEnvelope)
+
+// Sender transmits a message to a peer; the default sends directly on the
+// transport. The forwarding-queue ablation (A1) substitutes a queued
+// sender.
+type Sender func(to string, msg *wire.Message) error
+
+// Config configures a Router.
+type Config struct {
+	View      View
+	Transport transport.Transport
+	// RepCount is how many of a child zone's representatives receive
+	// each forward (k-redundant dissemination, §9–10). Default 1.
+	RepCount int
+	// Rand drives representative choice among candidates. Required.
+	Rand *rand.Rand
+	// Filter gates forwarding per child row (nil forwards everything).
+	Filter Filter
+	// Deliver receives items for the local application. Required.
+	Deliver Deliver
+	// Sender overrides direct transport sends (used by queue ablations).
+	Sender Sender
+	// MaxHops bounds forwarding depth. Default 64.
+	MaxHops int
+	// LogSize bounds the in-memory forwarding log (§9). Default 1024.
+	LogSize int
+	// DedupWindow bounds the duplicate-suppression state: the router
+	// remembers this many recent item keys for forwarding and delivery
+	// dedup, evicting oldest-first. Older items falling out of the
+	// window are instead deduplicated by the end-system cache. Default
+	// 8192.
+	DedupWindow int
+	// VerifyEnvelope, when set, authenticates items before forwarding or
+	// delivery; failing envelopes are dropped.
+	VerifyEnvelope func(env *wire.ItemEnvelope) error
+}
+
+// Stats counts router activity.
+type Stats struct {
+	Published   int64
+	Forwarded   int64
+	Delivered   int64
+	Duplicates  int64
+	FilteredOut int64
+	BadEnvelope int64
+}
+
+// LogEntry records one forwarding decision (§9's forwarder log).
+type LogEntry struct {
+	Key   string
+	Zone  string
+	Dests []string
+}
+
+// Router implements SendToZone and the forwarding component of a node.
+type Router struct {
+	cfg  Config
+	view View
+
+	mu        sync.Mutex
+	seen      map[string]map[string]bool // item key -> zones handled
+	seenOrder []string                   // insertion order for eviction
+	delivered map[string]bool            // item key -> delivered locally
+	dlvOrder  []string
+	log       []LogEntry
+	logNext   int
+	stats     Stats
+	preds     map[string]*sqlagg.Predicate
+}
+
+// NewRouter validates cfg and returns a router.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.View == nil {
+		return nil, fmt.Errorf("multicast: view required")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("multicast: transport required")
+	}
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("multicast: rand required")
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("multicast: deliver callback required")
+	}
+	if cfg.RepCount <= 0 {
+		cfg.RepCount = 1
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 64
+	}
+	if cfg.LogSize <= 0 {
+		cfg.LogSize = 1024
+	}
+	if cfg.Sender == nil {
+		tr := cfg.Transport
+		cfg.Sender = func(to string, msg *wire.Message) error { return tr.Send(to, msg) }
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 8192
+	}
+	return &Router{
+		cfg:       cfg,
+		view:      cfg.View,
+		seen:      make(map[string]map[string]bool),
+		delivered: make(map[string]bool),
+		preds:     make(map[string]*sqlagg.Predicate),
+	}, nil
+}
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Log returns a copy of the forwarding log, oldest first.
+func (r *Router) Log() []LogEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LogEntry, 0, len(r.log))
+	if len(r.log) == r.cfg.LogSize {
+		out = append(out, r.log[r.logNext:]...)
+	}
+	out = append(out, r.log[:r.logNext]...)
+	return out
+}
+
+// Publish injects an item at this node, disseminating it to every
+// subscribed leaf under scope ("" or "/" means the whole system —
+// SendToZone with the root zone, §5).
+func (r *Router) Publish(env wire.ItemEnvelope, scope string) error {
+	if scope == "" {
+		scope = astrolabe.RootZone
+	}
+	if err := astrolabe.ValidateZonePath(scope); err != nil {
+		return err
+	}
+	env.ScopeZone = scope
+	r.mu.Lock()
+	r.stats.Published++
+	r.mu.Unlock()
+	r.route(&wire.Multicast{TargetZone: scope, Envelope: env})
+	return nil
+}
+
+// HandleMessage processes an inbound multicast forward. Other message
+// kinds are ignored.
+func (r *Router) HandleMessage(msg *wire.Message) {
+	if msg.Kind != wire.KindMulticast || msg.Multicast == nil {
+		return
+	}
+	m := msg.Multicast
+	if m.Hops > r.cfg.MaxHops {
+		return
+	}
+	if r.cfg.VerifyEnvelope != nil {
+		if err := r.cfg.VerifyEnvelope(&m.Envelope); err != nil {
+			r.mu.Lock()
+			r.stats.BadEnvelope++
+			r.mu.Unlock()
+			return
+		}
+	}
+	if m.Deliver {
+		r.deliverLocal(&m.Envelope)
+		return
+	}
+	r.route(m)
+}
+
+// route fans the item out for the subtree rooted at m.TargetZone.
+func (r *Router) route(m *wire.Multicast) {
+	key := m.Envelope.Key()
+	target := m.TargetZone
+
+	// Forwarding dedup: handle each (item, zone) pair once per node, so
+	// k-redundant parents don't multiply traffic exponentially.
+	r.mu.Lock()
+	zones := r.seen[key]
+	if zones == nil {
+		zones = make(map[string]bool)
+		r.seen[key] = zones
+		r.seenOrder = append(r.seenOrder, key)
+		for len(r.seenOrder) > r.cfg.DedupWindow {
+			delete(r.seen, r.seenOrder[0])
+			r.seenOrder = r.seenOrder[1:]
+		}
+	}
+	if zones[target] {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	zones[target] = true
+	r.mu.Unlock()
+
+	chain := r.view.Chain()
+	onChain := false
+	for _, z := range chain {
+		if z == target {
+			onChain = true
+			break
+		}
+	}
+	if !onChain {
+		// The target is not on our chain: route toward it through the
+		// deepest chain zone that contains it (publishing into a remote
+		// zone, §8).
+		r.routeToward(m)
+		return
+	}
+
+	if target == r.view.ZonePath() {
+		r.fanOutLeafZone(m)
+		return
+	}
+	r.fanOutChildZones(m)
+}
+
+// routeToward sends m to representatives of the remote subtree containing
+// TargetZone.
+func (r *Router) routeToward(m *wire.Multicast) {
+	chain := r.view.Chain()
+	// Deepest chain zone that contains the target.
+	var anchor string
+	for _, z := range chain {
+		if astrolabe.ZoneContains(z, m.TargetZone) {
+			anchor = z
+		}
+	}
+	if anchor == "" {
+		return
+	}
+	child, ok := astrolabe.ChildToward(anchor, m.TargetZone)
+	if !ok {
+		return
+	}
+	row, ok := r.view.Row(anchor, astrolabe.ZoneName(child))
+	if !ok {
+		return
+	}
+	r.forwardToRow(anchor, row, m, m.TargetZone)
+}
+
+// fanOutChildZones handles a target that is a proper ancestor of this
+// node's leaf zone: consult the target's table and forward per child.
+func (r *Router) fanOutChildZones(m *wire.Multicast) {
+	rows, ok := r.view.Table(m.TargetZone)
+	if !ok {
+		return
+	}
+	ownChild, _ := astrolabe.ChildToward(m.TargetZone, r.view.ZonePath())
+	ownName := astrolabe.ZoneName(ownChild)
+
+	for _, row := range rows {
+		childZone := astrolabe.JoinZone(m.TargetZone, row.Name)
+		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
+			r.mu.Lock()
+			r.stats.FilteredOut++
+			r.mu.Unlock()
+			continue
+		}
+		if row.Name == ownName {
+			// We are inside this child: recurse locally instead of
+			// taking a network hop.
+			r.route(&wire.Multicast{
+				TargetZone: childZone,
+				Hops:       m.Hops,
+				Envelope:   m.Envelope,
+			})
+			continue
+		}
+		r.forwardToRow(m.TargetZone, row, m, childZone)
+	}
+}
+
+// fanOutLeafZone handles a target equal to this node's leaf zone: deliver
+// locally and send final-delivery copies to the other subscribed members.
+func (r *Router) fanOutLeafZone(m *wire.Multicast) {
+	rows, ok := r.view.Table(m.TargetZone)
+	if !ok {
+		return
+	}
+	for _, row := range rows {
+		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
+			r.mu.Lock()
+			r.stats.FilteredOut++
+			r.mu.Unlock()
+			continue
+		}
+		if row.Name == r.view.Name() {
+			r.deliverLocal(&m.Envelope)
+			continue
+		}
+		addr, ok := row.Attrs[astrolabe.AttrAddr].AsString()
+		if !ok {
+			continue
+		}
+		r.send(addr, &wire.Multicast{
+			TargetZone: m.TargetZone,
+			Hops:       m.Hops + 1,
+			Deliver:    true,
+			Envelope:   m.Envelope,
+		})
+		r.logForward(m.Envelope.Key(), m.TargetZone, []string{addr})
+	}
+}
+
+// forwardToRow sends m toward the zone summarized by row, via up to
+// RepCount of its representatives.
+func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast, nextTarget string) {
+	reps, ok := row.Attrs[astrolabe.AttrReps].AsStrings()
+	if !ok || len(reps) == 0 {
+		if addr, ok := row.Attrs[astrolabe.AttrAddr].AsString(); ok {
+			reps = []string{addr}
+		} else {
+			return
+		}
+	}
+	k := r.cfg.RepCount
+	if k > len(reps) {
+		k = len(reps)
+	}
+	// Random subset of size k for load spreading ("a set of local
+	// criteria", §5).
+	r.cfg.Rand.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
+	chosen := reps[:k]
+	for _, addr := range chosen {
+		if addr == r.view.Addr() {
+			// We happen to be a representative of the child: recurse
+			// locally.
+			r.route(&wire.Multicast{TargetZone: nextTarget, Hops: m.Hops, Envelope: m.Envelope})
+			continue
+		}
+		r.send(addr, &wire.Multicast{
+			TargetZone: nextTarget,
+			Hops:       m.Hops + 1,
+			Envelope:   m.Envelope,
+		})
+	}
+	r.logForward(m.Envelope.Key(), nextTarget, chosen)
+}
+
+// passesFilter applies the pub/sub filter hook and the publisher's
+// dissemination predicate (§8) to a child row.
+func (r *Router) passesFilter(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
+	if env.Predicate != "" {
+		pred, err := r.predicate(env.Predicate)
+		if err != nil || !pred.Eval(row.Attrs) {
+			return false
+		}
+	}
+	if r.cfg.Filter != nil {
+		return r.cfg.Filter(zone, row, env)
+	}
+	return true
+}
+
+func (r *Router) predicate(src string) (*sqlagg.Predicate, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.preds[src]; ok {
+		return p, nil
+	}
+	p, err := sqlagg.ParsePredicate(src)
+	if err != nil {
+		return nil, err
+	}
+	r.preds[src] = p
+	return p, nil
+}
+
+func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
+	key := env.Key()
+	r.mu.Lock()
+	if r.delivered[key] {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	r.delivered[key] = true
+	r.dlvOrder = append(r.dlvOrder, key)
+	for len(r.dlvOrder) > r.cfg.DedupWindow {
+		delete(r.delivered, r.dlvOrder[0])
+		r.dlvOrder = r.dlvOrder[1:]
+	}
+	r.stats.Delivered++
+	r.mu.Unlock()
+	r.cfg.Deliver(env)
+}
+
+func (r *Router) send(addr string, m *wire.Multicast) {
+	r.mu.Lock()
+	r.stats.Forwarded++
+	r.mu.Unlock()
+	_ = r.cfg.Sender(addr, &wire.Message{Kind: wire.KindMulticast, Multicast: m})
+}
+
+func (r *Router) logForward(key, zone string, dests []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entry := LogEntry{Key: key, Zone: zone, Dests: dests}
+	if len(r.log) < r.cfg.LogSize {
+		r.log = append(r.log, entry)
+		r.logNext = len(r.log) % r.cfg.LogSize
+		return
+	}
+	r.log[r.logNext] = entry
+	r.logNext = (r.logNext + 1) % r.cfg.LogSize
+}

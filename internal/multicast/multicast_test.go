@@ -1,0 +1,535 @@
+package multicast
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/sim"
+	"newswire/internal/wire"
+)
+
+// mcNode couples an astrolabe agent with a multicast router on one
+// simulated endpoint.
+type mcNode struct {
+	agent  *astrolabe.Agent
+	router *Router
+
+	mu        sync.Mutex
+	delivered []string // envelope keys
+}
+
+func (n *mcNode) deliveredKeys() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.delivered))
+	copy(out, n.delivered)
+	return out
+}
+
+type mcCluster struct {
+	t     *testing.T
+	eng   *sim.Engine
+	net   *sim.Network
+	nodes []*mcNode
+}
+
+func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter) *mcCluster {
+	t.Helper()
+	eng := sim.NewEngine(777)
+	net := sim.NewNetwork(eng, sim.LinkModel{
+		LatencyMin: 5 * time.Millisecond,
+		LatencyMax: 30 * time.Millisecond,
+	})
+	c := &mcCluster{t: t, eng: eng, net: net}
+	for i, zone := range zones {
+		addr := fmt.Sprintf("n%d", i)
+		node := &mcNode{}
+		ep := net.Attach(addr, func(m *wire.Message) {
+			switch m.Kind {
+			case wire.KindMulticast:
+				node.router.HandleMessage(m)
+			default:
+				node.agent.HandleMessage(m)
+			}
+		})
+		agent, err := astrolabe.NewAgent(astrolabe.Config{
+			Name:      fmt.Sprintf("node-%d", i),
+			ZonePath:  zone,
+			Transport: ep,
+			Clock:     eng.Clock(),
+			Rand:      rand.New(rand.NewSource(int64(i) + 100)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		router, err := NewRouter(Config{
+			View:      agent,
+			Transport: ep,
+			RepCount:  repCount,
+			Rand:      rand.New(rand.NewSource(int64(i) + 200)),
+			Filter:    filter,
+			Deliver: func(env *wire.ItemEnvelope) {
+				node.mu.Lock()
+				node.delivered = append(node.delivered, env.Key())
+				node.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.agent = agent
+		node.router = router
+		c.nodes = append(c.nodes, node)
+	}
+	// Bootstrap membership and run gossip until tables stabilize.
+	for _, n := range c.nodes {
+		var seeds []wire.RowUpdate
+		for _, m := range c.nodes {
+			if m != n {
+				seeds = append(seeds, m.agent.ChainRowUpdates()...)
+			}
+		}
+		n.agent.MergeRows(seeds)
+	}
+	c.runRounds(6)
+	return c
+}
+
+func (c *mcCluster) runRounds(r int) {
+	for i := 0; i < r; i++ {
+		for _, n := range c.nodes {
+			n.agent.Tick()
+		}
+		c.eng.RunFor(time.Second)
+	}
+}
+
+func envelope(id string) wire.ItemEnvelope {
+	return wire.ItemEnvelope{
+		Publisher: "test",
+		ItemID:    id,
+		Subjects:  []string{"tech/linux"},
+		Published: time.Unix(1017619200, 0).UTC(),
+		Payload:   []byte("<nitf/>"),
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestMulticastReachesAllNodes(t *testing.T) {
+	zones := []string{"/usa/ny", "/usa/ny", "/usa/ca", "/asia/jp", "/asia/jp", "/asia/cn"}
+	c := newMCCluster(t, zones, 1, nil)
+
+	if err := c.nodes[0].router.Publish(envelope("story-1"), "/"); err != nil {
+		t.Fatal(err)
+	}
+	c.eng.RunFor(5 * time.Second)
+
+	for i, n := range c.nodes {
+		keys := n.deliveredKeys()
+		if len(keys) != 1 || keys[0] != "test/story-1#0" {
+			t.Errorf("node %d delivered %v, want [test/story-1#0]", i, keys)
+		}
+	}
+}
+
+func TestMulticastNoDuplicateDeliveries(t *testing.T) {
+	zones := []string{"/a/x", "/a/x", "/a/y", "/b/z", "/b/z"}
+	c := newMCCluster(t, zones, 3, nil) // redundant forwarding
+
+	c.nodes[0].router.Publish(envelope("dup-test"), "/")
+	c.eng.RunFor(5 * time.Second)
+
+	for i, n := range c.nodes {
+		if keys := n.deliveredKeys(); len(keys) != 1 {
+			t.Errorf("node %d delivered %d copies: %v", i, len(keys), keys)
+		}
+	}
+}
+
+func TestMulticastZoneScoped(t *testing.T) {
+	zones := []string{"/usa/ny", "/usa/ca", "/asia/jp", "/asia/cn"}
+	c := newMCCluster(t, zones, 1, nil)
+
+	// Publish from a /usa node into /asia only (§8's localized news).
+	c.nodes[0].router.Publish(envelope("asia-only"), "/asia")
+	c.eng.RunFor(5 * time.Second)
+
+	for i, n := range c.nodes {
+		keys := n.deliveredKeys()
+		inAsia := astrolabe.ZoneContains("/asia", n.agent.ZonePath())
+		if inAsia && len(keys) != 1 {
+			t.Errorf("asia node %d delivered %v", i, keys)
+		}
+		if !inAsia && len(keys) != 0 {
+			t.Errorf("usa node %d should not receive asia-scoped item: %v", i, keys)
+		}
+	}
+}
+
+func TestMulticastFilterPruning(t *testing.T) {
+	zones := []string{"/a/x", "/a/y", "/b/z"}
+	// Filter that refuses everything under /b.
+	filter := func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
+		child := astrolabe.JoinZone(zone, row.Name)
+		return !astrolabe.ZoneContains("/b", child)
+	}
+	c := newMCCluster(t, zones, 1, filter)
+
+	c.nodes[0].router.Publish(envelope("filtered"), "/")
+	c.eng.RunFor(5 * time.Second)
+
+	if keys := c.nodes[2].deliveredKeys(); len(keys) != 0 {
+		t.Errorf("/b node received filtered item: %v", keys)
+	}
+	if keys := c.nodes[1].deliveredKeys(); len(keys) != 1 {
+		t.Errorf("/a node missed item: %v", keys)
+	}
+	st := c.nodes[0].router.Stats()
+	if st.FilteredOut == 0 {
+		t.Error("filter was never consulted")
+	}
+}
+
+func TestMulticastPredicateGating(t *testing.T) {
+	zones := []string{"/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil)
+
+	// The predicate evaluates against every row on the forwarding path:
+	// aggregated zone rows and leaf member rows. "load" exists at both
+	// levels (leaf rows carry it; the default program aggregates
+	// MIN(load)), so gate on load.
+	c.runRounds(4)
+
+	env := envelope("everyone")
+	env.Predicate = "load >= 0"
+	c.nodes[0].router.Publish(env, "/")
+	c.eng.RunFor(5 * time.Second)
+	if len(c.nodes[1].deliveredKeys()) != 1 {
+		t.Error("satisfied predicate blocked delivery")
+	}
+
+	env2 := envelope("impossible")
+	env2.Predicate = "load > 1000"
+	c.nodes[0].router.Publish(env2, "/")
+	c.eng.RunFor(5 * time.Second)
+	for i, n := range c.nodes {
+		for _, k := range n.deliveredKeys() {
+			if k == "test/impossible#0" {
+				// Publisher's own leaf-zone fan-out also consults the
+				// predicate against leaf rows, which lack nmembers; the
+				// item must reach nobody.
+				t.Errorf("node %d received item with unsatisfiable predicate", i)
+			}
+		}
+	}
+}
+
+func TestMulticastRedundantRepsSurviveFailure(t *testing.T) {
+	// Zone /a has 3 members, so with RepCount 3 each parent-level forward
+	// goes to up to 3 representatives; killing one must not stop
+	// delivery.
+	zones := []string{"/a/x", "/a/x", "/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 3, nil)
+
+	// Find a representative of /a and crash it, but keep it listed in
+	// the (now stale) aggregated row — the redundancy covers the gap
+	// before failure detection catches up.
+	row, ok := c.nodes[3].agent.Row("/", "a")
+	if !ok {
+		t.Fatal("no /a row at /b node")
+	}
+	reps, _ := row.Attrs[astrolabe.AttrReps].AsStrings()
+	if len(reps) < 2 {
+		t.Fatalf("want ≥2 reps for /a, got %v", reps)
+	}
+	c.net.Crash(reps[0])
+
+	c.nodes[3].router.Publish(envelope("survives"), "/")
+	c.eng.RunFor(5 * time.Second)
+
+	delivered := 0
+	for i, n := range c.nodes {
+		if c.net.Crashed(n.agent.Addr()) {
+			continue
+		}
+		if len(n.deliveredKeys()) == 1 {
+			delivered++
+		} else if n.agent.ZonePath() == "/a/x" {
+			t.Logf("live /a node %d missed delivery", i)
+		}
+	}
+	// The two live /a members plus the publisher must all have it.
+	if delivered != 3 {
+		t.Fatalf("delivered to %d live nodes, want 3", delivered)
+	}
+}
+
+func TestMulticastSingleRepFailureLosesDelivery(t *testing.T) {
+	// The contrast case for E6: with k=1 and the sole representative
+	// dead, the zone is unreachable until reconfiguration.
+	zones := []string{"/a/x", "/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil)
+
+	row, _ := c.nodes[2].agent.Row("/", "a")
+	reps, _ := row.Attrs[astrolabe.AttrReps].AsStrings()
+	if len(reps) == 0 {
+		t.Fatal("no reps for /a")
+	}
+	// With k=1 the default aggregation still lists up to 3 reps; force
+	// the experiment by crashing all of them.
+	for _, rep := range reps {
+		c.net.Crash(rep)
+	}
+
+	c.nodes[2].router.Publish(envelope("lost"), "/")
+	c.eng.RunFor(5 * time.Second)
+
+	for i, n := range c.nodes[:2] {
+		if c.net.Crashed(n.agent.Addr()) {
+			continue
+		}
+		if len(n.deliveredKeys()) != 0 {
+			t.Errorf("node %d in /a received despite dead reps", i)
+		}
+	}
+}
+
+func TestMulticastHopLimit(t *testing.T) {
+	zones := []string{"/a/x", "/a/y"}
+	c := newMCCluster(t, zones, 1, nil)
+	msg := &wire.Message{
+		Kind: wire.KindMulticast,
+		Multicast: &wire.Multicast{
+			TargetZone: "/",
+			Hops:       1000, // over the limit
+			Envelope:   envelope("too-far"),
+		},
+	}
+	c.nodes[0].router.HandleMessage(msg)
+	c.eng.RunFor(time.Second)
+	for i, n := range c.nodes {
+		if len(n.deliveredKeys()) != 0 {
+			t.Errorf("node %d processed over-hop message", i)
+		}
+	}
+}
+
+func TestMulticastEnvelopeVerification(t *testing.T) {
+	eng := sim.NewEngine(5)
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	var node mcNode
+	ep := net.Attach("n0", func(m *wire.Message) { node.router.HandleMessage(m) })
+	agent, err := astrolabe.NewAgent(astrolabe.Config{
+		Name: "node-0", ZonePath: "/z", Transport: ep,
+		Clock: eng.Clock(), Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(Config{
+		View: agent, Transport: ep, Rand: rand.New(rand.NewSource(2)),
+		Deliver: func(env *wire.ItemEnvelope) {
+			node.mu.Lock()
+			node.delivered = append(node.delivered, env.Key())
+			node.mu.Unlock()
+		},
+		VerifyEnvelope: func(env *wire.ItemEnvelope) error {
+			if env.Publisher != "trusted" {
+				return fmt.Errorf("unknown publisher")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.agent, node.router = agent, router
+
+	bad := envelope("evil")
+	router.HandleMessage(&wire.Message{
+		Kind:      wire.KindMulticast,
+		Multicast: &wire.Multicast{TargetZone: "/z", Envelope: bad},
+	})
+	eng.RunFor(time.Second)
+	if len(node.deliveredKeys()) != 0 {
+		t.Fatal("unverified envelope delivered")
+	}
+	if st := router.Stats(); st.BadEnvelope != 1 {
+		t.Fatalf("BadEnvelope = %d, want 1", st.BadEnvelope)
+	}
+
+	good := envelope("fine")
+	good.Publisher = "trusted"
+	router.HandleMessage(&wire.Message{
+		Kind:      wire.KindMulticast,
+		Multicast: &wire.Multicast{TargetZone: "/z", Envelope: good},
+	})
+	eng.RunFor(time.Second)
+	if len(node.deliveredKeys()) != 1 {
+		t.Fatal("verified envelope not delivered")
+	}
+}
+
+func TestPublishValidatesScope(t *testing.T) {
+	zones := []string{"/a/x"}
+	c := newMCCluster(t, zones, 1, nil)
+	if err := c.nodes[0].router.Publish(envelope("x"), "not-a-zone"); err == nil {
+		t.Fatal("bad scope accepted")
+	}
+	if err := c.nodes[0].router.Publish(envelope("y"), ""); err != nil {
+		t.Fatalf("empty scope should default to root: %v", err)
+	}
+}
+
+func TestForwardingLogRecords(t *testing.T) {
+	zones := []string{"/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil)
+	c.nodes[0].router.Publish(envelope("logged"), "/")
+	c.eng.RunFor(3 * time.Second)
+
+	log := c.nodes[0].router.Log()
+	if len(log) == 0 {
+		t.Fatal("forwarding log empty after publish")
+	}
+	found := false
+	for _, e := range log {
+		if e.Key == "test/logged#0" && len(e.Dests) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log lacks the published item: %+v", log)
+	}
+}
+
+func TestRouterStats(t *testing.T) {
+	zones := []string{"/a/x", "/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil)
+	c.nodes[0].router.Publish(envelope("s1"), "/")
+	c.eng.RunFor(3 * time.Second)
+
+	st := c.nodes[0].router.Stats()
+	if st.Published != 1 {
+		t.Errorf("Published = %d", st.Published)
+	}
+	if st.Forwarded == 0 {
+		t.Errorf("Forwarded = 0")
+	}
+	if st.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1 (own delivery)", st.Delivered)
+	}
+}
+
+func TestLeafZoneRowsWithoutAddressSkipped(t *testing.T) {
+	// A leaf row missing its addr attribute (malformed gossip) must be
+	// skipped without panicking or blocking other deliveries.
+	zones := []string{"/a/x", "/a/x"}
+	c := newMCCluster(t, zones, 1, nil)
+
+	// Inject a bogus member row with no address into node 0's leaf table.
+	c.nodes[0].agent.MergeRows([]wire.RowUpdate{{
+		Zone:   "/a/x",
+		Name:   "ghost",
+		Attrs:  nil,
+		Issued: c.eng.Now(),
+		Owner:  "ghost",
+	}})
+	c.nodes[0].router.Publish(envelope("no-addr"), "/")
+	c.eng.RunFor(3 * time.Second)
+
+	if len(c.nodes[1].deliveredKeys()) != 1 {
+		t.Fatal("valid member missed delivery because of malformed row")
+	}
+}
+
+func TestRouterIgnoresNonMulticast(t *testing.T) {
+	zones := []string{"/a/x"}
+	c := newMCCluster(t, zones, 1, nil)
+	// Must be a no-op, not a panic.
+	c.nodes[0].router.HandleMessage(&wire.Message{Kind: wire.KindGossip,
+		Gossip: &wire.Gossip{}})
+	c.nodes[0].router.HandleMessage(&wire.Message{Kind: wire.KindMulticast})
+	if len(c.nodes[0].deliveredKeys()) != 0 {
+		t.Fatal("bogus messages caused deliveries")
+	}
+}
+
+func TestDeliverFlagShortCircuits(t *testing.T) {
+	// A Deliver-marked copy must be delivered (post-filter) and never
+	// fanned out further.
+	zones := []string{"/a/x", "/a/x"}
+	c := newMCCluster(t, zones, 1, nil)
+	before := c.nodes[0].router.Stats().Forwarded
+	c.nodes[0].router.HandleMessage(&wire.Message{
+		Kind: wire.KindMulticast,
+		Multicast: &wire.Multicast{
+			TargetZone: "/a/x",
+			Deliver:    true,
+			Envelope:   envelope("final-copy"),
+		},
+	})
+	c.eng.RunFor(time.Second)
+	if len(c.nodes[0].deliveredKeys()) != 1 {
+		t.Fatal("final-delivery copy not delivered")
+	}
+	if got := c.nodes[0].router.Stats().Forwarded; got != before {
+		t.Fatalf("final-delivery copy was forwarded (%d -> %d)", before, got)
+	}
+	if len(c.nodes[1].deliveredKeys()) != 0 {
+		t.Fatal("final-delivery copy leaked to a peer")
+	}
+}
+
+func TestDedupWindowBoundsMemory(t *testing.T) {
+	eng := sim.NewEngine(6)
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	var node mcNode
+	ep := net.Attach("n0", func(m *wire.Message) { node.router.HandleMessage(m) })
+	agent, err := astrolabe.NewAgent(astrolabe.Config{
+		Name: "node-0", ZonePath: "/z", Transport: ep,
+		Clock: eng.Clock(), Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(Config{
+		View: agent, Transport: ep, Rand: rand.New(rand.NewSource(2)),
+		DedupWindow: 4,
+		Deliver: func(env *wire.ItemEnvelope) {
+			node.mu.Lock()
+			node.delivered = append(node.delivered, env.Key())
+			node.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.agent, node.router = agent, router
+
+	// Deliver 10 distinct items; the window holds only 4 keys, but every
+	// distinct item is still delivered exactly once (recent duplicates
+	// suppressed; ancient ones fall to the cache layer above).
+	for i := 0; i < 10; i++ {
+		router.Publish(envelope(fmt.Sprintf("w-%d", i)), "/")
+	}
+	eng.RunUntilIdle(0)
+	if got := len(node.deliveredKeys()); got != 10 {
+		t.Fatalf("delivered %d distinct items, want 10", got)
+	}
+	// A recent duplicate is suppressed.
+	before := len(node.deliveredKeys())
+	router.Publish(envelope("w-9"), "/")
+	eng.RunUntilIdle(0)
+	if got := len(node.deliveredKeys()); got != before {
+		t.Fatalf("recent duplicate re-delivered (%d -> %d)", before, got)
+	}
+}

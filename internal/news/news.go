@@ -1,0 +1,283 @@
+// Package news models news items and their metadata the way the NewsWire
+// prototype does (paper §7): an NITF-like XML format carrying the industry
+// metadata that drives subscriptions, duplicate removal, cache management
+// and revision fusion — unique item IDs per publisher, revision history,
+// subject categories, urgency, and geography.
+package news
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Item is one news item revision.
+type Item struct {
+	// Publisher is the originating news source ("reuters", "slashdot").
+	Publisher string
+	// ID uniquely identifies the item within the publisher's namespace.
+	ID string
+	// Revision numbers successive versions of the same item, from 0.
+	Revision int
+	// Headline is the display headline.
+	Headline string
+	// Byline credits the author.
+	Byline string
+	// Abstract is the summary shown on index pages.
+	Abstract string
+	// Body is the article text.
+	Body string
+	// Subjects are the subscription subjects the item matches, e.g.
+	// "tech/linux" — the paper's "interest areas".
+	Subjects []string
+	// Urgency is the NITF editorial urgency, 1 (flash) to 8 (routine).
+	Urgency int
+	// Geography is a region hint used for zone-scoped publication (§8),
+	// e.g. "asia".
+	Geography string
+	// Published is the publication instant of this revision.
+	Published time.Time
+}
+
+// Key returns the item's global deduplication key (§9: items are uniquely
+// identified by the publisher as part of the metadata).
+func (it *Item) Key() string {
+	return fmt.Sprintf("%s/%s#%d", it.Publisher, it.ID, it.Revision)
+}
+
+// SeriesKey identifies the revision chain the item belongs to, ignoring
+// the revision number. The cache fuses revisions within a series.
+func (it *Item) SeriesKey() string {
+	return it.Publisher + "/" + it.ID
+}
+
+// Validate checks the invariants the rest of the system relies on.
+func (it *Item) Validate() error {
+	if it.Publisher == "" {
+		return fmt.Errorf("news: item missing publisher")
+	}
+	if strings.ContainsAny(it.Publisher, "/# \t\n") {
+		return fmt.Errorf("news: publisher %q contains reserved characters", it.Publisher)
+	}
+	if it.ID == "" {
+		return fmt.Errorf("news: item missing id")
+	}
+	if strings.ContainsAny(it.ID, "/# \t\n") {
+		return fmt.Errorf("news: item id %q contains reserved characters", it.ID)
+	}
+	if it.Revision < 0 {
+		return fmt.Errorf("news: negative revision %d", it.Revision)
+	}
+	if it.Urgency < 0 || it.Urgency > 8 {
+		return fmt.Errorf("news: urgency %d outside 0..8", it.Urgency)
+	}
+	if len(it.Subjects) == 0 {
+		return fmt.Errorf("news: item %s has no subjects", it.Key())
+	}
+	for _, s := range it.Subjects {
+		if s == "" {
+			return fmt.Errorf("news: item %s has an empty subject", it.Key())
+		}
+	}
+	return nil
+}
+
+// Size returns the approximate byte size of the item's content, used by
+// the pull-redundancy experiment (E2) to count transferred bytes.
+func (it *Item) Size() int {
+	n := len(it.Headline) + len(it.Byline) + len(it.Abstract) + len(it.Body) +
+		len(it.Publisher) + len(it.ID) + len(it.Geography) + 16
+	for _, s := range it.Subjects {
+		n += len(s)
+	}
+	return n
+}
+
+// nitfDoc is the XML schema, shaped after NITF 3.0's structure (head with
+// docdata, body with body.head and body.content).
+type nitfDoc struct {
+	XMLName xml.Name `xml:"nitf"`
+	Version string   `xml:"version,attr"`
+	Head    nitfHead `xml:"head"`
+	Body    nitfBody `xml:"body"`
+}
+
+type nitfHead struct {
+	DocData nitfDocData `xml:"docdata"`
+	PubData nitfPubData `xml:"pubdata"`
+}
+
+type nitfDocData struct {
+	DocID     nitfDocID     `xml:"doc-id"`
+	Urgency   nitfUrgency   `xml:"urgency"`
+	DateIssue nitfDateIssue `xml:"date.issue"`
+	DuKey     nitfDuKey     `xml:"du-key"`
+	KeyList   nitfKeyList   `xml:"key-list"`
+	Location  nitfLocation  `xml:"location,omitempty"`
+}
+
+type nitfDocID struct {
+	IDString string `xml:"id-string,attr"`
+}
+
+type nitfUrgency struct {
+	EdUrg int `xml:"ed-urg,attr"`
+}
+
+type nitfDateIssue struct {
+	Norm string `xml:"norm,attr"`
+}
+
+// nitfDuKey carries the revision number (NITF uses du-key for update
+// chains).
+type nitfDuKey struct {
+	Version int `xml:"version,attr"`
+}
+
+type nitfKeyList struct {
+	Keywords []nitfKeyword `xml:"keyword"`
+}
+
+type nitfKeyword struct {
+	Key string `xml:"key,attr"`
+}
+
+type nitfLocation struct {
+	Region string `xml:"region,attr,omitempty"`
+}
+
+type nitfPubData struct {
+	Name string `xml:"name,attr"`
+}
+
+type nitfBody struct {
+	Head    nitfBodyHead `xml:"body.head"`
+	Content string       `xml:"body.content"`
+}
+
+type nitfBodyHead struct {
+	Hedline  nitfHedline `xml:"hedline"`
+	Byline   string      `xml:"byline,omitempty"`
+	Abstract string      `xml:"abstract,omitempty"`
+}
+
+type nitfHedline struct {
+	HL1 string `xml:"hl1"`
+}
+
+// nitfVersion is the DTD identifier stamped on encoded items.
+const nitfVersion = "-//IPTC//DTD NITF 3.0//EN"
+
+// MarshalNITF encodes the item as NITF-like XML.
+func MarshalNITF(it *Item) ([]byte, error) {
+	if err := it.Validate(); err != nil {
+		return nil, err
+	}
+	doc := nitfDoc{
+		Version: nitfVersion,
+		Head: nitfHead{
+			DocData: nitfDocData{
+				DocID:     nitfDocID{IDString: it.ID},
+				Urgency:   nitfUrgency{EdUrg: it.Urgency},
+				DateIssue: nitfDateIssue{Norm: it.Published.UTC().Format(time.RFC3339Nano)},
+				DuKey:     nitfDuKey{Version: it.Revision},
+				Location:  nitfLocation{Region: it.Geography},
+			},
+			PubData: nitfPubData{Name: it.Publisher},
+		},
+		Body: nitfBody{
+			Head: nitfBodyHead{
+				Hedline:  nitfHedline{HL1: it.Headline},
+				Byline:   it.Byline,
+				Abstract: it.Abstract,
+			},
+			Content: it.Body,
+		},
+	}
+	for _, s := range it.Subjects {
+		doc.Head.DocData.KeyList.Keywords = append(doc.Head.DocData.KeyList.Keywords,
+			nitfKeyword{Key: s})
+	}
+	out, err := xml.Marshal(&doc)
+	if err != nil {
+		return nil, fmt.Errorf("news: marshal %s: %w", it.Key(), err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// UnmarshalNITF decodes an item from NITF-like XML produced by
+// MarshalNITF (or hand-written equivalents).
+func UnmarshalNITF(data []byte) (*Item, error) {
+	var doc nitfDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("news: unmarshal: %w", err)
+	}
+	it := &Item{
+		Publisher: doc.Head.PubData.Name,
+		ID:        doc.Head.DocData.DocID.IDString,
+		Revision:  doc.Head.DocData.DuKey.Version,
+		Headline:  doc.Body.Head.Hedline.HL1,
+		Byline:    doc.Body.Head.Byline,
+		Abstract:  doc.Body.Head.Abstract,
+		Body:      doc.Body.Content,
+		Urgency:   doc.Head.DocData.Urgency.EdUrg,
+		Geography: doc.Head.DocData.Location.Region,
+	}
+	for _, kw := range doc.Head.DocData.KeyList.Keywords {
+		it.Subjects = append(it.Subjects, kw.Key)
+	}
+	if norm := doc.Head.DocData.DateIssue.Norm; norm != "" {
+		ts, err := time.Parse(time.RFC3339Nano, norm)
+		if err != nil {
+			return nil, fmt.Errorf("news: bad date.issue %q: %w", norm, err)
+		}
+		it.Published = ts
+	}
+	if err := it.Validate(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Standard subject vocabulary used by the examples and workload
+// generators. Subjects are hierarchical slash-separated categories in the
+// spirit of the IPTC subject codes NITF references.
+var StandardSubjects = []string{
+	"tech/linux", "tech/security", "tech/hardware", "tech/internet",
+	"tech/software", "tech/science",
+	"world/asia", "world/europe", "world/americas", "world/africa",
+	"world/middle-east",
+	"business/markets", "business/companies", "business/economy",
+	"sports/soccer", "sports/baseball", "sports/olympics",
+	"politics/elections", "politics/policy",
+	"culture/film", "culture/music", "culture/books",
+}
+
+// SubjectsByPrefix returns the standard subjects under a top-level
+// category ("tech" -> tech/*), sorted.
+func SubjectsByPrefix(prefix string) []string {
+	var out []string
+	for _, s := range StandardSubjects {
+		if strings.HasPrefix(s, prefix+"/") {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchesAny reports whether the item carries at least one of the given
+// subjects — the leaf node's final exact-match test that discards Bloom
+// false positives (§6).
+func (it *Item) MatchesAny(subjects []string) bool {
+	for _, want := range subjects {
+		for _, have := range it.Subjects {
+			if have == want {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,239 @@
+package news
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleItem() *Item {
+	return &Item{
+		Publisher: "reuters",
+		ID:        "item-42",
+		Revision:  1,
+		Headline:  "Markets rally on peace hopes",
+		Byline:    "By A. Reporter",
+		Abstract:  "Stocks rose sharply.",
+		Body:      "Full text of the article with <angle> brackets & ampersands.",
+		Subjects:  []string{"business/markets", "world/europe"},
+		Urgency:   4,
+		Geography: "europe",
+		Published: time.Date(2002, 4, 1, 9, 30, 0, 0, time.UTC),
+	}
+}
+
+func TestKeys(t *testing.T) {
+	it := sampleItem()
+	if it.Key() != "reuters/item-42#1" {
+		t.Errorf("Key() = %q", it.Key())
+	}
+	if it.SeriesKey() != "reuters/item-42" {
+		t.Errorf("SeriesKey() = %q", it.SeriesKey())
+	}
+	other := *it
+	other.Revision = 2
+	if other.Key() == it.Key() {
+		t.Error("revisions must have distinct keys")
+	}
+	if other.SeriesKey() != it.SeriesKey() {
+		t.Error("revisions must share a series key")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleItem().Validate(); err != nil {
+		t.Fatalf("sample item invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Item)
+	}{
+		{"missing publisher", func(it *Item) { it.Publisher = "" }},
+		{"publisher with slash", func(it *Item) { it.Publisher = "a/b" }},
+		{"publisher with hash", func(it *Item) { it.Publisher = "a#b" }},
+		{"missing id", func(it *Item) { it.ID = "" }},
+		{"id with space", func(it *Item) { it.ID = "a b" }},
+		{"negative revision", func(it *Item) { it.Revision = -1 }},
+		{"urgency too high", func(it *Item) { it.Urgency = 9 }},
+		{"no subjects", func(it *Item) { it.Subjects = nil }},
+		{"empty subject", func(it *Item) { it.Subjects = []string{""} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			it := sampleItem()
+			tt.mutate(it)
+			if err := it.Validate(); err == nil {
+				t.Errorf("%s: Validate() = nil, want error", tt.name)
+			}
+		})
+	}
+}
+
+func TestNITFRoundTrip(t *testing.T) {
+	it := sampleItem()
+	data, err := MarshalNITF(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<nitf") {
+		t.Fatalf("output does not look like NITF: %s", data[:60])
+	}
+	got, err := UnmarshalNITF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Publisher != it.Publisher || got.ID != it.ID || got.Revision != it.Revision {
+		t.Errorf("identity lost: %+v", got)
+	}
+	if got.Headline != it.Headline || got.Byline != it.Byline ||
+		got.Abstract != it.Abstract || got.Body != it.Body {
+		t.Errorf("content lost: %+v", got)
+	}
+	if len(got.Subjects) != 2 || got.Subjects[0] != "business/markets" {
+		t.Errorf("subjects lost: %v", got.Subjects)
+	}
+	if got.Urgency != 4 || got.Geography != "europe" {
+		t.Errorf("metadata lost: urgency=%d geo=%q", got.Urgency, got.Geography)
+	}
+	if !got.Published.Equal(it.Published) {
+		t.Errorf("published = %v, want %v", got.Published, it.Published)
+	}
+}
+
+func TestNITFEscaping(t *testing.T) {
+	it := sampleItem()
+	it.Headline = `<script>"alert" & 'stuff'</script>`
+	it.Body = "a < b && c > d"
+	data, err := MarshalNITF(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalNITF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Headline != it.Headline || got.Body != it.Body {
+		t.Fatalf("escaping broke content: %q / %q", got.Headline, got.Body)
+	}
+}
+
+func TestMarshalInvalidItem(t *testing.T) {
+	it := sampleItem()
+	it.Publisher = ""
+	if _, err := MarshalNITF(it); err == nil {
+		t.Fatal("marshal of invalid item should fail")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalNITF([]byte("not xml")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Well-formed XML but invalid item (no subjects).
+	bad := `<?xml version="1.0"?><nitf version="x"><head><docdata><doc-id id-string="i"/><urgency ed-urg="4"/><date.issue norm=""/><du-key version="0"/><key-list></key-list></docdata><pubdata name="p"/></head><body><body.head><hedline><hl1>h</hl1></hedline></body.head><body.content>c</body.content></body></nitf>`
+	if _, err := UnmarshalNITF([]byte(bad)); err == nil {
+		t.Error("item without subjects should fail validation")
+	}
+	// Bad date.
+	badDate := strings.Replace(bad, `norm=""`, `norm="yesterday"`, 1)
+	badDate = strings.Replace(badDate, "<key-list></key-list>", `<key-list><keyword key="s"/></key-list>`, 1)
+	if _, err := UnmarshalNITF([]byte(badDate)); err == nil {
+		t.Error("bad date should fail")
+	}
+}
+
+func TestSize(t *testing.T) {
+	it := sampleItem()
+	small := it.Size()
+	it.Body = strings.Repeat("x", 10000)
+	if it.Size() <= small+9000 {
+		t.Fatalf("Size() did not grow with body: %d vs %d", it.Size(), small)
+	}
+}
+
+func TestSubjectsByPrefix(t *testing.T) {
+	techs := SubjectsByPrefix("tech")
+	if len(techs) == 0 {
+		t.Fatal("no tech subjects")
+	}
+	for _, s := range techs {
+		if !strings.HasPrefix(s, "tech/") {
+			t.Errorf("subject %q not under tech/", s)
+		}
+	}
+	if got := SubjectsByPrefix("nonexistent"); got != nil {
+		t.Errorf("unknown prefix returned %v", got)
+	}
+}
+
+func TestMatchesAny(t *testing.T) {
+	it := sampleItem()
+	if !it.MatchesAny([]string{"world/europe"}) {
+		t.Error("exact subject should match")
+	}
+	if !it.MatchesAny([]string{"nope", "business/markets"}) {
+		t.Error("any-of semantics broken")
+	}
+	if it.MatchesAny([]string{"tech/linux"}) {
+		t.Error("absent subject matched")
+	}
+	if it.MatchesAny(nil) {
+		t.Error("empty subscription matched")
+	}
+}
+
+// Property: any item built from printable-ish content round-trips through
+// NITF XML.
+func TestQuickNITFRoundTrip(t *testing.T) {
+	sanitize := func(s string) string {
+		// XML cannot carry most control characters; the transport
+		// payload is produced by publishers, which normalize text.
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			if r == '\t' || r == '\n' || r >= 0x20 && r != 0xFFFD {
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	f := func(headline, body, subject string, urgency uint8, rev uint16) bool {
+		it := &Item{
+			Publisher: "quick",
+			ID:        "id",
+			Revision:  int(rev),
+			Headline:  sanitize(headline),
+			Body:      sanitize(body),
+			Subjects:  []string{"s-" + sanitize(strings.ReplaceAll(subject, " ", "_"))},
+			Urgency:   int(urgency % 9),
+			Published: time.Unix(1017619200, 0).UTC(),
+		}
+		if it.Subjects[0] == "s-" {
+			it.Subjects[0] = "s-x"
+		}
+		data, err := MarshalNITF(it)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalNITF(data)
+		if err != nil {
+			return false
+		}
+		return got.Headline == it.Headline && got.Body == it.Body &&
+			got.Revision == it.Revision && got.Urgency == it.Urgency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UnmarshalNITF never panics on arbitrary byte input.
+func TestQuickUnmarshalRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = UnmarshalNITF(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

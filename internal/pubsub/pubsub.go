@@ -1,0 +1,472 @@
+// Package pubsub implements NewsWire's selective-forwarding layer on top
+// of Astrolabe and the application-level multicast (paper §6–7).
+//
+// Subscriptions live as attributes of the subscriber's Astrolabe leaf row
+// and aggregate up the zone hierarchy; publishing is a multicast whose
+// forwarding decision at each zone consults the child zone's aggregated
+// subscription summary. Three summary representations are implemented:
+//
+//   - ModeBloom — the paper's design: one Bloom filter attribute per node,
+//     OR-aggregated upward; items carry the bit positions of their
+//     subjects; a final exact-match test at the leaf discards false
+//     positives (§6).
+//   - ModeAttributes — the strawman §6 rejects: one boolean attribute per
+//     subscription, aggregated by OR. Work and gossip size grow linearly
+//     with the number of distinct subscriptions (experiment E8).
+//   - ModeCategoryMask — the early prototype of §7: a per-publisher bit
+//     mask attribute over a fixed category vocabulary.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/bloom"
+	"newswire/internal/multicast"
+	"newswire/internal/news"
+	"newswire/internal/sqlagg"
+	"newswire/internal/value"
+	"newswire/internal/wire"
+)
+
+// Mode selects the subscription-summary representation.
+type Mode int
+
+// Subscription summary modes.
+const (
+	ModeBloom Mode = iota + 1
+	ModeAttributes
+	ModeCategoryMask
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBloom:
+		return "bloom"
+	case ModeAttributes:
+		return "attributes"
+	case ModeCategoryMask:
+		return "category-mask"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// AttrSubPrefix is the attribute-name prefix of ModeAttributes
+// subscriptions ("sub_tech/linux" = true).
+const AttrSubPrefix = "sub_"
+
+// AttrPubPrefix is the attribute-name prefix of ModeCategoryMask masks
+// ("pub_reuters" = category bit mask).
+const AttrPubPrefix = "pub_"
+
+// Geometry fixes the Bloom filter shape shared by all participants. It is
+// part of the (signed) system configuration, like the aggregation program.
+type Geometry struct {
+	Bits   int
+	Hashes int
+}
+
+// DefaultGeometry is the paper's "a thousand bits or more" with single-bit
+// hashing of the early prototype.
+var DefaultGeometry = Geometry{Bits: bloom.DefaultBits, Hashes: bloom.DefaultHashes}
+
+// Config configures a Subscriber.
+type Config struct {
+	// Agent is the Astrolabe agent whose leaf row carries the
+	// subscription summary.
+	Agent *astrolabe.Agent
+	// Mode selects the summary representation. Default ModeBloom.
+	Mode Mode
+	// Geometry is the Bloom geometry (ModeBloom). Default DefaultGeometry.
+	Geometry Geometry
+	// Vocabulary is the category list indexed by ModeCategoryMask masks.
+	// Default news.StandardSubjects.
+	Vocabulary []string
+}
+
+// Subscriber manages a node's subscription set, keeps the Astrolabe
+// attributes that advertise it in sync, and answers the local
+// exact-match/delivery question.
+type Subscriber struct {
+	cfg   Config
+	vocab map[string]int // category -> bit index (ModeCategoryMask)
+
+	mu        sync.Mutex
+	subjects  map[string]bool
+	perPub    map[string]map[string]bool // publisher -> categories (mask mode)
+	predicate *sqlagg.Predicate
+}
+
+// NewSubscriber validates cfg and returns an empty-subscription
+// subscriber.
+func NewSubscriber(cfg Config) (*Subscriber, error) {
+	if cfg.Agent == nil {
+		return nil, fmt.Errorf("pubsub: agent required")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeBloom
+	}
+	switch cfg.Mode {
+	case ModeBloom, ModeAttributes, ModeCategoryMask:
+	default:
+		return nil, fmt.Errorf("pubsub: unknown mode %d", cfg.Mode)
+	}
+	if cfg.Geometry.Bits == 0 {
+		cfg.Geometry = DefaultGeometry
+	}
+	if cfg.Geometry.Bits < 8 || cfg.Geometry.Hashes < 1 {
+		return nil, fmt.Errorf("pubsub: bad geometry %+v", cfg.Geometry)
+	}
+	if cfg.Vocabulary == nil {
+		cfg.Vocabulary = news.StandardSubjects
+	}
+	s := &Subscriber{
+		cfg:      cfg,
+		vocab:    make(map[string]int, len(cfg.Vocabulary)),
+		subjects: make(map[string]bool),
+		perPub:   make(map[string]map[string]bool),
+	}
+	for i, c := range cfg.Vocabulary {
+		s.vocab[c] = i
+	}
+	return s, nil
+}
+
+// Mode returns the subscriber's summary mode.
+func (s *Subscriber) Mode() Mode { return s.cfg.Mode }
+
+// Subscribe adds subjects to the subscription set and re-advertises.
+func (s *Subscriber) Subscribe(subjects ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, subj := range subjects {
+		if subj == "" {
+			return fmt.Errorf("pubsub: empty subject")
+		}
+		if s.cfg.Mode == ModeCategoryMask {
+			if _, ok := s.vocab[subj]; !ok {
+				return fmt.Errorf("pubsub: subject %q not in category vocabulary", subj)
+			}
+		}
+		s.subjects[subj] = true
+	}
+	s.advertiseLocked()
+	return nil
+}
+
+// Unsubscribe removes subjects and re-advertises. Bloom filters do not
+// support deletion, so the filter is rebuilt from the remaining set — the
+// freshest-row-wins gossip rule replaces the old advertisement wholesale.
+func (s *Subscriber) Unsubscribe(subjects ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, subj := range subjects {
+		delete(s.subjects, subj)
+	}
+	s.advertiseLocked()
+}
+
+// SubscribePublisher registers interest in specific categories of one
+// publisher (the per-publisher interest areas of §7, ModeCategoryMask).
+func (s *Subscriber) SubscribePublisher(publisher string, categories ...string) error {
+	if s.cfg.Mode != ModeCategoryMask {
+		return fmt.Errorf("pubsub: SubscribePublisher requires ModeCategoryMask")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.perPub[publisher]
+	if set == nil {
+		set = make(map[string]bool)
+		s.perPub[publisher] = set
+	}
+	for _, c := range categories {
+		if _, ok := s.vocab[c]; !ok {
+			return fmt.Errorf("pubsub: category %q not in vocabulary", c)
+		}
+		set[c] = true
+		s.subjects[c] = true
+	}
+	s.advertiseLocked()
+	return nil
+}
+
+// SetPredicate installs an SQL selection predicate over item metadata, the
+// "more complex selection criteria based on the meta-data associated with
+// the news-items, in the form of an SQL query" (§8). An empty string
+// clears it.
+func (s *Subscriber) SetPredicate(expr string) error {
+	var pred *sqlagg.Predicate
+	if expr != "" {
+		var err error
+		pred, err = sqlagg.ParsePredicate(expr)
+		if err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.predicate = pred
+	s.mu.Unlock()
+	return nil
+}
+
+// Subjects returns the sorted current subscription set.
+func (s *Subscriber) Subjects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.subjects))
+	for subj := range s.subjects {
+		out = append(out, subj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// advertiseLocked pushes the subscription summary into the agent's row.
+func (s *Subscriber) advertiseLocked() {
+	switch s.cfg.Mode {
+	case ModeBloom:
+		f := bloom.New(s.cfg.Geometry.Bits, s.cfg.Geometry.Hashes)
+		for subj := range s.subjects {
+			f.Add(subj)
+		}
+		s.cfg.Agent.SetAttr(astrolabe.AttrSubs, value.Bytes(f.Bytes()))
+
+	case ModeAttributes:
+		// One boolean attribute per subscription. Clear every sub_*
+		// attribute first (unsubscribes), then set the current set.
+		updates := make(value.Map)
+		for name := range s.ownSubAttrs() {
+			updates[name] = value.Invalid()
+		}
+		for subj := range s.subjects {
+			updates[AttrSubPrefix+subj] = value.Bool(true)
+		}
+		s.cfg.Agent.SetAttrs(updates)
+
+	case ModeCategoryMask:
+		updates := make(value.Map)
+		for name := range s.ownPubAttrs() {
+			updates[name] = value.Invalid()
+		}
+		for pub, cats := range s.perPub {
+			mask := make([]byte, (len(s.cfg.Vocabulary)+7)/8)
+			for c := range cats {
+				idx := s.vocab[c]
+				mask[idx/8] |= 1 << (idx % 8)
+			}
+			updates[AttrPubPrefix+pub] = value.Bytes(mask)
+		}
+		s.cfg.Agent.SetAttrs(updates)
+	}
+}
+
+// ownSubAttrs lists the agent's current sub_* attributes.
+func (s *Subscriber) ownSubAttrs() map[string]bool {
+	return s.ownPrefixedAttrs(AttrSubPrefix)
+}
+
+// ownPubAttrs lists the agent's current pub_* attributes.
+func (s *Subscriber) ownPubAttrs() map[string]bool {
+	return s.ownPrefixedAttrs(AttrPubPrefix)
+}
+
+func (s *Subscriber) ownPrefixedAttrs(prefix string) map[string]bool {
+	out := make(map[string]bool)
+	rows, ok := s.cfg.Agent.Table(s.cfg.Agent.ZonePath())
+	if !ok {
+		return out
+	}
+	for _, r := range rows {
+		if r.Name != s.cfg.Agent.Name() {
+			continue
+		}
+		for name := range r.Attrs {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				out[name] = true
+			}
+		}
+	}
+	return out
+}
+
+// ShouldDeliver is the leaf's final test (§6): an exact subject match
+// (discarding Bloom false positives) plus the optional SQL predicate over
+// the item's metadata.
+func (s *Subscriber) ShouldDeliver(env *wire.ItemEnvelope) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	matched := false
+	for _, subj := range env.Subjects {
+		if s.subjects[subj] {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	if s.cfg.Mode == ModeCategoryMask {
+		// Interest is per publisher: the subject must be subscribed for
+		// this specific publisher.
+		set := s.perPub[env.Publisher]
+		if set == nil {
+			return false
+		}
+		pubMatch := false
+		for _, subj := range env.Subjects {
+			if set[subj] {
+				pubMatch = true
+				break
+			}
+		}
+		if !pubMatch {
+			return false
+		}
+	}
+	if s.predicate != nil {
+		return s.predicate.Eval(ItemMetadataRow(env))
+	}
+	return true
+}
+
+// ItemMetadataRow renders an envelope's metadata as an attribute row for
+// SQL predicate evaluation.
+func ItemMetadataRow(env *wire.ItemEnvelope) value.Map {
+	return value.Map{
+		"publisher": value.String(env.Publisher),
+		"item_id":   value.String(env.ItemID),
+		"revision":  value.Int(int64(env.Revision)),
+		"urgency":   value.Int(int64(env.Urgency)),
+		"subjects":  value.Strings(env.Subjects),
+		"published": value.Time(env.Published),
+	}
+}
+
+// ForwardFilter builds the multicast filter that consults a child row's
+// aggregated subscription summary — the conditional-forwarding test of §6.
+// It is stateless with respect to any one subscriber: the decision reads
+// only the row and the envelope.
+func ForwardFilter(mode Mode, geo Geometry) multicast.Filter {
+	if geo.Bits == 0 {
+		geo = DefaultGeometry
+	}
+	return func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
+		switch mode {
+		case ModeAttributes:
+			for _, subj := range env.Subjects {
+				if v, ok := row.Attrs[AttrSubPrefix+subj].AsBool(); ok && v {
+					return true
+				}
+			}
+			return false
+
+		case ModeCategoryMask:
+			mask, ok := row.Attrs[AttrPubPrefix+env.Publisher].RawBytes()
+			if !ok {
+				return false
+			}
+			for _, pos := range env.SubjectBits {
+				if int(pos/8) < len(mask) && mask[pos/8]&(1<<(pos%8)) != 0 {
+					return true
+				}
+			}
+			return false
+
+		default: // ModeBloom
+			subs, ok := row.Attrs[astrolabe.AttrSubs].RawBytes()
+			if !ok || len(subs) != (geo.Bits+7)/8 {
+				return false
+			}
+			// SubjectBits holds geo.Hashes positions per subject; the
+			// item is forwarded if ANY subject fully matches. Test the
+			// raw aggregated bytes directly — this runs once per child
+			// row per forwarded item, so it must not allocate.
+			k := geo.Hashes
+		subjects:
+			for i := 0; i+k <= len(env.SubjectBits); i += k {
+				for _, pos := range env.SubjectBits[i : i+k] {
+					if int(pos) >= geo.Bits || subs[pos/8]&(1<<(pos%8)) == 0 {
+						continue subjects
+					}
+				}
+				return true
+			}
+			return false
+		}
+	}
+}
+
+// EncodeItem builds the wire envelope for an item: NITF payload, subject
+// bit positions for the configured mode, and mirrored routing metadata.
+func EncodeItem(it *news.Item, mode Mode, geo Geometry, vocabulary []string) (wire.ItemEnvelope, error) {
+	if geo.Bits == 0 {
+		geo = DefaultGeometry
+	}
+	payload, err := news.MarshalNITF(it)
+	if err != nil {
+		return wire.ItemEnvelope{}, err
+	}
+	env := wire.ItemEnvelope{
+		Publisher: it.Publisher,
+		ItemID:    it.ID,
+		Revision:  it.Revision,
+		Subjects:  append([]string(nil), it.Subjects...),
+		Urgency:   it.Urgency,
+		Published: it.Published,
+		Payload:   payload,
+	}
+	switch mode {
+	case ModeCategoryMask:
+		if vocabulary == nil {
+			vocabulary = news.StandardSubjects
+		}
+		idx := make(map[string]int, len(vocabulary))
+		for i, c := range vocabulary {
+			idx[c] = i
+		}
+		for _, subj := range it.Subjects {
+			i, ok := idx[subj]
+			if !ok {
+				return wire.ItemEnvelope{}, fmt.Errorf("pubsub: subject %q not in vocabulary", subj)
+			}
+			env.SubjectBits = append(env.SubjectBits, uint32(i))
+		}
+	case ModeAttributes:
+		// Exact subjects travel in env.Subjects; no bits needed.
+	default: // ModeBloom
+		for _, subj := range it.Subjects {
+			env.SubjectBits = append(env.SubjectBits,
+				bloom.PositionsFor(subj, geo.Bits, geo.Hashes)...)
+		}
+	}
+	return env, nil
+}
+
+// DecodeItem parses the envelope payload back into an item and
+// cross-checks the envelope's routing metadata against it, so a forwarder
+// cannot smuggle an item into subjects it does not carry.
+func DecodeItem(env *wire.ItemEnvelope) (*news.Item, error) {
+	it, err := news.UnmarshalNITF(env.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if it.Publisher != env.Publisher || it.ID != env.ItemID || it.Revision != env.Revision {
+		return nil, fmt.Errorf("pubsub: envelope identity %s does not match payload %s",
+			env.Key(), it.Key())
+	}
+	if len(it.Subjects) != len(env.Subjects) {
+		return nil, fmt.Errorf("pubsub: envelope subjects %v do not match payload %v",
+			env.Subjects, it.Subjects)
+	}
+	for i := range it.Subjects {
+		if it.Subjects[i] != env.Subjects[i] {
+			return nil, fmt.Errorf("pubsub: envelope subjects %v do not match payload %v",
+				env.Subjects, it.Subjects)
+		}
+	}
+	return it, nil
+}

@@ -1,0 +1,407 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/bloom"
+	"newswire/internal/news"
+	"newswire/internal/sim"
+	"newswire/internal/value"
+	"newswire/internal/wire"
+)
+
+func testAgent(t *testing.T) *astrolabe.Agent {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	ep := net.Attach("n0", func(*wire.Message) {})
+	a, err := astrolabe.NewAgent(astrolabe.Config{
+		Name: "node-0", ZonePath: "/z", Transport: ep,
+		Clock: eng.Clock(), Rand: rand.New(rand.NewSource(1)),
+		PrefixRules: []astrolabe.PrefixRule{
+			{Prefix: AttrSubPrefix, Op: astrolabe.PrefixBoolOr},
+			{Prefix: AttrPubPrefix, Op: astrolabe.PrefixBitOr},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func testItem() *news.Item {
+	return &news.Item{
+		Publisher: "slashdot",
+		ID:        "story-9",
+		Revision:  0,
+		Headline:  "Linux 2.6 roadmap",
+		Body:      "kernel news",
+		Subjects:  []string{"tech/linux"},
+		Urgency:   5,
+		Published: time.Unix(1017619200, 0).UTC(),
+	}
+}
+
+func TestNewSubscriberValidation(t *testing.T) {
+	if _, err := NewSubscriber(Config{}); err == nil {
+		t.Error("nil agent accepted")
+	}
+	a := testAgent(t)
+	if _, err := NewSubscriber(Config{Agent: a, Mode: Mode(9)}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := NewSubscriber(Config{Agent: a, Geometry: Geometry{Bits: 4, Hashes: 1}}); err == nil {
+		t.Error("tiny geometry accepted")
+	}
+	s, err := NewSubscriber(Config{Agent: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != ModeBloom {
+		t.Errorf("default mode = %v", s.Mode())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBloom.String() != "bloom" || ModeAttributes.String() != "attributes" ||
+		ModeCategoryMask.String() != "category-mask" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode name wrong")
+	}
+}
+
+func TestSubscribeAdvertisesBloom(t *testing.T) {
+	a := testAgent(t)
+	s, err := NewSubscriber(Config{Agent: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("tech/linux", "world/asia"); err != nil {
+		t.Fatal(err)
+	}
+
+	subsAttr := a.Attr(astrolabe.AttrSubs)
+	raw, ok := subsAttr.RawBytes()
+	if !ok {
+		t.Fatal("subs attribute not advertised")
+	}
+	f, err := bloom.FromBytes(raw, DefaultGeometry.Bits, DefaultGeometry.Hashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Test("tech/linux") || !f.Test("world/asia") {
+		t.Fatal("advertised filter missing subscriptions")
+	}
+
+	subjects := s.Subjects()
+	if len(subjects) != 2 || subjects[0] != "tech/linux" || subjects[1] != "world/asia" {
+		t.Fatalf("Subjects() = %v", subjects)
+	}
+}
+
+func TestUnsubscribeRebuildsFilter(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a})
+	s.Subscribe("tech/linux", "world/asia")
+	s.Unsubscribe("tech/linux")
+
+	raw, _ := a.Attr(astrolabe.AttrSubs).RawBytes()
+	f, _ := bloom.FromBytes(raw, DefaultGeometry.Bits, DefaultGeometry.Hashes)
+	if f.Test("tech/linux") {
+		t.Fatal("unsubscribed subject still in filter")
+	}
+	if !f.Test("world/asia") {
+		t.Fatal("remaining subject lost")
+	}
+}
+
+func TestSubscribeEmptySubjectRejected(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a})
+	if err := s.Subscribe(""); err == nil {
+		t.Fatal("empty subject accepted")
+	}
+}
+
+func TestSubscribeAdvertisesAttributes(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a, Mode: ModeAttributes})
+	s.Subscribe("tech/linux")
+	if v, ok := a.Attr(AttrSubPrefix + "tech/linux").AsBool(); !ok || !v {
+		t.Fatal("sub_ attribute not advertised")
+	}
+	s.Unsubscribe("tech/linux")
+	if a.Attr(AttrSubPrefix + "tech/linux").IsValid() {
+		t.Fatal("sub_ attribute not cleared on unsubscribe")
+	}
+}
+
+func TestSubscribePublisherMask(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a, Mode: ModeCategoryMask})
+	if err := s.SubscribePublisher("slashdot", "tech/linux"); err != nil {
+		t.Fatal(err)
+	}
+	mask, ok := a.Attr(AttrPubPrefix + "slashdot").RawBytes()
+	if !ok {
+		t.Fatal("pub_ mask not advertised")
+	}
+	idx := -1
+	for i, c := range news.StandardSubjects {
+		if c == "tech/linux" {
+			idx = i
+		}
+	}
+	if mask[idx/8]&(1<<(idx%8)) == 0 {
+		t.Fatal("category bit not set in mask")
+	}
+	if err := s.SubscribePublisher("slashdot", "not/a/category"); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+	// SubscribePublisher outside mask mode fails.
+	sb, _ := NewSubscriber(Config{Agent: a})
+	if err := sb.SubscribePublisher("x", "tech/linux"); err == nil {
+		t.Fatal("SubscribePublisher in bloom mode accepted")
+	}
+	// Subscribe with an out-of-vocabulary subject fails in mask mode.
+	if err := s.Subscribe("nonexistent/cat"); err == nil {
+		t.Fatal("out-of-vocabulary Subscribe accepted in mask mode")
+	}
+}
+
+func TestEncodeDecodeItemBloom(t *testing.T) {
+	it := testItem()
+	env, err := EncodeItem(it, ModeBloom, DefaultGeometry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.SubjectBits) != DefaultGeometry.Hashes {
+		t.Fatalf("SubjectBits = %v, want %d positions", env.SubjectBits, DefaultGeometry.Hashes)
+	}
+	want := bloom.PositionsFor("tech/linux", DefaultGeometry.Bits, DefaultGeometry.Hashes)
+	if env.SubjectBits[0] != want[0] {
+		t.Fatal("bit positions disagree with bloom package")
+	}
+	if env.Urgency != 5 {
+		t.Fatalf("urgency not mirrored: %d", env.Urgency)
+	}
+	got, err := DecodeItem(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Headline != it.Headline {
+		t.Fatal("payload content lost")
+	}
+}
+
+func TestDecodeItemRejectsMismatchedEnvelope(t *testing.T) {
+	it := testItem()
+	env, _ := EncodeItem(it, ModeBloom, DefaultGeometry, nil)
+
+	bad := env
+	bad.ItemID = "other"
+	if _, err := DecodeItem(&bad); err == nil {
+		t.Error("identity mismatch accepted")
+	}
+	bad = env
+	bad.Subjects = []string{"sports/soccer"}
+	if _, err := DecodeItem(&bad); err == nil {
+		t.Error("subject mismatch accepted")
+	}
+	bad = env
+	bad.Subjects = append([]string{}, env.Subjects...)
+	bad.Subjects = append(bad.Subjects, "extra/subject")
+	if _, err := DecodeItem(&bad); err == nil {
+		t.Error("extra subject accepted")
+	}
+}
+
+func TestEncodeItemMaskMode(t *testing.T) {
+	it := testItem()
+	env, err := EncodeItem(it, ModeCategoryMask, DefaultGeometry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.SubjectBits) != 1 {
+		t.Fatalf("SubjectBits = %v", env.SubjectBits)
+	}
+	it2 := testItem()
+	it2.Subjects = []string{"unknown/category"}
+	if _, err := EncodeItem(it2, ModeCategoryMask, DefaultGeometry, nil); err == nil {
+		t.Fatal("out-of-vocabulary subject accepted")
+	}
+}
+
+func rowWithSubs(filter *bloom.Filter) astrolabe.Row {
+	return astrolabe.Row{
+		Name:  "child",
+		Attrs: value.Map{astrolabe.AttrSubs: value.Bytes(filter.Bytes())},
+	}
+}
+
+func TestForwardFilterBloom(t *testing.T) {
+	geo := DefaultGeometry
+	filter := ForwardFilter(ModeBloom, geo)
+
+	f := bloom.New(geo.Bits, geo.Hashes)
+	f.Add("tech/linux")
+	row := rowWithSubs(f)
+
+	env, _ := EncodeItem(testItem(), ModeBloom, geo, nil)
+	if !filter("/", row, &env) {
+		t.Fatal("matching subscription not forwarded")
+	}
+
+	other := testItem()
+	other.Subjects = []string{"sports/soccer"}
+	envOther, _ := EncodeItem(other, ModeBloom, geo, nil)
+	if filter("/", row, &envOther) {
+		t.Fatal("non-matching subject forwarded (and this subject does not collide)")
+	}
+
+	// Row with no subs attribute: prune.
+	if filter("/", astrolabe.Row{Attrs: value.Map{}}, &env) {
+		t.Fatal("row without subs forwarded")
+	}
+}
+
+func TestForwardFilterBloomMultiSubjectAnyMatch(t *testing.T) {
+	geo := Geometry{Bits: 1024, Hashes: 4}
+	filter := ForwardFilter(ModeBloom, geo)
+	f := bloom.New(geo.Bits, geo.Hashes)
+	f.Add("world/asia")
+	row := rowWithSubs(f)
+
+	it := testItem()
+	it.Subjects = []string{"tech/linux", "world/asia"}
+	env, _ := EncodeItem(it, ModeBloom, geo, nil)
+	if len(env.SubjectBits) != 8 {
+		t.Fatalf("expected 2 subjects × 4 hashes positions, got %d", len(env.SubjectBits))
+	}
+	if !filter("/", row, &env) {
+		t.Fatal("any-subject match failed")
+	}
+}
+
+func TestForwardFilterAttributes(t *testing.T) {
+	filter := ForwardFilter(ModeAttributes, Geometry{})
+	row := astrolabe.Row{Attrs: value.Map{AttrSubPrefix + "tech/linux": value.Bool(true)}}
+	env, _ := EncodeItem(testItem(), ModeAttributes, Geometry{}, nil)
+	if !filter("/", row, &env) {
+		t.Fatal("attribute match failed")
+	}
+	empty := astrolabe.Row{Attrs: value.Map{}}
+	if filter("/", empty, &env) {
+		t.Fatal("row without sub_ attr forwarded")
+	}
+}
+
+func TestForwardFilterCategoryMask(t *testing.T) {
+	filter := ForwardFilter(ModeCategoryMask, Geometry{})
+	idx := 0
+	for i, c := range news.StandardSubjects {
+		if c == "tech/linux" {
+			idx = i
+		}
+	}
+	mask := make([]byte, (len(news.StandardSubjects)+7)/8)
+	mask[idx/8] |= 1 << (idx % 8)
+	row := astrolabe.Row{Attrs: value.Map{AttrPubPrefix + "slashdot": value.Bytes(mask)}}
+
+	env, _ := EncodeItem(testItem(), ModeCategoryMask, Geometry{}, nil)
+	if !filter("/", row, &env) {
+		t.Fatal("mask match failed")
+	}
+	// Same mask under a different publisher attribute: prune.
+	otherPub := astrolabe.Row{Attrs: value.Map{AttrPubPrefix + "wired": value.Bytes(mask)}}
+	if filter("/", otherPub, &env) {
+		t.Fatal("mask of different publisher matched")
+	}
+}
+
+func TestShouldDeliverExactMatch(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a})
+	s.Subscribe("tech/linux")
+
+	env, _ := EncodeItem(testItem(), ModeBloom, DefaultGeometry, nil)
+	if !s.ShouldDeliver(&env) {
+		t.Fatal("subscribed item rejected")
+	}
+
+	other := testItem()
+	other.Subjects = []string{"sports/soccer"}
+	envOther, _ := EncodeItem(other, ModeBloom, DefaultGeometry, nil)
+	if s.ShouldDeliver(&envOther) {
+		t.Fatal("unsubscribed item delivered — false positive not filtered")
+	}
+}
+
+func TestShouldDeliverPredicate(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a})
+	s.Subscribe("tech/linux")
+	if err := s.SetPredicate("urgency <= 5 AND publisher = 'slashdot'"); err != nil {
+		t.Fatal(err)
+	}
+
+	env, _ := EncodeItem(testItem(), ModeBloom, DefaultGeometry, nil)
+	if !s.ShouldDeliver(&env) {
+		t.Fatal("predicate-satisfying item rejected")
+	}
+
+	urgent := testItem()
+	urgent.Urgency = 8
+	envU, _ := EncodeItem(urgent, ModeBloom, DefaultGeometry, nil)
+	if s.ShouldDeliver(&envU) {
+		t.Fatal("predicate-failing item delivered")
+	}
+
+	if err := s.SetPredicate("bad syntax ("); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+	if err := s.SetPredicate(""); err != nil {
+		t.Fatal("clearing predicate failed")
+	}
+	if !s.ShouldDeliver(&envU) {
+		t.Fatal("cleared predicate still filtering")
+	}
+}
+
+func TestShouldDeliverMaskModePerPublisher(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a, Mode: ModeCategoryMask})
+	s.SubscribePublisher("slashdot", "tech/linux")
+
+	env, _ := EncodeItem(testItem(), ModeCategoryMask, Geometry{}, nil)
+	if !s.ShouldDeliver(&env) {
+		t.Fatal("subscribed publisher+category rejected")
+	}
+
+	// Same category from a different publisher must NOT deliver.
+	wired := testItem()
+	wired.Publisher = "wired"
+	envW, _ := EncodeItem(wired, ModeCategoryMask, Geometry{}, nil)
+	if s.ShouldDeliver(&envW) {
+		t.Fatal("per-publisher interest leaked to another publisher")
+	}
+}
+
+func TestItemMetadataRow(t *testing.T) {
+	env, _ := EncodeItem(testItem(), ModeBloom, DefaultGeometry, nil)
+	row := ItemMetadataRow(&env)
+	if p, _ := row["publisher"].AsString(); p != "slashdot" {
+		t.Errorf("publisher = %v", row["publisher"])
+	}
+	if u, _ := row["urgency"].AsInt(); u != 5 {
+		t.Errorf("urgency = %v", row["urgency"])
+	}
+	if subs, _ := row["subjects"].AsStrings(); len(subs) != 1 {
+		t.Errorf("subjects = %v", row["subjects"])
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim is the discrete-event simulation substrate that stands in
+// for the paper's Internet-scale deployment (see DESIGN.md §2). It provides
+// a deterministic event engine driven by virtual time and a network model
+// with per-link latency, loss, crash-stop failures and partitions.
+//
+// Protocol agents are passive state machines; the engine calls their
+// handlers and tick functions in a single goroutine, so runs are exactly
+// reproducible from a seed — every experiment table in EXPERIMENTS.md can
+// be regenerated bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"newswire/internal/vtime"
+)
+
+// Engine is a deterministic discrete-event scheduler over virtual time.
+type Engine struct {
+	clock  *vtime.Virtual
+	rng    *rand.Rand
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine returns an engine whose clock starts at vtime.Epoch and whose
+// randomness derives entirely from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		clock: vtime.NewVirtual(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.clock.Now() }
+
+// Clock returns the engine's virtual clock, for handing to protocol
+// components that need a vtime.Clock.
+func (e *Engine) Clock() *vtime.Virtual { return e.clock }
+
+// Rand returns the engine's deterministic random source. Only simulator-
+// driven code may use it; sharing it keeps the whole run reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// After schedules fn to run d from now. Non-positive delays run at the
+// current time (but still through the queue, preserving ordering).
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.clock.Now().Add(d), fn)
+}
+
+// At schedules fn at the absolute virtual time t. Times in the past are
+// clamped to now.
+func (e *Engine) At(t time.Time, fn func()) {
+	now := e.clock.Now()
+	if t.Before(now) {
+		t = now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Ticker is a recurring scheduled callback. Stop cancels future firings.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels the ticker after the currently scheduled firing.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every schedules fn to run every interval, starting one interval from
+// now, until the returned Ticker is stopped. A jitter fraction j in [0,1)
+// spreads firings by ±j·interval/2 so simulated nodes don't tick in
+// lockstep (real gossip deployments never do).
+func (e *Engine) Every(interval time.Duration, jitter float64, fn func()) *Ticker {
+	t := &Ticker{}
+	var schedule func()
+	schedule = func() {
+		d := interval
+		if jitter > 0 {
+			half := time.Duration(float64(interval) * jitter / 2)
+			d += time.Duration(e.rng.Int63n(int64(2*half+1))) - half
+		}
+		e.After(d, func() {
+			if t.stopped {
+				return
+			}
+			fn()
+			if !t.stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return t
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.clock.SetNow(ev.at)
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is after t; the clock ends at exactly t (or later if an event at t
+// scheduled follow-ups that also ran). It returns the number of events run.
+func (e *Engine) RunUntil(t time.Time) int {
+	n := 0
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.at.After(t) {
+			break
+		}
+		e.Step()
+		n++
+	}
+	e.clock.SetNow(t)
+	return n
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) int {
+	return e.RunUntil(e.clock.Now().Add(d))
+}
+
+// RunUntilIdle drains the queue completely, up to a safety cap of maxEvents
+// (0 means no cap). It returns the number of events run.
+func (e *Engine) RunUntilIdle(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence) so simultaneous
+// events run in deterministic FIFO order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"newswire/internal/vtime"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	if n := e.RunUntilIdle(0); n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Time
+	e.After(5*time.Second, func() { at = e.Now() })
+	e.RunUntilIdle(0)
+	want := vtime.Epoch.Add(5 * time.Second)
+	if !at.Equal(want) {
+		t.Fatalf("event ran at %v, want %v", at, want)
+	}
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(1*time.Second, func() { ran++ })
+	e.After(10*time.Second, func() { ran++ })
+	n := e.RunFor(5 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Fatalf("RunFor ran %d events (%d callbacks), want 1", n, ran)
+	}
+	if !e.Now().Equal(vtime.Epoch.Add(5 * time.Second)) {
+		t.Fatalf("clock = %v, want epoch+5s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine(1)
+	hits := 0
+	e.After(time.Second, func() {
+		hits++
+		e.After(time.Second, func() { hits++ })
+	})
+	e.RunFor(3 * time.Second)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.After(-time.Hour, func() { ran = true })
+	e.RunUntilIdle(0)
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now().Before(vtime.Epoch) {
+		t.Fatal("clock went backwards")
+	}
+}
+
+func TestEngineAtPastClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(time.Minute)
+	ran := false
+	e.At(vtime.Epoch, func() { ran = true })
+	e.RunUntilIdle(0)
+	if !ran {
+		t.Fatal("past event never ran")
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	ticker := e.Every(time.Second, 0, func() { count++ })
+	e.RunFor(5500 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	ticker.Stop()
+	e.RunFor(10 * time.Second)
+	if count != 5 {
+		t.Fatalf("ticker fired after Stop: %d", count)
+	}
+}
+
+func TestEngineEveryWithJitterStaysRoughlyPeriodic(t *testing.T) {
+	e := NewEngine(42)
+	count := 0
+	e.Every(time.Second, 0.2, func() { count++ })
+	e.RunFor(60 * time.Second)
+	if count < 50 || count > 70 {
+		t.Fatalf("jittered ticks over 60s = %d, want ~60", count)
+	}
+}
+
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(7)
+		var fired []time.Duration
+		e.Every(time.Second, 0.5, func() {
+			fired = append(fired, e.Now().Sub(vtime.Epoch))
+		})
+		e.RunFor(10 * time.Second)
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineRunUntilIdleCap(t *testing.T) {
+	e := NewEngine(1)
+	// Self-perpetuating event chain.
+	var boom func()
+	boom = func() { e.After(time.Millisecond, boom) }
+	e.After(0, boom)
+	n := e.RunUntilIdle(100)
+	if n != 100 {
+		t.Fatalf("cap not respected: ran %d", n)
+	}
+}

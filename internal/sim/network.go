@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"newswire/internal/transport"
+	"newswire/internal/wire"
+)
+
+// LinkModel describes the behaviour of every link in the simulated
+// network. Latency is sampled uniformly in [LatencyMin, LatencyMax];
+// LossRate is the independent per-message drop probability.
+type LinkModel struct {
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	LossRate   float64
+}
+
+// DefaultWAN is a wide-area link model plausible for 2002-era consumer
+// Internet paths: 20–180 ms one-way latency, 1% loss.
+var DefaultWAN = LinkModel{
+	LatencyMin: 20 * time.Millisecond,
+	LatencyMax: 180 * time.Millisecond,
+	LossRate:   0.01,
+}
+
+// EndpointStats counts one endpoint's traffic. Experiment E4 reads these
+// to compare publisher egress under NewsWire against direct unicast.
+type EndpointStats struct {
+	MsgsSent      int64
+	BytesSent     int64
+	MsgsReceived  int64
+	BytesReceived int64
+}
+
+// Network is the simulated network: a set of addressable endpoints joined
+// by a shared link model, with crash-stop failure and partition injection.
+// It is driven entirely by the owning Engine and must only be used from
+// simulator callbacks (single-goroutine discipline); the mutex exists only
+// so misuse is detectable rather than silently racy.
+type Network struct {
+	eng  *Engine
+	link LinkModel
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	crashed   map[string]bool
+	blocked   map[linkKey]bool
+	stats     map[string]*EndpointStats
+
+	// Totals across all endpoints.
+	totalSent      int64
+	totalDelivered int64
+	totalDropped   int64
+}
+
+type linkKey struct{ from, to string }
+
+// NewNetwork returns a network attached to eng with the given link model.
+func NewNetwork(eng *Engine, link LinkModel) *Network {
+	return &Network{
+		eng:       eng,
+		link:      link,
+		endpoints: make(map[string]*Endpoint),
+		crashed:   make(map[string]bool),
+		blocked:   make(map[linkKey]bool),
+		stats:     make(map[string]*EndpointStats),
+	}
+}
+
+// errClosed is returned by Send on a closed endpoint.
+var errClosed = errors.New("sim: endpoint closed")
+
+// Endpoint is one node's attachment to the simulated network.
+type Endpoint struct {
+	net     *Network
+	addr    string
+	handler transport.Handler
+	closed  bool
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Attach registers an endpoint for addr with the given inbound handler.
+// Re-attaching an address replaces the previous endpoint (a restarted
+// node).
+func (n *Network) Attach(addr string, h transport.Handler) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &Endpoint{net: n, addr: addr, handler: h}
+	n.endpoints[addr] = ep
+	if n.stats[addr] == nil {
+		n.stats[addr] = &EndpointStats{}
+	}
+	return ep
+}
+
+// Addr implements transport.Transport.
+func (ep *Endpoint) Addr() string { return ep.addr }
+
+// Close implements transport.Transport.
+func (ep *Endpoint) Close() error {
+	ep.net.mu.Lock()
+	defer ep.net.mu.Unlock()
+	ep.closed = true
+	if ep.net.endpoints[ep.addr] == ep {
+		delete(ep.net.endpoints, ep.addr)
+	}
+	return nil
+}
+
+// Send implements transport.Transport. The message is delivered to the
+// destination's handler after a sampled link latency, unless the link
+// drops it, either side is crashed, or the link is blocked by a partition.
+func (ep *Endpoint) Send(to string, msg *wire.Message) error {
+	n := ep.net
+	n.mu.Lock()
+	if ep.closed {
+		n.mu.Unlock()
+		return errClosed
+	}
+	if err := msg.Validate(); err != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("sim: send: %w", err)
+	}
+	msg.From = ep.addr
+	size := int64(msg.EstimateSize())
+
+	st := n.stats[ep.addr]
+	st.MsgsSent++
+	st.BytesSent += size
+	n.totalSent++
+
+	dropped := n.crashed[ep.addr] || n.crashed[to] || n.blocked[linkKey{ep.addr, to}]
+	if !dropped && n.link.LossRate > 0 && n.eng.rng.Float64() < n.link.LossRate {
+		dropped = true
+	}
+	if dropped {
+		n.totalDropped++
+		n.mu.Unlock()
+		return nil
+	}
+	latency := n.link.LatencyMin
+	if span := n.link.LatencyMax - n.link.LatencyMin; span > 0 {
+		latency += time.Duration(n.eng.rng.Int63n(int64(span)))
+	}
+	n.mu.Unlock()
+
+	n.eng.After(latency, func() {
+		n.mu.Lock()
+		dst, ok := n.endpoints[to]
+		crashed := n.crashed[to]
+		if ok && !crashed {
+			rst := n.stats[to]
+			rst.MsgsReceived++
+			rst.BytesReceived += size
+			n.totalDelivered++
+		} else {
+			n.totalDropped++
+		}
+		n.mu.Unlock()
+		if ok && !crashed {
+			dst.handler(msg)
+		}
+	})
+	return nil
+}
+
+// Crash marks addr as failed: all its traffic (including messages already
+// in flight toward it) is dropped until Restore.
+func (n *Network) Crash(addr string) {
+	n.mu.Lock()
+	n.crashed[addr] = true
+	n.mu.Unlock()
+}
+
+// Restore clears a crash.
+func (n *Network) Restore(addr string) {
+	n.mu.Lock()
+	delete(n.crashed, addr)
+	n.mu.Unlock()
+}
+
+// Crashed reports whether addr is currently crashed.
+func (n *Network) Crashed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[addr]
+}
+
+// Block severs the directed link from -> to (half a partition).
+func (n *Network) Block(from, to string) {
+	n.mu.Lock()
+	n.blocked[linkKey{from, to}] = true
+	n.mu.Unlock()
+}
+
+// Unblock restores the directed link.
+func (n *Network) Unblock(from, to string) {
+	n.mu.Lock()
+	delete(n.blocked, linkKey{from, to})
+	n.mu.Unlock()
+}
+
+// Partition blocks every link between the two node sets, both directions.
+func (n *Network) Partition(a, b []string) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[linkKey{x, y}] = true
+			n.blocked[linkKey{y, x}] = true
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes every block between the two node sets.
+func (n *Network) Heal(a, b []string) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			delete(n.blocked, linkKey{x, y})
+			delete(n.blocked, linkKey{y, x})
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Stats returns a copy of the per-endpoint traffic counters for addr.
+func (n *Network) Stats(addr string) EndpointStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if st := n.stats[addr]; st != nil {
+		return *st
+	}
+	return EndpointStats{}
+}
+
+// Totals returns (sent, delivered, dropped) message counts across the
+// whole network.
+func (n *Network) Totals() (sent, delivered, dropped int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalSent, n.totalDelivered, n.totalDropped
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"newswire/internal/wire"
+)
+
+func gossipMsg() *wire.Message {
+	return &wire.Message{Kind: wire.KindGossip, Gossip: &wire.Gossip{FromZone: "/"}}
+}
+
+func newTestNet(t *testing.T, link LinkModel) (*Engine, *Network) {
+	t.Helper()
+	e := NewEngine(99)
+	return e, NewNetwork(e, link)
+}
+
+func TestNetworkDeliversWithinLatencyBounds(t *testing.T) {
+	link := LinkModel{LatencyMin: 10 * time.Millisecond, LatencyMax: 50 * time.Millisecond}
+	e, n := newTestNet(t, link)
+
+	var deliveredAt time.Time
+	n.Attach("b", func(m *wire.Message) { deliveredAt = e.Now() })
+	a := n.Attach("a", func(*wire.Message) {})
+
+	start := e.Now()
+	if err := a.Send("b", gossipMsg()); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle(0)
+	d := deliveredAt.Sub(start)
+	if d < link.LatencyMin || d > link.LatencyMax {
+		t.Fatalf("delivery latency %v outside [%v, %v]", d, link.LatencyMin, link.LatencyMax)
+	}
+}
+
+func TestNetworkSetsFrom(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	var got string
+	n.Attach("b", func(m *wire.Message) { got = m.From })
+	a := n.Attach("a", nil)
+	if err := a.Send("b", gossipMsg()); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntilIdle(0)
+	if got != "a" {
+		t.Fatalf("From = %q, want a", got)
+	}
+}
+
+func TestNetworkRejectsInvalidMessage(t *testing.T) {
+	_, n := newTestNet(t, LinkModel{})
+	a := n.Attach("a", nil)
+	if err := a.Send("b", &wire.Message{Kind: wire.KindGossip}); err == nil {
+		t.Fatal("invalid message should be rejected")
+	}
+}
+
+func TestNetworkSendToUnknownDrops(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	a := n.Attach("a", nil)
+	if err := a.Send("ghost", gossipMsg()); err != nil {
+		t.Fatalf("send to unknown should not error locally: %v", err)
+	}
+	e.RunUntilIdle(0)
+	sent, delivered, dropped := n.Totals()
+	if sent != 1 || delivered != 0 || dropped != 1 {
+		t.Fatalf("totals = %d/%d/%d, want 1/0/1", sent, delivered, dropped)
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{LossRate: 0.5})
+	received := 0
+	n.Attach("b", func(*wire.Message) { received++ })
+	a := n.Attach("a", nil)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", gossipMsg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntilIdle(0)
+	if received < total/3 || received > 2*total/3 {
+		t.Fatalf("received %d of %d with 50%% loss", received, total)
+	}
+}
+
+func TestNetworkCrashStopsDelivery(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond})
+	received := 0
+	n.Attach("b", func(*wire.Message) { received++ })
+	a := n.Attach("a", nil)
+
+	n.Crash("b")
+	if !n.Crashed("b") {
+		t.Fatal("Crashed not reported")
+	}
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if received != 0 {
+		t.Fatal("crashed node received a message")
+	}
+
+	n.Restore("b")
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if received != 1 {
+		t.Fatalf("restored node received %d messages, want 1", received)
+	}
+}
+
+func TestNetworkCrashDropsInFlight(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{LatencyMin: 100 * time.Millisecond, LatencyMax: 100 * time.Millisecond})
+	received := 0
+	n.Attach("b", func(*wire.Message) { received++ })
+	a := n.Attach("a", nil)
+
+	a.Send("b", gossipMsg())
+	// Crash b while the message is in flight.
+	e.After(10*time.Millisecond, func() { n.Crash("b") })
+	e.RunUntilIdle(0)
+	if received != 0 {
+		t.Fatal("in-flight message delivered to crashed node")
+	}
+}
+
+func TestNetworkCrashedSenderDrops(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	received := 0
+	n.Attach("b", func(*wire.Message) { received++ })
+	a := n.Attach("a", nil)
+	n.Crash("a")
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if received != 0 {
+		t.Fatal("crashed sender's message was delivered")
+	}
+}
+
+func TestNetworkBlockUnblock(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	received := 0
+	n.Attach("b", func(*wire.Message) { received++ })
+	a := n.Attach("a", nil)
+
+	n.Block("a", "b")
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if received != 0 {
+		t.Fatal("blocked link delivered")
+	}
+	n.Unblock("a", "b")
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if received != 1 {
+		t.Fatalf("unblocked link delivered %d, want 1", received)
+	}
+}
+
+func TestNetworkPartitionAndHeal(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	got := map[string]int{}
+	for _, addr := range []string{"a1", "a2", "b1"} {
+		addr := addr
+		n.Attach(addr, func(*wire.Message) { got[addr]++ })
+	}
+	a1 := n.Attach("a1", func(*wire.Message) { got["a1"]++ })
+
+	n.Partition([]string{"a1", "a2"}, []string{"b1"})
+	a1.Send("b1", gossipMsg())
+	a1.Send("a2", gossipMsg())
+	e.RunUntilIdle(0)
+	if got["b1"] != 0 {
+		t.Fatal("partitioned link delivered")
+	}
+	if got["a2"] != 1 {
+		t.Fatal("intra-partition link should work")
+	}
+
+	n.Heal([]string{"a1", "a2"}, []string{"b1"})
+	a1.Send("b1", gossipMsg())
+	e.RunUntilIdle(0)
+	if got["b1"] != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	n.Attach("b", func(*wire.Message) {})
+	a := n.Attach("a", nil)
+	a.Send("b", gossipMsg())
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+
+	as, bs := n.Stats("a"), n.Stats("b")
+	if as.MsgsSent != 2 || as.BytesSent <= 0 {
+		t.Fatalf("sender stats = %+v", as)
+	}
+	if bs.MsgsReceived != 2 || bs.BytesReceived != as.BytesSent {
+		t.Fatalf("receiver stats = %+v (sender sent %d bytes)", bs, as.BytesSent)
+	}
+	if unknown := n.Stats("nope"); unknown != (EndpointStats{}) {
+		t.Fatalf("unknown endpoint stats = %+v", unknown)
+	}
+}
+
+func TestEndpointClose(t *testing.T) {
+	_, n := newTestNet(t, LinkModel{})
+	a := n.Attach("a", nil)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", gossipMsg()); err == nil {
+		t.Fatal("send on closed endpoint should fail")
+	}
+}
+
+func TestNetworkReattachReplacesEndpoint(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	firstGot, secondGot := 0, 0
+	n.Attach("b", func(*wire.Message) { firstGot++ })
+	n.Attach("b", func(*wire.Message) { secondGot++ }) // restart
+	a := n.Attach("a", nil)
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if firstGot != 0 || secondGot != 1 {
+		t.Fatalf("delivery went to old endpoint: first=%d second=%d", firstGot, secondGot)
+	}
+}

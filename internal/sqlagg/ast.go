@@ -1,0 +1,148 @@
+package sqlagg
+
+import (
+	"strings"
+
+	"newswire/internal/value"
+)
+
+// Expr is a node in the expression tree.
+type Expr interface {
+	// String renders the expression in (normalized) source form.
+	String() string
+	exprNode()
+}
+
+// ColumnRef references an attribute of the child-table row being evaluated.
+type ColumnRef struct {
+	Name string
+}
+
+func (c *ColumnRef) exprNode()      {}
+func (c *ColumnRef) String() string { return c.Name }
+
+// Literal is a constant value (number, string, or boolean).
+type Literal struct {
+	Val value.Value
+}
+
+func (l *Literal) exprNode() {}
+func (l *Literal) String() string {
+	if s, ok := l.Val.AsString(); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+// Unary is a prefix operator application: "-x" or "NOT x".
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (u *Unary) exprNode() {}
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.X.String()
+	}
+	return u.Op + u.X.String()
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Op   string // arithmetic, comparison, AND, OR
+	L, R Expr
+}
+
+func (b *Binary) exprNode() {}
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Call is a function application. Star marks COUNT(*).
+type Call struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+func (c *Call) exprNode() {}
+func (c *Call) String() string {
+	if c.Star {
+		return c.Name + "(*)"
+	}
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SelectItem is one output attribute of a program.
+type SelectItem struct {
+	Expr Expr
+	Name string // output attribute name
+}
+
+// Program is a parsed aggregation program.
+type Program struct {
+	Items []SelectItem
+	Where Expr // nil when absent
+	src   string
+}
+
+// Source returns the original program text.
+func (p *Program) Source() string { return p.src }
+
+// OutputNames returns the output attribute names in select-list order.
+func (p *Program) OutputNames() []string {
+	names := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		names[i] = it.Name
+	}
+	return names
+}
+
+// String renders the program in normalized form.
+func (p *Program) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range p.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.String())
+		sb.WriteString(" AS ")
+		sb.WriteString(it.Name)
+	}
+	if p.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(p.Where.String())
+	}
+	return sb.String()
+}
+
+// containsAggregate reports whether any Call to an aggregate function
+// appears in the expression.
+func containsAggregate(e Expr) bool {
+	switch n := e.(type) {
+	case *ColumnRef, *Literal:
+		return false
+	case *Unary:
+		return containsAggregate(n.X)
+	case *Binary:
+		return containsAggregate(n.L) || containsAggregate(n.R)
+	case *Call:
+		if _, ok := aggregates[n.Name]; ok {
+			return true
+		}
+		for _, a := range n.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"newswire/internal/wire"
+)
+
+// maxFrame bounds a single message frame; anything larger is treated as a
+// protocol violation and the connection is dropped.
+const maxFrame = 16 << 20
+
+// dialTimeout bounds outbound connection establishment.
+const dialTimeout = 5 * time.Second
+
+// TCP is a Transport over real sockets, for live multi-process clusters
+// (cmd/newswired). Frames are 4-byte big-endian length prefixes followed
+// by a gob-encoded wire.Message. Outbound connections are cached per peer
+// and re-dialed on failure.
+type TCP struct {
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	inbound map[net.Conn]bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// ListenTCP starts an endpoint listening on addr (e.g. "127.0.0.1:0") and
+// dispatching inbound messages to h.
+func ListenTCP(addr string, h Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		ln:      ln,
+		handler: h,
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]bool),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's concrete address (with the resolved port).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Send implements Transport. It writes one frame on a cached connection to
+// the peer, dialing on demand and retrying once on a stale connection.
+func (t *TCP) Send(to string, msg *wire.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("transport: closed")
+	}
+	t.mu.Unlock()
+
+	if err := msg.Validate(); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	msg.From = t.Addr()
+	data, err := wire.Encode(msg)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(data))
+	}
+
+	if err := t.writeFrame(to, data); err != nil {
+		// The cached connection may have gone stale; dial fresh and retry
+		// once.
+		t.dropConn(to)
+		return t.writeFrame(to, data)
+	}
+	return nil
+}
+
+func (t *TCP) writeFrame(to string, data []byte) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// A peer that stops reading must not wedge every sender behind the
+	// mutex: bound the write.
+	_ = conn.SetWriteDeadline(time.Now().Add(dialTimeout))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", to, err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCP) conn(to string) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", to, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, errors.New("transport: closed")
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost the race; use the existing connection.
+		c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(to string) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		c.Close()
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
+// Close stops the listener, closes all connections and waits for the
+// receive goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for to, c := range t.conns {
+		c.Close()
+		delete(t.conns, to)
+	}
+	// Inbound connections must be closed too, or their read goroutines
+	// would block in ReadFull until the remote side goes away and
+	// wg.Wait below would hang.
+	for c := range t.inbound {
+		c.Close()
+		delete(t.inbound, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size > maxFrame {
+			return
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		msg, err := wire.Decode(data)
+		if err != nil {
+			// Malformed frame: drop the connection, not the process.
+			return
+		}
+		t.handler(msg)
+	}
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"newswire/internal/wire"
+)
+
+func gossipMsg(zone string) *wire.Message {
+	return &wire.Message{Kind: wire.KindGossip, Gossip: &wire.Gossip{FromZone: zone}}
+}
+
+// collector gathers delivered messages for assertions.
+type collector struct {
+	mu   sync.Mutex
+	msgs []*wire.Message
+	ch   chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan struct{}, 64)}
+}
+
+func (c *collector) handle(m *wire.Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []*wire.Message {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := make([]*wire.Message, len(c.msgs))
+			copy(out, c.msgs)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d messages", n)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	col := newCollector()
+	b, err := ListenTCP("127.0.0.1:0", col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if err := a.Send(b.Addr(), gossipMsg("/usa")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := col.waitFor(t, 1)
+	if msgs[0].Gossip.FromZone != "/usa" {
+		t.Fatalf("payload = %+v", msgs[0].Gossip)
+	}
+	if msgs[0].From != a.Addr() {
+		t.Fatalf("From = %q, want %q", msgs[0].From, a.Addr())
+	}
+}
+
+func TestTCPMultipleMessagesOneConnection(t *testing.T) {
+	col := newCollector()
+	b, err := ListenTCP("127.0.0.1:0", col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.Addr(), gossipMsg("/z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := col.waitFor(t, n)
+	if len(msgs) < n {
+		t.Fatalf("got %d messages, want %d", len(msgs), n)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	colA, colB := newCollector(), newCollector()
+	a, err := ListenTCP("127.0.0.1:0", colA.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0", colB.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), gossipMsg("/a-to-b")); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitFor(t, 1)
+	if err := b.Send(a.Addr(), gossipMsg("/b-to-a")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := colA.waitFor(t, 1)
+	if msgs[0].Gossip.FromZone != "/b-to-a" {
+		t.Fatalf("wrong direction: %+v", msgs[0].Gossip)
+	}
+}
+
+func TestTCPSendInvalidMessage(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("127.0.0.1:1", &wire.Message{Kind: wire.KindGossip}); err == nil {
+		t.Fatal("invalid message should be rejected before dialing")
+	}
+}
+
+func TestTCPSendToDeadPeerFails(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// A port that is almost certainly closed.
+	if err := a.Send("127.0.0.1:1", gossipMsg("/x")); err == nil {
+		t.Fatal("send to dead peer should fail")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), gossipMsg("/x")); err == nil {
+		t.Fatal("send on closed transport should fail")
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	col := newCollector()
+	b, err := ListenTCP("127.0.0.1:0", col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr := b.Addr()
+
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if err := a.Send(bAddr, gossipMsg("/one")); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+
+	// Restart b on the same address.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ListenTCP(bAddr, col.handle)
+	if err != nil {
+		t.Skipf("could not rebind %s immediately: %v", bAddr, err)
+	}
+	defer b2.Close()
+
+	// First send may hit the stale connection; Send retries internally.
+	// The kernel may accept a write on a half-dead socket, so allow one
+	// more attempt.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(bAddr, gossipMsg("/two")); err == nil {
+			col.mu.Lock()
+			n := len(col.msgs)
+			col.mu.Unlock()
+			if n >= 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never delivered after peer restart")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	col := newCollector()
+	b, err := ListenTCP("127.0.0.1:0", col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	payload := make([]byte, 1<<20) // 1 MiB item
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	msg := &wire.Message{
+		Kind: wire.KindMulticast,
+		Multicast: &wire.Multicast{
+			TargetZone: "/",
+			Envelope:   wire.ItemEnvelope{Publisher: "p", ItemID: "big", Payload: payload},
+		},
+	}
+	if err := a.Send(b.Addr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	msgs := col.waitFor(t, 1)
+	if len(msgs[0].Multicast.Envelope.Payload) != len(payload) {
+		t.Fatalf("payload truncated: %d bytes", len(msgs[0].Multicast.Envelope.Payload))
+	}
+}
+
+func TestTCPRejectsOversizedMessage(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	huge := &wire.Message{
+		Kind: wire.KindMulticast,
+		Multicast: &wire.Multicast{
+			TargetZone: "/",
+			Envelope:   wire.ItemEnvelope{Publisher: "p", ItemID: "x", Payload: make([]byte, 17<<20)},
+		},
+	}
+	if err := a.Send(b.Addr(), huge); err == nil {
+		t.Fatal("17 MiB message accepted past the frame limit")
+	}
+}
+
+func TestTCPCloseWhilePeerHoldsConnection(t *testing.T) {
+	// Regression for the shutdown deadlock: Close must terminate read
+	// goroutines on inbound connections whose peers are still up.
+	col := newCollector()
+	b, err := ListenTCP("127.0.0.1:0", col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ListenTCP("127.0.0.1:0", func(*wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if err := a.Send(b.Addr(), gossipMsg("/x")); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+
+	// b has an inbound connection from a, which stays open. Close must
+	// not hang.
+	done := make(chan struct{})
+	go func() {
+		b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked on an open inbound connection")
+	}
+}

@@ -1,0 +1,32 @@
+// Package transport abstracts how NewsWire nodes exchange wire.Messages.
+//
+// Two implementations exist: the discrete-event simulated network in
+// internal/sim (virtual time, configurable latency/loss/partitions, scales
+// to ~10⁵ nodes in one process) and the TCP transport in this package
+// (length-prefixed gob frames, for live multi-process clusters). Protocol
+// code sees only this interface, so the same agent runs unchanged in both
+// worlds.
+package transport
+
+import "newswire/internal/wire"
+
+// Handler consumes an inbound message. Transports guarantee the message
+// passed Validate. Handlers must not block for long: the simulated
+// transport runs them on the single simulator goroutine, and the TCP
+// transport runs them on the connection's read goroutine.
+type Handler func(msg *wire.Message)
+
+// Transport sends messages to peers by address. Send is asynchronous and
+// best-effort — delivery may silently fail, exactly like the Internet the
+// paper targets; the protocols above are built to tolerate loss.
+type Transport interface {
+	// Addr returns this endpoint's own address, which peers use to reach
+	// it and which appears in Message.From.
+	Addr() string
+	// Send enqueues msg for delivery to the peer at to. It returns an
+	// error only for local problems (closed transport, unreachable
+	// address format); a nil error is not a delivery guarantee.
+	Send(to string, msg *wire.Message) error
+	// Close releases the endpoint. Further Sends fail.
+	Close() error
+}

@@ -1,0 +1,68 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowIsMonotonicEnough(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", got, Epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(5 * time.Second)
+	want := Epoch.Add(5 * time.Second)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	v.Advance(250 * time.Millisecond)
+	want = want.Add(250 * time.Millisecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceNegativeIgnored(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(time.Second)
+	before := v.Now()
+	v.Advance(-time.Hour)
+	if got := v.Now(); !got.Equal(before) {
+		t.Fatalf("negative advance moved the clock: %v -> %v", before, got)
+	}
+}
+
+func TestVirtualSetNow(t *testing.T) {
+	v := NewVirtual()
+	target := Epoch.Add(42 * time.Second)
+	v.SetNow(target)
+	if got := v.Now(); !got.Equal(target) {
+		t.Fatalf("Now() = %v, want %v", got, target)
+	}
+	// Backwards set is ignored.
+	v.SetNow(Epoch)
+	if got := v.Now(); !got.Equal(target) {
+		t.Fatalf("backwards SetNow moved the clock to %v", got)
+	}
+}
+
+func TestNewVirtualAt(t *testing.T) {
+	start := time.Date(2001, time.September, 11, 8, 46, 0, 0, time.UTC)
+	v := NewVirtualAt(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}

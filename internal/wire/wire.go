@@ -1,0 +1,303 @@
+// Package wire defines the messages NewsWire nodes exchange: Astrolabe
+// gossip exchanges, application-level multicast forwards (which carry news
+// items), and cache state-transfer requests used for end-to-end recovery
+// and joining nodes (paper §9).
+//
+// The same Message structs travel over both transports. The in-memory
+// simulated transport passes them by value — payload fields must therefore
+// be treated as immutable once sent. The TCP transport serializes them with
+// encoding/gob (value.Map encodes via Value's BinaryMarshaler).
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"newswire/internal/value"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindInvalid      Kind = iota
+	KindGossip            // push-pull anti-entropy exchange, request leg
+	KindGossipReply       // push-pull anti-entropy exchange, reply leg
+	KindMulticast         // SendToZone forward carrying a news item
+	KindStateRequest      // cache state transfer: give me recent items
+	KindStateReply        // cache state transfer: here they are
+)
+
+// String returns the kind name for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindGossip:
+		return "gossip"
+	case KindGossipReply:
+		return "gossip-reply"
+	case KindMulticast:
+		return "multicast"
+	case KindStateRequest:
+		return "state-request"
+	case KindStateReply:
+		return "state-reply"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// RowUpdate is one gossiped MIB row: the attributes a zone member (or an
+// aggregated child zone) exports, stamped with the owner's issue time.
+// Receivers keep whichever copy of a row has the later issue time — the
+// epidemic freshness rule that makes Astrolabe eventually consistent.
+type RowUpdate struct {
+	// Zone is the path of the table this row lives in, e.g. "/usa/ny".
+	Zone string
+	// Name identifies the row within the table: a leaf node name or a
+	// child zone name.
+	Name string
+	// Attrs is the row's attribute map.
+	Attrs value.Map
+	// Issued is when the row owner last wrote the row.
+	Issued time.Time
+	// Owner is the address of the agent that issued the row (for leaf
+	// rows) or the representative that computed it (aggregate rows).
+	Owner string
+	// Signer and Sig authenticate the row (empty when signing is off).
+	Signer string
+	Sig    []byte
+}
+
+// SignedPayload renders the row fields covered by the owner's signature:
+// everything except the signature fields themselves.
+func (r *RowUpdate) SignedPayload() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(r.Zone)
+	buf.WriteByte(0)
+	buf.WriteString(r.Name)
+	buf.WriteByte(0)
+	buf.Write(r.Attrs.AppendBinary(nil))
+	fmt.Fprintf(&buf, "%d", r.Issued.UnixNano())
+	buf.WriteByte(0)
+	buf.WriteString(r.Owner)
+	return buf.Bytes()
+}
+
+// Gossip is the request leg of a push-pull anti-entropy exchange: the
+// sender pushes every row it holds for the tables the two agents share.
+type Gossip struct {
+	// FromZone is the sender's leaf zone path, which tells the receiver
+	// which ancestor tables the two agents share.
+	FromZone string
+	Rows     []RowUpdate
+}
+
+// GossipReply is the reply leg, pushing the receiver's rows back.
+type GossipReply struct {
+	FromZone string
+	Rows     []RowUpdate
+}
+
+// ItemEnvelope wraps a published news item as it travels through the
+// multicast tree. The envelope carries everything a forwarder needs to
+// route without parsing the payload: the Bloom bit positions of the item's
+// subjects (§6), the exact subjects for the leaf's final match, an optional
+// publisher predicate over child-zone attributes (§8), and the publisher's
+// signature (§8).
+type ItemEnvelope struct {
+	Publisher string
+	ItemID    string
+	Revision  int
+	// Subjects are the exact subscription subjects this item matches.
+	Subjects []string
+	// SubjectBits are the Bloom positions of the subjects, precomputed by
+	// the publisher.
+	SubjectBits []uint32
+	// ScopeZone restricts dissemination to a subtree ("" means root).
+	ScopeZone string
+	// Predicate optionally gates forwarding on child-zone attributes.
+	Predicate string
+	// Urgency mirrors the item's NITF editorial urgency (1 flash .. 8
+	// routine) so forwarding components can prioritize without parsing
+	// the payload (§9's queue-filling strategies).
+	Urgency int
+	// Published is the publisher's timestamp.
+	Published time.Time
+	// Payload is the encoded news item (NITF-like XML).
+	Payload []byte
+	// Signer and Sig authenticate the envelope.
+	Signer string
+	Sig    []byte
+}
+
+// Key returns the deduplication key for the envelope: publisher, item and
+// revision ("News items are uniquely identified by the publisher as part of
+// the news item meta-data; this can be used to remove duplicates", §9).
+func (e *ItemEnvelope) Key() string {
+	return fmt.Sprintf("%s/%s#%d", e.Publisher, e.ItemID, e.Revision)
+}
+
+// SignedPayload renders the envelope fields covered by the publisher
+// signature.
+func (e *ItemEnvelope) SignedPayload() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(e.Publisher)
+	buf.WriteByte(0)
+	buf.WriteString(e.ItemID)
+	buf.WriteByte(0)
+	fmt.Fprintf(&buf, "%d", e.Revision)
+	buf.WriteByte(0)
+	for _, s := range e.Subjects {
+		buf.WriteString(s)
+		buf.WriteByte(0)
+	}
+	buf.WriteString(e.ScopeZone)
+	buf.WriteByte(0)
+	buf.WriteString(e.Predicate)
+	buf.WriteByte(0)
+	fmt.Fprintf(&buf, "%d", e.Published.UnixNano())
+	buf.WriteByte(0)
+	buf.Write(e.Payload)
+	return buf.Bytes()
+}
+
+// Multicast is a SendToZone forward: deliver the envelope to every
+// subscribed leaf under TargetZone.
+type Multicast struct {
+	// TargetZone is the zone whose subtree this hop is responsible for.
+	TargetZone string
+	// Hops counts forwarding hops so far, for loop protection and metrics.
+	Hops int
+	// Deliver marks a final-delivery copy: the receiver delivers the item
+	// to its application and does not fan out further. Leaf-zone
+	// representatives use it when distributing to their zone's members.
+	Deliver  bool
+	Envelope ItemEnvelope
+}
+
+// StateRequest asks a peer's cache for items published since a time, used
+// by joining nodes and for end-to-end recovery after forwarder failures.
+type StateRequest struct {
+	Since    time.Time
+	MaxItems int
+	// Subjects restricts the transfer to items matching the requester's
+	// subscriptions (empty means all cached items).
+	Subjects []string
+}
+
+// StateReply returns the requested cache contents.
+type StateReply struct {
+	Envelopes []ItemEnvelope
+	// Truncated reports that MaxItems cut the transfer short.
+	Truncated bool
+}
+
+// Message is the transport-level envelope.
+type Message struct {
+	Kind Kind
+	// From is the sender's transport address, so receivers can reply.
+	From string
+
+	Gossip       *Gossip
+	GossipReply  *GossipReply
+	Multicast    *Multicast
+	StateRequest *StateRequest
+	StateReply   *StateReply
+}
+
+// Validate checks that the message has exactly the payload its kind
+// promises. Transports call it on receipt so protocol code can trust the
+// payload pointer.
+func (m *Message) Validate() error {
+	var want bool
+	switch m.Kind {
+	case KindGossip:
+		want = m.Gossip != nil
+	case KindGossipReply:
+		want = m.GossipReply != nil
+	case KindMulticast:
+		want = m.Multicast != nil
+	case KindStateRequest:
+		want = m.StateRequest != nil
+	case KindStateReply:
+		want = m.StateReply != nil
+	default:
+		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
+	}
+	if !want {
+		return fmt.Errorf("wire: %s message missing payload", m.Kind)
+	}
+	return nil
+}
+
+// Encode serializes the message for the TCP transport.
+func Encode(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a message produced by Encode and validates it.
+func Decode(data []byte) (*Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// EstimateSize approximates the on-the-wire size of the message in bytes
+// without serializing it. The simulated network uses it for the byte-load
+// counters behind experiments E4 and E8; it intentionally errs simple and
+// stable rather than matching gob exactly.
+func (m *Message) EstimateSize() int {
+	const headerOverhead = 16
+	n := headerOverhead + len(m.From)
+	switch {
+	case m.Gossip != nil:
+		n += len(m.Gossip.FromZone) + rowsSize(m.Gossip.Rows)
+	case m.GossipReply != nil:
+		n += len(m.GossipReply.FromZone) + rowsSize(m.GossipReply.Rows)
+	case m.Multicast != nil:
+		n += len(m.Multicast.TargetZone) + 8 + envelopeSize(&m.Multicast.Envelope)
+	case m.StateRequest != nil:
+		n += 16
+		for _, s := range m.StateRequest.Subjects {
+			n += len(s) + 2
+		}
+	case m.StateReply != nil:
+		n++
+		for i := range m.StateReply.Envelopes {
+			n += envelopeSize(&m.StateReply.Envelopes[i])
+		}
+	}
+	return n
+}
+
+func rowsSize(rows []RowUpdate) int {
+	n := 0
+	for i := range rows {
+		r := &rows[i]
+		n += len(r.Zone) + len(r.Name) + len(r.Owner) + len(r.Signer) + len(r.Sig) + 12
+		n += len(r.Attrs.AppendBinary(nil))
+	}
+	return n
+}
+
+func envelopeSize(e *ItemEnvelope) int {
+	n := len(e.Publisher) + len(e.ItemID) + len(e.ScopeZone) + len(e.Predicate) +
+		len(e.Signer) + len(e.Sig) + len(e.Payload) + 24
+	for _, s := range e.Subjects {
+		n += len(s) + 2
+	}
+	n += 4 * len(e.SubjectBits)
+	return n
+}

@@ -1,0 +1,231 @@
+// Package workload generates the synthetic news workloads the experiments
+// run against, parameterized to the numbers the paper cites (§1): a
+// Slashdot-like community site with a front page of recent articles,
+// ~1M hits/day, and returning readers who revisit several times a day; and
+// wire-service publishers (Reuters/AP-style) with Poisson article
+// arrivals, Zipf-popular subjects and occasional revisions.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"newswire/internal/news"
+)
+
+// PublisherProfile describes one synthetic news source.
+type PublisherProfile struct {
+	// Name is the publisher identifier.
+	Name string
+	// ArticlesPerHour is the mean Poisson arrival rate.
+	ArticlesPerHour float64
+	// Subjects is the pool the generator draws article subjects from
+	// (Zipf-weighted: earlier subjects are more popular).
+	Subjects []string
+	// MeanBodyBytes sizes article bodies (exponential around the mean).
+	MeanBodyBytes int
+	// RevisionProb is the chance an article later receives a revision.
+	RevisionProb float64
+}
+
+// SlashdotProfile models the paper's running example: a community tech
+// site posting a few dozen stories per day.
+func SlashdotProfile() PublisherProfile {
+	return PublisherProfile{
+		Name:            "slashdot",
+		ArticlesPerHour: 1.0, // ~24 stories/day, 2002-era Slashdot
+		Subjects:        news.SubjectsByPrefix("tech"),
+		MeanBodyBytes:   2500,
+		RevisionProb:    0.15,
+	}
+}
+
+// WireServiceProfile models a high-volume general news wire.
+func WireServiceProfile(name string) PublisherProfile {
+	return PublisherProfile{
+		Name:            name,
+		ArticlesPerHour: 25,
+		Subjects:        news.StandardSubjects,
+		MeanBodyBytes:   1800,
+		RevisionProb:    0.3,
+	}
+}
+
+// ArticleGen produces a deterministic stream of items for one publisher.
+type ArticleGen struct {
+	profile PublisherProfile
+	rng     *rand.Rand
+	seq     int
+	pending []*news.Item // articles that will receive revisions
+}
+
+// NewArticleGen returns a generator seeded by rng.
+func NewArticleGen(profile PublisherProfile, rng *rand.Rand) (*ArticleGen, error) {
+	if profile.Name == "" {
+		return nil, fmt.Errorf("workload: publisher name required")
+	}
+	if len(profile.Subjects) == 0 {
+		return nil, fmt.Errorf("workload: publisher %q has no subjects", profile.Name)
+	}
+	if profile.ArticlesPerHour <= 0 {
+		return nil, fmt.Errorf("workload: non-positive article rate")
+	}
+	if profile.MeanBodyBytes <= 0 {
+		profile.MeanBodyBytes = 2000
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: rng required")
+	}
+	return &ArticleGen{profile: profile, rng: rng}, nil
+}
+
+// NextDelay samples the Poisson inter-arrival gap to the next article.
+func (g *ArticleGen) NextDelay() time.Duration {
+	perSecond := g.profile.ArticlesPerHour / 3600
+	seconds := g.rng.ExpFloat64() / perSecond
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Next produces the next item (possibly a revision of an earlier one)
+// published at the given instant.
+func (g *ArticleGen) Next(now time.Time) *news.Item {
+	// Occasionally emit a revision of a pending article instead of a new
+	// story.
+	if len(g.pending) > 0 && g.rng.Float64() < 0.5 {
+		it := g.pending[0]
+		g.pending = g.pending[1:]
+		rev := *it
+		rev.Revision++
+		rev.Body = rev.Body + "\n[updated]"
+		rev.Published = now
+		return &rev
+	}
+	g.seq++
+	subject := g.profile.Subjects[ZipfIndex(g.rng, len(g.profile.Subjects), 1.2)]
+	bodyLen := int(g.rng.ExpFloat64() * float64(g.profile.MeanBodyBytes))
+	if bodyLen < 200 {
+		bodyLen = 200
+	}
+	it := &news.Item{
+		Publisher: g.profile.Name,
+		ID:        fmt.Sprintf("art-%06d", g.seq),
+		Revision:  0,
+		Headline:  fmt.Sprintf("%s story %d about %s", g.profile.Name, g.seq, subject),
+		Byline:    "By Staff Writer",
+		Abstract:  fmt.Sprintf("Abstract of story %d.", g.seq),
+		Body:      strings.Repeat("x", bodyLen),
+		Subjects:  []string{subject},
+		Urgency:   1 + g.rng.Intn(8),
+		Published: now,
+	}
+	if strings.HasPrefix(subject, "world/") {
+		it.Geography = strings.TrimPrefix(subject, "world/")
+	}
+	if g.rng.Float64() < g.profile.RevisionProb {
+		g.pending = append(g.pending, it)
+	}
+	return it
+}
+
+// ZipfIndex samples an index in [0, n) with Zipf(s) weights (index 0 most
+// popular). Implemented directly so the exponent can be < 1 or arbitrary,
+// unlike math/rand's Zipf.
+func ZipfIndex(rng *rand.Rand, n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF over the normalized harmonic weights.
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	target := rng.Float64() * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		if cum >= target {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// SampleSubscriptions draws count distinct subjects for one subscriber,
+// Zipf-weighted over the pool, modelling the skewed interest distribution
+// of real audiences.
+func SampleSubscriptions(rng *rand.Rand, pool []string, count int, s float64) []string {
+	if count >= len(pool) {
+		out := make([]string, len(pool))
+		copy(out, pool)
+		return out
+	}
+	chosen := make(map[int]bool, count)
+	out := make([]string, 0, count)
+	for len(out) < count {
+		idx := ZipfIndex(rng, len(pool), s)
+		if chosen[idx] {
+			continue
+		}
+		chosen[idx] = true
+		out = append(out, pool[idx])
+	}
+	return out
+}
+
+// ReaderProfile models a returning pull-model reader (§1: "a consumer who
+// returns 4 times during a day receives about 70% redundant data").
+type ReaderProfile struct {
+	// VisitsPerDay is how often the reader pulls the site.
+	VisitsPerDay int
+}
+
+// VisitTimes spreads the reader's visits evenly over one day starting at
+// dayStart, with jitter so readers do not synchronize.
+func (r ReaderProfile) VisitTimes(rng *rand.Rand, dayStart time.Time) []time.Time {
+	if r.VisitsPerDay <= 0 {
+		return nil
+	}
+	interval := 24 * time.Hour / time.Duration(r.VisitsPerDay)
+	out := make([]time.Time, 0, r.VisitsPerDay)
+	for i := 0; i < r.VisitsPerDay; i++ {
+		jitter := time.Duration(rng.Int63n(int64(interval / 2)))
+		out = append(out, dayStart.Add(time.Duration(i)*interval+jitter))
+	}
+	return out
+}
+
+// FlashCrowd scales a base request rate by a multiplier during an event
+// window — the September-2001-style overload scenario of §1.
+type FlashCrowd struct {
+	Start      time.Time
+	Duration   time.Duration
+	Multiplier float64
+}
+
+// RateAt returns the effective request rate at instant t given the base
+// rate.
+func (f FlashCrowd) RateAt(t time.Time, base float64) float64 {
+	if f.Multiplier <= 1 {
+		return base
+	}
+	if t.Before(f.Start) || t.After(f.Start.Add(f.Duration)) {
+		return base
+	}
+	return base * f.Multiplier
+}
+
+// DayOfArticles generates one day's article stream starting at dayStart,
+// with Poisson inter-arrival gaps, in publication order.
+func (g *ArticleGen) DayOfArticles(dayStart time.Time) []*news.Item {
+	var out []*news.Item
+	at := dayStart.Add(g.NextDelay())
+	end := dayStart.Add(24 * time.Hour)
+	for at.Before(end) {
+		out = append(out, g.Next(at))
+		at = at.Add(g.NextDelay())
+	}
+	return out
+}

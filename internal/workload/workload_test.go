@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"newswire/internal/news"
+	"newswire/internal/vtime"
+)
+
+func TestNewArticleGenValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	good := SlashdotProfile()
+	if _, err := NewArticleGen(good, rng); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := good
+	bad.Name = ""
+	if _, err := NewArticleGen(bad, rng); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = good
+	bad.Subjects = nil
+	if _, err := NewArticleGen(bad, rng); err == nil {
+		t.Error("no subjects accepted")
+	}
+	bad = good
+	bad.ArticlesPerHour = 0
+	if _, err := NewArticleGen(bad, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewArticleGen(good, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestArticleGenProducesValidItems(t *testing.T) {
+	g, err := NewArticleGen(SlashdotProfile(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := vtime.Epoch
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		it := g.Next(now)
+		if err := it.Validate(); err != nil {
+			t.Fatalf("item %d invalid: %v", i, err)
+		}
+		if it.Publisher != "slashdot" {
+			t.Fatalf("publisher = %q", it.Publisher)
+		}
+		if seen[it.Key()] {
+			t.Fatalf("duplicate key %s", it.Key())
+		}
+		seen[it.Key()] = true
+		now = now.Add(time.Minute)
+	}
+}
+
+func TestArticleGenEmitsRevisions(t *testing.T) {
+	profile := SlashdotProfile()
+	profile.RevisionProb = 1.0 // every story gets revised
+	g, _ := NewArticleGen(profile, rand.New(rand.NewSource(3)))
+	revs := 0
+	for i := 0; i < 300; i++ {
+		if it := g.Next(vtime.Epoch); it.Revision > 0 {
+			revs++
+		}
+	}
+	if revs == 0 {
+		t.Fatal("no revisions generated despite RevisionProb=1")
+	}
+}
+
+func TestNextDelayPositiveAndRoughlyCalibrated(t *testing.T) {
+	profile := SlashdotProfile()
+	profile.ArticlesPerHour = 60 // one per minute
+	g, _ := NewArticleGen(profile, rand.New(rand.NewSource(11)))
+	var total time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := g.NextDelay()
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+		total += d
+	}
+	mean := total / n
+	if mean < 30*time.Second || mean > 2*time.Minute {
+		t.Fatalf("mean inter-arrival %v, want ~1m", mean)
+	}
+}
+
+func TestZipfIndexSkewAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		idx := ZipfIndex(rng, 10, 1.2)
+		if idx < 0 || idx >= 10 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("no skew: first=%d last=%d", counts[0], counts[9])
+	}
+	if counts[0] <= counts[4] {
+		t.Fatalf("weak skew: first=%d mid=%d", counts[0], counts[4])
+	}
+	// Degenerate sizes.
+	if ZipfIndex(rng, 1, 1.2) != 0 || ZipfIndex(rng, 0, 1.2) != 0 {
+		t.Fatal("degenerate n mishandled")
+	}
+}
+
+func TestSampleSubscriptionsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	subs := SampleSubscriptions(rng, news.StandardSubjects, 5, 1.0)
+	if len(subs) != 5 {
+		t.Fatalf("got %d subjects", len(subs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range subs {
+		if seen[s] {
+			t.Fatalf("duplicate subject %q", s)
+		}
+		seen[s] = true
+	}
+	// Requesting more than the pool returns the whole pool.
+	all := SampleSubscriptions(rng, []string{"a", "b"}, 10, 1.0)
+	if len(all) != 2 {
+		t.Fatalf("overdraw returned %d", len(all))
+	}
+}
+
+func TestReaderVisitTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	day := vtime.Epoch
+	visits := ReaderProfile{VisitsPerDay: 4}.VisitTimes(rng, day)
+	if len(visits) != 4 {
+		t.Fatalf("got %d visits", len(visits))
+	}
+	for i, v := range visits {
+		if v.Before(day) || v.After(day.Add(24*time.Hour)) {
+			t.Fatalf("visit %d at %v outside the day", i, v)
+		}
+		if i > 0 && !visits[i].After(visits[i-1]) {
+			t.Fatalf("visits not increasing: %v", visits)
+		}
+	}
+	if got := (ReaderProfile{}).VisitTimes(rng, day); got != nil {
+		t.Fatal("zero visits should return nil")
+	}
+}
+
+func TestFlashCrowdRate(t *testing.T) {
+	f := FlashCrowd{Start: vtime.Epoch.Add(time.Hour), Duration: time.Hour, Multiplier: 100}
+	if got := f.RateAt(vtime.Epoch, 10); got != 10 {
+		t.Fatalf("pre-event rate = %v", got)
+	}
+	if got := f.RateAt(vtime.Epoch.Add(90*time.Minute), 10); got != 1000 {
+		t.Fatalf("event rate = %v", got)
+	}
+	if got := f.RateAt(vtime.Epoch.Add(3*time.Hour), 10); got != 10 {
+		t.Fatalf("post-event rate = %v", got)
+	}
+	calm := FlashCrowd{Multiplier: 1}
+	if got := calm.RateAt(vtime.Epoch, 10); got != 10 {
+		t.Fatalf("multiplier 1 changed rate: %v", got)
+	}
+}
+
+func TestGeographyFromWorldSubjects(t *testing.T) {
+	profile := WireServiceProfile("reuters")
+	profile.Subjects = []string{"world/asia"}
+	g, _ := NewArticleGen(profile, rand.New(rand.NewSource(4)))
+	it := g.Next(vtime.Epoch)
+	if it.Geography != "asia" {
+		t.Fatalf("geography = %q, want asia", it.Geography)
+	}
+}
+
+func TestDayOfArticles(t *testing.T) {
+	g, _ := NewArticleGen(SlashdotProfile(), rand.New(rand.NewSource(6)))
+	day := vtime.Epoch
+	items := g.DayOfArticles(day)
+	// ~40 stories/day at 1.7/hour; allow wide slack.
+	if len(items) < 15 || len(items) > 90 {
+		t.Fatalf("day produced %d articles, want ~40", len(items))
+	}
+	for i, it := range items {
+		if it.Published.Before(day) || it.Published.After(day.Add(24*time.Hour)) {
+			t.Fatalf("article %d published outside the day: %v", i, it.Published)
+		}
+		if i > 0 && items[i].Published.Before(items[i-1].Published) {
+			t.Fatal("articles out of order")
+		}
+	}
+}

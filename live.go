@@ -1,0 +1,117 @@
+package newswire
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"newswire/internal/core"
+	"newswire/internal/transport"
+	"newswire/internal/vtime"
+	"newswire/internal/wire"
+)
+
+// LiveConfig configures a node that runs over real TCP with the wall
+// clock (cmd/newswired).
+type LiveConfig struct {
+	// Node is the node configuration. Transport and Clock are filled in
+	// by StartLive; Rand defaults to a time-seeded source if nil.
+	Node Config
+	// ListenAddr is the TCP address to listen on, e.g. "127.0.0.1:0".
+	ListenAddr string
+	// Peers are addresses of existing cluster members to bootstrap
+	// membership from: the node requests their gossip by sending its own
+	// chain rows, and normal anti-entropy does the rest.
+	Peers []string
+}
+
+// LiveNode is a running NewsWire node over TCP.
+type LiveNode struct {
+	node *core.Node
+	tr   *transport.TCP
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartLive launches a node: TCP listener, message dispatch, and a gossip
+// ticker. Call Close to shut it down.
+func StartLive(cfg LiveConfig) (*LiveNode, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	var node *core.Node
+	tr, err := transport.ListenTCP(cfg.ListenAddr, func(m *wire.Message) {
+		if node != nil {
+			node.HandleMessage(m)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodeCfg := cfg.Node
+	nodeCfg.Transport = tr
+	nodeCfg.Clock = vtime.Real{}
+	if nodeCfg.Rand == nil {
+		nodeCfg.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if nodeCfg.Name == "" {
+		nodeCfg.Name = fmt.Sprintf("node-%s", tr.Addr())
+	}
+	if nodeCfg.ZonePath == "" {
+		nodeCfg.ZonePath = "/default"
+	}
+	n, err := core.NewNode(nodeCfg)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	node = n
+
+	ln := &LiveNode{
+		node: n,
+		tr:   tr,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	// Introduce ourselves to the seed peers: push our chain rows as a
+	// gossip message; their replies bootstrap our replicas. Best effort;
+	// the ticker keeps retrying through normal gossip.
+	n.IntroduceTo(cfg.Peers...)
+
+	interval := nodeCfg.GossipInterval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	go ln.run(interval)
+	return ln, nil
+}
+
+func (ln *LiveNode) run(interval time.Duration) {
+	defer close(ln.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ln.node.Tick()
+		case <-ln.stop:
+			return
+		}
+	}
+}
+
+// Node returns the underlying node for subscriptions and publishing.
+func (ln *LiveNode) Node() *Node { return ln.node }
+
+// Addr returns the node's listen address (with the resolved port).
+func (ln *LiveNode) Addr() string { return ln.tr.Addr() }
+
+// Close stops the ticker and the transport and waits for shutdown.
+func (ln *LiveNode) Close() error {
+	close(ln.stop)
+	<-ln.done
+	return ln.tr.Close()
+}

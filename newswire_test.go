@@ -1,0 +1,214 @@
+package newswire_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newswire"
+	"newswire/internal/news"
+	"newswire/internal/wire"
+)
+
+// TestPublicAPISimulatedCluster exercises the README quick-start path
+// through the public facade only.
+func TestPublicAPISimulatedCluster(t *testing.T) {
+	var delivered atomic.Int64
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N:         16,
+		Branching: 4,
+		Seed:      99,
+		Link:      newswire.DefaultWAN,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.RepCount = 2
+			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
+				delivered.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cluster.Nodes {
+		if err := n.Subscribe("tech/linux"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.RunRounds(8)
+
+	item := &newswire.Item{
+		Publisher: "slashdot", ID: "api-test",
+		Headline: "public API works", Body: "body",
+		Subjects:  []string{"tech/linux"},
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[0].PublishItem(item, newswire.RootZone, ""); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(10 * time.Second)
+
+	if got := delivered.Load(); got != 16 {
+		t.Fatalf("delivered to %d of 16 nodes", got)
+	}
+}
+
+// TestLiveClusterOverTCP runs three real nodes over loopback TCP: two
+// subscribers and a publisher joining through a seed peer.
+func TestLiveClusterOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test")
+	}
+	var got1, got2 atomic.Int64
+	mk := func(name string, peers []string, counter *atomic.Int64) *newswire.LiveNode {
+		t.Helper()
+		cfg := newswire.LiveConfig{
+			Node: newswire.Config{
+				Name:           name,
+				ZonePath:       "/live",
+				GossipInterval: 200 * time.Millisecond,
+			},
+			Peers: peers,
+		}
+		if counter != nil {
+			cfg.Node.OnItem = func(*news.Item, *wire.ItemEnvelope) { counter.Add(1) }
+		}
+		ln, err := newswire.StartLive(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		return ln
+	}
+
+	seed := mk("seed", nil, &got1)
+	if err := seed.Node().Subscribe("tech/linux"); err != nil {
+		t.Fatal(err)
+	}
+	second := mk("second", []string{seed.Addr()}, &got2)
+	if err := second.Node().Subscribe("tech/linux"); err != nil {
+		t.Fatal(err)
+	}
+	publisher := mk("pub", []string{seed.Addr()}, nil)
+
+	// Wait for membership to converge: both subscribers visible in the
+	// publisher's leaf table.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rows, _ := publisher.Node().Agent().Table("/live")
+		if len(rows) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never converged: %d rows", len(rows))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// And for the subscription filters to aggregate.
+	time.Sleep(time.Second)
+
+	item := &newswire.Item{
+		Publisher: "slashdot", ID: "live-1",
+		Headline: "over real sockets", Body: "body",
+		Subjects:  []string{"tech/linux"},
+		Published: time.Now(),
+	}
+	if err := publisher.Node().PublishItem(item, "", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline = time.Now().Add(10 * time.Second)
+	for got1.Load() < 1 || got2.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live delivery incomplete: seed=%d second=%d", got1.Load(), got2.Load())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDeterministicClusterRuns verifies the simulation's headline
+// property: the same seed reproduces the same run exactly.
+func TestDeterministicClusterRuns(t *testing.T) {
+	run := func() string {
+		var log string
+		var cluster *newswire.Cluster
+		c, err := newswire.NewCluster(newswire.ClusterConfig{
+			N: 12, Branching: 4, Seed: 4242,
+			Customize: func(i int, cfg *newswire.Config) {
+				node := i
+				cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
+					log += fmt.Sprintf("%d:%s@%s;", node, it.ID,
+						cluster.Eng.Now().Format("15:04:05.000"))
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster = c
+		for _, n := range cluster.Nodes {
+			n.Subscribe("tech/linux")
+		}
+		cluster.RunRounds(8)
+		it := &newswire.Item{
+			Publisher: "p", ID: "det", Headline: "h", Body: "b",
+			Subjects: []string{"tech/linux"}, Published: cluster.Eng.Now(),
+		}
+		cluster.Nodes[0].PublishItem(it, "", "")
+		cluster.RunFor(10 * time.Second)
+		sent, deliveredCt, dropped := cluster.Net.Totals()
+		return fmt.Sprintf("%s|%d/%d/%d", log, sent, deliveredCt, dropped)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestFacadeConstructors exercises the thin wrappers the facade adds over
+// internal/core.
+func TestFacadeConstructors(t *testing.T) {
+	realm, err := newswire.NewRealm(newswire.RealClock, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realm.Store == nil {
+		t.Fatal("realm has no certificate store")
+	}
+	// NewNode surfaces config errors.
+	if _, err := newswire.NewNode(newswire.Config{}); err == nil {
+		t.Fatal("empty node config accepted")
+	}
+}
+
+func TestStartLiveErrors(t *testing.T) {
+	// A bad listen address fails fast.
+	if _, err := newswire.StartLive(newswire.LiveConfig{
+		ListenAddr: "999.999.999.999:0",
+	}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	// A bad zone path fails after the listener opens (and closes it).
+	if _, err := newswire.StartLive(newswire.LiveConfig{
+		Node: newswire.Config{ZonePath: "not-a-zone"},
+	}); err == nil {
+		t.Fatal("bad zone path accepted")
+	}
+}
+
+func TestStartLiveDefaults(t *testing.T) {
+	ln, err := newswire.StartLive(newswire.LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Node().ZonePath() != "/default" {
+		t.Fatalf("default zone = %q", ln.Node().ZonePath())
+	}
+	if ln.Node().Name() == "" {
+		t.Fatal("no default name")
+	}
+	if ln.Addr() == "" {
+		t.Fatal("no resolved address")
+	}
+}

@@ -1,0 +1,185 @@
+package newswire
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/core"
+	"newswire/internal/pubsub"
+)
+
+// WebUI serves the node-status web interface the paper promises for the
+// user application (§10: "a full user control application ... with an
+// additional web interface for access"). It exposes:
+//
+//	GET /            – human-readable status page
+//	GET /status.json – machine-readable node status
+//	GET /items.json  – recent items from the message cache
+//	GET /zones.json  – the node's replicated zone tables (summarized)
+//
+// Mount it on any http.Server; cmd/newswired wires it to -http.
+type WebUI struct {
+	node *core.Node
+}
+
+// NewWebUI returns a handler set for the given node.
+func NewWebUI(node *Node) *WebUI {
+	return &WebUI{node: node}
+}
+
+// Handler returns the mux serving every endpoint.
+func (ui *WebUI) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", ui.handleIndex)
+	mux.HandleFunc("/status.json", ui.handleStatus)
+	mux.HandleFunc("/items.json", ui.handleItems)
+	mux.HandleFunc("/zones.json", ui.handleZones)
+	return mux
+}
+
+// statusDoc is the /status.json schema.
+type statusDoc struct {
+	Name       string   `json:"name"`
+	Addr       string   `json:"addr"`
+	Zone       string   `json:"zone"`
+	Subjects   []string `json:"subjects"`
+	Delivered  int64    `json:"delivered"`
+	CacheItems int      `json:"cacheItems"`
+	Publishers []string `json:"publishers"`
+}
+
+func (ui *WebUI) status() statusDoc {
+	return statusDoc{
+		Name:       ui.node.Name(),
+		Addr:       ui.node.Addr(),
+		Zone:       ui.node.ZonePath(),
+		Subjects:   ui.node.Subjects(),
+		Delivered:  ui.node.Delivered(),
+		CacheItems: ui.node.Cache().Len(),
+		Publishers: ui.node.KnownPublishers(),
+	}
+}
+
+func (ui *WebUI) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ui.status())
+}
+
+// itemDoc is one /items.json entry.
+type itemDoc struct {
+	Key       string    `json:"key"`
+	Publisher string    `json:"publisher"`
+	Headline  string    `json:"headline"`
+	Subjects  []string  `json:"subjects"`
+	Urgency   int       `json:"urgency"`
+	Published time.Time `json:"published"`
+}
+
+func (ui *WebUI) recentItems(max int) []itemDoc {
+	envs, _ := ui.node.Cache().Since(time.Time{}, nil, max)
+	docs := make([]itemDoc, 0, len(envs))
+	for i := range envs {
+		env := &envs[i]
+		doc := itemDoc{
+			Key:       env.Key(),
+			Publisher: env.Publisher,
+			Subjects:  env.Subjects,
+			Urgency:   env.Urgency,
+			Published: env.Published,
+		}
+		if it, err := pubsub.DecodeItem(env); err == nil {
+			doc.Headline = it.Headline
+		}
+		docs = append(docs, doc)
+	}
+	// Newest first for display.
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Published.After(docs[j].Published) })
+	return docs
+}
+
+func (ui *WebUI) handleItems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ui.recentItems(100))
+}
+
+// zoneDoc summarizes one replicated table row.
+type zoneDoc struct {
+	Zone    string   `json:"zone"`
+	Row     string   `json:"row"`
+	Members int64    `json:"members,omitempty"`
+	Addr    string   `json:"addr,omitempty"`
+	Reps    []string `json:"reps,omitempty"`
+}
+
+func (ui *WebUI) zones() []zoneDoc {
+	var docs []zoneDoc
+	for _, zone := range ui.node.Agent().Chain() {
+		rows, ok := ui.node.Agent().Table(zone)
+		if !ok {
+			continue
+		}
+		for _, row := range rows {
+			doc := zoneDoc{Zone: zone, Row: row.Name}
+			doc.Members, _ = row.Attrs[astrolabe.AttrMembers].AsInt()
+			doc.Addr, _ = row.Attrs[astrolabe.AttrAddr].AsString()
+			doc.Reps, _ = row.Attrs[astrolabe.AttrReps].AsStrings()
+			docs = append(docs, doc)
+		}
+	}
+	return docs
+}
+
+func (ui *WebUI) handleZones(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ui.zones())
+}
+
+func (ui *WebUI) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	st := ui.status()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>NewsWire — %s</title></head><body>",
+		html.EscapeString(st.Name))
+	fmt.Fprintf(w, "<h1>NewsWire node %s</h1>", html.EscapeString(st.Name))
+	fmt.Fprintf(w, "<p>address <code>%s</code>, zone <code>%s</code>, %d items delivered, %d cached</p>",
+		html.EscapeString(st.Addr), html.EscapeString(st.Zone), st.Delivered, st.CacheItems)
+
+	fmt.Fprint(w, "<h2>Subscriptions</h2><ul>")
+	for _, s := range st.Subjects {
+		fmt.Fprintf(w, "<li><code>%s</code></li>", html.EscapeString(s))
+	}
+	fmt.Fprint(w, "</ul>")
+
+	fmt.Fprint(w, "<h2>Known publishers</h2><ul>")
+	for _, p := range st.Publishers {
+		fmt.Fprintf(w, "<li>%s</li>", html.EscapeString(p))
+	}
+	fmt.Fprint(w, "</ul>")
+
+	fmt.Fprint(w, "<h2>Recent items</h2><table border='1' cellpadding='4'>")
+	fmt.Fprint(w, "<tr><th>published</th><th>key</th><th>headline</th><th>subjects</th></tr>")
+	for _, it := range ui.recentItems(25) {
+		fmt.Fprintf(w, "<tr><td>%s</td><td><code>%s</code></td><td>%s</td><td>%s</td></tr>",
+			it.Published.Format("15:04:05"),
+			html.EscapeString(it.Key),
+			html.EscapeString(it.Headline),
+			html.EscapeString(fmt.Sprint(it.Subjects)))
+	}
+	fmt.Fprint(w, "</table>")
+	fmt.Fprint(w, `<p><a href="/status.json">status.json</a> · <a href="/items.json">items.json</a> · <a href="/zones.json">zones.json</a></p>`)
+	fmt.Fprint(w, "</body></html>")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

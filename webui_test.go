@@ -1,0 +1,150 @@
+package newswire_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"newswire"
+)
+
+// webUICluster builds a tiny cluster with one delivered item and returns
+// the UI over node 1.
+func webUICluster(t *testing.T) (*newswire.Cluster, *newswire.WebUI) {
+	t.Helper()
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N: 4, Branching: 4, Seed: 404,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cluster.Nodes {
+		if err := n.Subscribe("tech/linux"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.RunRounds(6)
+	item := &newswire.Item{
+		Publisher: "slashdot", ID: "ui-item",
+		Headline: "WebUI test story", Body: "body",
+		Subjects:  []string{"tech/linux"},
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[0].PublishItem(item, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(5 * time.Second)
+	return cluster, newswire.NewWebUI(cluster.Nodes[1])
+}
+
+func TestWebUIStatusJSON(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Name       string   `json:"name"`
+		Zone       string   `json:"zone"`
+		Subjects   []string `json:"subjects"`
+		Delivered  int64    `json:"delivered"`
+		Publishers []string `json:"publishers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Name != "node-1" {
+		t.Errorf("name = %q", status.Name)
+	}
+	if status.Delivered != 1 {
+		t.Errorf("delivered = %d", status.Delivered)
+	}
+	if len(status.Subjects) != 1 || status.Subjects[0] != "tech/linux" {
+		t.Errorf("subjects = %v", status.Subjects)
+	}
+}
+
+func TestWebUIItemsJSON(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/items.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var items []struct {
+		Key      string `json:"key"`
+		Headline string `json:"headline"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].Key != "slashdot/ui-item#0" {
+		t.Fatalf("items = %+v", items)
+	}
+	if items[0].Headline != "WebUI test story" {
+		t.Fatalf("headline = %q", items[0].Headline)
+	}
+}
+
+func TestWebUIZonesJSON(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/zones.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var zones []struct {
+		Zone string `json:"zone"`
+		Row  string `json:"row"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&zones); err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) < 4 {
+		t.Fatalf("zones = %+v", zones)
+	}
+}
+
+func TestWebUIIndexHTML(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"NewsWire node node-1", "tech/linux", "WebUI test story", "slashdot"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	resp2, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
