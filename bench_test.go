@@ -259,24 +259,38 @@ func BenchmarkNITFRoundTrip(b *testing.B) {
 }
 
 // BenchmarkGossipRound measures one full gossip round of a 64-node
-// cluster (ticks plus message drain) in the simulator.
+// cluster (ticks plus message drain) in the simulator, comparing the
+// full-state anti-entropy fallback against digest-based delta gossip on
+// the paper's 64-row leaf-zone shape. The bytes/round metric is the
+// steady-state network traffic the whole cluster generates per round.
 func BenchmarkGossipRound(b *testing.B) {
-	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
-		N: 64, Branching: 16, Seed: 1,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, n := range cluster.Nodes {
-		if err := n.Subscribe("tech/linux"); err != nil {
+	run := func(b *testing.B, fullState bool) {
+		cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+			N: 64, Branching: 64, Seed: 1,
+			Customize: func(i int, cfg *newswire.Config) {
+				cfg.DisableDeltaGossip = fullState
+			},
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
+		for _, n := range cluster.Nodes {
+			if err := n.Subscribe("tech/linux"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cluster.RunRounds(5)
+		startBytes, _ := cluster.Net.BytesTotals()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cluster.RunRounds(1)
+		}
+		b.StopTimer()
+		endBytes, _ := cluster.Net.BytesTotals()
+		b.ReportMetric(float64(endBytes-startBytes)/float64(b.N), "bytes/round")
 	}
-	cluster.RunRounds(5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cluster.RunRounds(1)
-	}
+	b.Run("full", func(b *testing.B) { run(b, true) })
+	b.Run("delta", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkPublishDelivery measures one end-to-end publish through a

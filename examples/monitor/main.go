@@ -22,6 +22,7 @@ import (
 
 	"newswire"
 	"newswire/internal/astrolabe"
+	"newswire/internal/metrics"
 	"newswire/internal/sqlagg"
 	"newswire/internal/value"
 )
@@ -128,6 +129,27 @@ func run() error {
 			fmt.Printf("alert: zone %s contains a machine above 90%% cpu\n", r.Name)
 		}
 	}
+
+	// The monitoring substrate also watches itself: delta anti-entropy
+	// keeps the gossip that carries all the state above cheap. Summed
+	// across the deployment the counters show mostly digest entries
+	// (tiny) and comparatively few full rows.
+	var gossips, gossipBytes, rowsSent, digests int64
+	for _, node := range cluster.Nodes {
+		st := node.Agent().Stats()
+		gossips += st.GossipsSent
+		gossipBytes += st.GossipBytesSent
+		rowsSent += st.RowsSent
+		digests += st.DigestsSent
+	}
+	fmt.Printf("\ngossip traffic so far: %d exchanges, %.1f KB, %d full rows, %d digest entries\n",
+		gossips, float64(gossipBytes)/1024, rowsSent, digests)
+
+	// A single node's view of the same counters, through the metrics
+	// registry an operator would scrape.
+	reg := metrics.NewRegistry()
+	observer.FillMetrics(reg)
+	fmt.Printf("\nnode 23 metrics registry:\n%s\n", reg.Snapshot())
 
 	// The monitoring state keeps converging as metrics change: idle
 	// machine 16 gets busy, and within a few rounds every root table

@@ -102,7 +102,7 @@ func run() error {
 
 	// --- Phase 2: failure detection + cache recovery close the gap. ---
 	fmt.Println("\n-- phase 2: failure detection + end-to-end cache recovery --")
-	cluster.RunRounds(12) // past the failure timeout: reps re-elected
+	cluster.RunRounds(14) // past the failure timeout: reps re-elected
 	for _, node := range cluster.Nodes {
 		if cluster.Net.Crashed(node.Addr()) {
 			continue

@@ -73,7 +73,7 @@ func run() error {
 			node.Agent().SetAttr("premium", value.Bool(true))
 		}
 	}
-	cluster.RunRounds(10)
+	cluster.RunRounds(12)
 
 	publish := func(id, subject, scope, predicate string) error {
 		it := &news.Item{

@@ -75,6 +75,11 @@ type PrefixRule struct {
 	Op     PrefixOp
 }
 
+// msgOverhead mirrors the fixed per-message envelope cost wire's
+// EstimateSize charges (kind, lengths, framing), excluding the From
+// address, which the transport stamps at send time.
+const msgOverhead = 16
+
 // Config configures an Agent.
 type Config struct {
 	// Name is the agent's row name, unique within its leaf zone.
@@ -117,6 +122,13 @@ type Config struct {
 	// VerifyRow, when set, authenticates rows received in gossip; rows
 	// failing verification are discarded.
 	VerifyRow func(r *wire.RowUpdate) error
+	// DisableDeltaGossip makes the agent initiate anti-entropy by pushing
+	// its full shared state (the pre-digest protocol) instead of a row
+	// digest. Delta gossip is the default; the full-state path is kept as
+	// a fallback and for ablation experiments. Agents handle both
+	// protocols on receive regardless of this setting, so mixed clusters
+	// interoperate.
+	DisableDeltaGossip bool
 }
 
 // Row is a snapshot of one MIB row. Attrs is shared with the agent's
@@ -128,6 +140,45 @@ type Row struct {
 	Owner  string
 	Signer string
 	Sig    []byte
+
+	// enc caches the canonical binary encoding of Attrs, and hash its
+	// FNV-64a hash, both computed on first use. Attrs is immutable once
+	// the row is stored, so the cache never goes stale. The encoding
+	// drives the deterministic tie-break and aggregation input order;
+	// the hash rides in gossip digests.
+	enc    []byte
+	hashed bool
+	hash   uint64
+}
+
+// encoding returns the row's canonical attribute encoding, caching it.
+func (r *Row) encoding() []byte {
+	if r.enc == nil {
+		r.enc = r.Attrs.AppendBinary(nil)
+	}
+	return r.enc
+}
+
+// attrsHash returns the FNV-64a hash of the row's canonical encoding.
+func (r *Row) attrsHash() uint64 {
+	if !r.hashed {
+		r.hash = fnv64a(r.encoding())
+		r.hashed = true
+	}
+	return r.hash
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined to keep digest construction
+// allocation-free.
+func fnv64a(b []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // Stats counts agent activity, for tests and experiment tables.
@@ -138,10 +189,29 @@ type Stats struct {
 	RowsMerged      int64
 	RowsRejected    int64
 	RowsExpired     int64
+	// GossipBytesSent estimates the wire bytes of all anti-entropy
+	// traffic this agent initiated or answered, using the same size
+	// model as wire.Message.EstimateSize.
+	GossipBytesSent int64
+	// RowsSent counts full row updates shipped in gossip messages.
+	RowsSent int64
+	// DigestsSent counts digest entries shipped in GossipDigest messages.
+	DigestsSent int64
+	// AggEvals counts aggregation program evaluations. Dirty-zone
+	// tracking exists to keep this from growing when no input changed;
+	// tests assert a quiescent Tick adds zero.
+	AggEvals int64
 }
 
 type table struct {
 	rows map[string]*Row
+	// dirty records that the attribute *content* of this table changed
+	// (row added, removed, or attributes replaced) since the zone's
+	// aggregate was last computed. Timestamp-only refreshes — the
+	// steady-state heartbeat traffic — leave it clear, letting
+	// recomputeAggregatesLocked re-stamp the aggregate row without
+	// re-running the aggregation program.
+	dirty bool
 }
 
 // Agent is one Astrolabe participant: it owns a row in its leaf zone,
@@ -207,7 +277,7 @@ func NewAgent(cfg Config) (*Agent, error) {
 		tables: make(map[string]*table),
 	}
 	for _, z := range a.chain {
-		a.tables[z] = &table{rows: make(map[string]*Row)}
+		a.tables[z] = &table{rows: make(map[string]*Row), dirty: true}
 	}
 	now := cfg.Clock.Now()
 	a.started = now
@@ -258,7 +328,7 @@ func (a *Agent) SetAttr(name string, v value.Value) {
 	} else {
 		delete(attrs, name)
 	}
-	a.reissueOwnRowLocked(attrs)
+	a.reissueOwnRowLocked(attrs, true)
 	a.recomputeAggregatesLocked()
 }
 
@@ -274,7 +344,7 @@ func (a *Agent) SetAttrs(m value.Map) {
 			delete(attrs, name)
 		}
 	}
-	a.reissueOwnRowLocked(attrs)
+	a.reissueOwnRowLocked(attrs, true)
 	a.recomputeAggregatesLocked()
 }
 
@@ -285,12 +355,24 @@ func (a *Agent) Attr(name string) value.Value {
 	return a.ownRow.Attrs[name]
 }
 
-func (a *Agent) reissueOwnRowLocked(attrs value.Map) {
+// reissueOwnRowLocked replaces the agent's own row with a fresh issue
+// time. contentChanged reports whether attrs differ from the current
+// row: heartbeats pass false, which both keeps the leaf table clean for
+// the incremental-aggregation fast path and carries the cached encoding
+// over to the new row.
+func (a *Agent) reissueOwnRowLocked(attrs value.Map, contentChanged bool) {
 	row := &Row{
 		Name:   a.name,
 		Attrs:  attrs,
 		Issued: a.cfg.Clock.Now(),
 		Owner:  a.addr,
+	}
+	if contentChanged {
+		a.tables[a.leaf].dirty = true
+	} else if old := a.ownRow; old != nil {
+		row.enc = old.enc
+		row.hashed = old.hashed
+		row.hash = old.hash
 	}
 	a.signRowLocked(row, a.leaf)
 	a.ownRow = row
@@ -452,7 +534,7 @@ func (a *Agent) Tick() {
 	now := a.cfg.Clock.Now()
 
 	// Heartbeat: re-issue own row so peers' failure detectors stay quiet.
-	a.reissueOwnRowLocked(a.ownRow.Attrs)
+	a.reissueOwnRowLocked(a.ownRow.Attrs, false)
 
 	// Failure detection: evict rows that have not been refreshed.
 	a.expireLocked(now)
@@ -485,15 +567,29 @@ func (a *Agent) Tick() {
 	msgs := make([]*wire.Message, 0, len(dests))
 	addrs := make([]string, 0, len(dests))
 	for _, d := range dests {
-		msgs = append(msgs, &wire.Message{
-			Kind: wire.KindGossip,
-			Gossip: &wire.Gossip{
-				FromZone: a.leaf,
-				Rows:     a.sharedRowsLocked(d.level),
-			},
-		})
+		var m *wire.Message
+		var payload int
+		if a.cfg.DisableDeltaGossip {
+			rows, size := a.sharedRowsLocked(d.level)
+			m = &wire.Message{
+				Kind:   wire.KindGossip,
+				Gossip: &wire.Gossip{FromZone: a.leaf, Rows: rows},
+			}
+			a.stats.RowsSent += int64(len(rows))
+			payload = size
+		} else {
+			digests, size := a.digestLocked(d.level)
+			m = &wire.Message{
+				Kind:         wire.KindGossipDigest,
+				GossipDigest: &wire.GossipDigest{FromZone: a.leaf, Digests: digests},
+			}
+			a.stats.DigestsSent += int64(len(digests))
+			payload = size
+		}
+		msgs = append(msgs, m)
 		addrs = append(addrs, d.addr)
 		a.stats.GossipsSent++
+		a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + payload)
 	}
 	tr := a.cfg.Transport
 	a.mu.Unlock()
@@ -512,6 +608,10 @@ func (a *Agent) HandleMessage(msg *wire.Message) {
 		a.handleGossip(msg)
 	case wire.KindGossipReply:
 		a.handleGossipReply(msg)
+	case wire.KindGossipDigest:
+		a.handleGossipDigest(msg)
+	case wire.KindGossipDelta:
+		a.handleGossipDelta(msg)
 	default:
 	}
 }
@@ -529,13 +629,16 @@ func (a *Agent) handleGossip(msg *wire.Message) {
 
 	// Reply with our rows of the tables the two agents share.
 	common := CommonAncestor(a.leaf, g.FromZone)
+	rows, size := a.sharedRowsLocked(common)
 	reply := &wire.Message{
 		Kind: wire.KindGossipReply,
 		GossipReply: &wire.GossipReply{
 			FromZone: a.leaf,
-			Rows:     a.sharedRowsLocked(common),
+			Rows:     rows,
 		},
 	}
+	a.stats.RowsSent += int64(len(rows))
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
 	tr := a.cfg.Transport
 	a.mu.Unlock()
 
@@ -549,10 +652,70 @@ func (a *Agent) handleGossipReply(msg *wire.Message) {
 	a.mu.Unlock()
 }
 
+// handleGossipDigest serves the request leg of a delta exchange: diff
+// the initiator's digest against local state and reply with the rows the
+// initiator is missing or stale on, plus refs of the rows this agent
+// wants back.
+func (a *Agent) handleGossipDigest(msg *wire.Message) {
+	g := msg.GossipDigest
+	a.mu.Lock()
+	a.stats.GossipsReceived++
+	rows, want, size := a.diffDigestLocked(g.FromZone, g.Digests)
+	reply := &wire.Message{
+		Kind: wire.KindGossipDelta,
+		GossipDelta: &wire.GossipDelta{
+			FromZone: a.leaf,
+			Rows:     rows,
+			Want:     want,
+		},
+	}
+	a.stats.RowsSent += int64(len(rows))
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
+	tr := a.cfg.Transport
+	a.mu.Unlock()
+
+	_ = tr.Send(msg.From, reply)
+}
+
+// handleGossipDelta merges the rows of a delta reply and, if the sender
+// asked for rows back, answers with a final one-way delta (empty Want),
+// which completes the exchange.
+func (a *Agent) handleGossipDelta(msg *wire.Message) {
+	g := msg.GossipDelta
+	a.mu.Lock()
+	a.stats.RepliesReceived++
+	a.mergeRowsLocked(g.Rows)
+	if len(g.Want) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	rows, size := a.rowsForRefsLocked(g.Want)
+	if len(rows) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	final := &wire.Message{
+		Kind: wire.KindGossipDelta,
+		GossipDelta: &wire.GossipDelta{
+			FromZone: a.leaf,
+			Rows:     rows,
+		},
+	}
+	a.stats.RowsSent += int64(len(rows))
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
+	tr := a.cfg.Transport
+	a.mu.Unlock()
+
+	_ = tr.Send(msg.From, final)
+}
+
 // sharedRowsLocked collects every row of the tables from `deepest` up to
-// the root. When deepest is the agent's leaf zone the whole chain is sent.
-func (a *Agent) sharedRowsLocked(deepest string) []wire.RowUpdate {
+// the root, along with the estimated wire size of the collected rows
+// (computed from the cached encodings, so nothing is re-encoded). When
+// deepest is the agent's leaf zone the whole chain is sent.
+func (a *Agent) sharedRowsLocked(deepest string) ([]wire.RowUpdate, int) {
 	var out []wire.RowUpdate
+	size := 0
 	for _, zone := range a.chain {
 		// Include zone if it is an ancestor-or-equal of the deepest
 		// shared zone.
@@ -570,9 +733,141 @@ func (a *Agent) sharedRowsLocked(deepest string) []wire.RowUpdate {
 				Signer: r.Signer,
 				Sig:    r.Sig,
 			})
+			size += wire.RowSize(&out[len(out)-1], len(r.encoding()))
 		}
 	}
-	return out
+	return out, size
+}
+
+// digestLocked summarizes every row of the tables from `deepest` up to
+// the root as RowDigest entries, plus their estimated wire size. Row
+// hashes come from the per-row cache, so steady-state digests cost no
+// encoding work.
+func (a *Agent) digestLocked(deepest string) ([]wire.RowDigest, int) {
+	var out []wire.RowDigest
+	for _, zone := range a.chain {
+		if !ZoneContains(zone, deepest) {
+			continue
+		}
+		t := a.tables[zone]
+		for _, r := range t.rows {
+			out = append(out, wire.RowDigest{
+				Zone:   zone,
+				Name:   r.Name,
+				Issued: r.Issued,
+				Hash:   r.attrsHash(),
+			})
+		}
+	}
+	return out, wire.DigestsSize(out)
+}
+
+// diffDigestLocked compares an initiator's digest against local state.
+// It returns the rows the initiator needs (missing rows, rows we hold
+// fresher, and the same-timestamp hash-mismatch case, where both sides
+// exchange full rows so the encoded tie-break converges them), the refs
+// of rows the initiator advertised fresher copies of, and the estimated
+// wire size of both.
+func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]wire.RowUpdate, []wire.RowRef, int) {
+	common := CommonAncestor(a.leaf, fromZone)
+	var rows []wire.RowUpdate
+	var want []wire.RowRef
+	size := 0
+
+	sendRow := func(zone string, r *Row) {
+		rows = append(rows, wire.RowUpdate{
+			Zone:   zone,
+			Name:   r.Name,
+			Attrs:  r.Attrs,
+			Issued: r.Issued,
+			Owner:  r.Owner,
+			Signer: r.Signer,
+			Sig:    r.Sig,
+		})
+		size += wire.RowSize(&rows[len(rows)-1], len(r.encoding()))
+	}
+
+	// digested tracks which of our rows the initiator mentioned, so the
+	// second pass can push the rows it has never seen.
+	digested := make(map[string]map[string]bool, len(a.chain))
+
+	for i := range digests {
+		d := &digests[i]
+		t, ok := a.tables[d.Zone]
+		if !ok {
+			continue // we do not replicate that table
+		}
+		seen := digested[d.Zone]
+		if seen == nil {
+			seen = make(map[string]bool)
+			digested[d.Zone] = seen
+		}
+		seen[d.Name] = true
+		r, ok := t.rows[d.Name]
+		if !ok {
+			// The initiator has a row we lack: ask for it.
+			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
+			size += len(d.Zone) + len(d.Name) + 2
+			continue
+		}
+		switch {
+		case r.Issued.After(d.Issued):
+			sendRow(d.Zone, r)
+		case d.Issued.After(r.Issued):
+			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
+			size += len(d.Zone) + len(d.Name) + 2
+		case r.attrsHash() != d.Hash:
+			// Same issue time, different content: both sides need the
+			// full rows to run the deterministic encoded tie-break.
+			sendRow(d.Zone, r)
+			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
+			size += len(d.Zone) + len(d.Name) + 2
+		}
+	}
+
+	// Push every shared-table row the initiator did not digest at all.
+	for _, zone := range a.chain {
+		if !ZoneContains(zone, common) {
+			continue
+		}
+		seen := digested[zone]
+		for name, r := range a.tables[zone].rows {
+			if !seen[name] {
+				sendRow(zone, r)
+			}
+		}
+	}
+	return rows, want, size
+}
+
+// rowsForRefsLocked resolves Want refs to full row updates for the final
+// leg of a delta exchange, skipping rows that expired or were superseded
+// since the digest was built.
+func (a *Agent) rowsForRefsLocked(refs []wire.RowRef) ([]wire.RowUpdate, int) {
+	var out []wire.RowUpdate
+	size := 0
+	for i := range refs {
+		ref := &refs[i]
+		t, ok := a.tables[ref.Zone]
+		if !ok {
+			continue
+		}
+		r, ok := t.rows[ref.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, wire.RowUpdate{
+			Zone:   ref.Zone,
+			Name:   r.Name,
+			Attrs:  r.Attrs,
+			Issued: r.Issued,
+			Owner:  r.Owner,
+			Signer: r.Signer,
+			Sig:    r.Sig,
+		})
+		size += wire.RowSize(&out[len(out)-1], len(r.encoding()))
+	}
+	return out, size
 }
 
 func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
@@ -585,6 +880,7 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 		if u.Zone == a.leaf && u.Name == a.name {
 			continue // we are authoritative for our own row
 		}
+		var uenc []byte // u's canonical encoding, if the tie-break paid for it
 		existing, exists := t.rows[u.Name]
 		if exists && !u.Issued.After(existing.Issued) {
 			if !u.Issued.Equal(existing.Issued) {
@@ -598,7 +894,10 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 			}
 			// Equal timestamps with different content: deterministic
 			// tie-break on the encoded attributes so all replicas agree.
-			if !attrsLess(existing.Attrs, u.Attrs) {
+			// The stored side's encoding comes from the row cache; only
+			// the incoming map needs encoding.
+			uenc = u.Attrs.AppendBinary(nil)
+			if !(string(existing.encoding()) < string(uenc)) {
 				continue
 			}
 		}
@@ -608,6 +907,11 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 				continue
 			}
 		}
+		if !exists || !existing.Attrs.Equal(u.Attrs) {
+			// Content changed (timestamp-only refreshes leave the zone
+			// clean, so heartbeats do not trigger re-aggregation).
+			t.dirty = true
+		}
 		t.rows[u.Name] = &Row{
 			Name:   u.Name,
 			Attrs:  u.Attrs,
@@ -615,12 +919,15 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 			Owner:  u.Owner,
 			Signer: u.Signer,
 			Sig:    u.Sig,
+			enc:    uenc,
 		}
 		a.stats.RowsMerged++
 	}
 }
 
-// attrsLess orders attribute maps by their canonical encoding.
+// attrsLess orders attribute maps by their canonical encoding. Hot paths
+// compare cached Row encodings directly; this remains for callers that
+// hold bare maps.
 func attrsLess(a, b value.Map) bool {
 	ea := a.AppendBinary(nil)
 	eb := b.AppendBinary(nil)
@@ -641,6 +948,7 @@ func (a *Agent) expireLocked(now time.Time) {
 			}
 			if r.Issued.Before(cutoff) {
 				delete(t.rows, name)
+				t.dirty = true
 				a.stats.RowsExpired++
 			}
 		}
@@ -652,6 +960,14 @@ func (a *Agent) expireLocked(now time.Time) {
 // time is the max issue time of its inputs, which makes the computation
 // deterministic across replicas: same inputs produce the same row with the
 // same timestamp, so freshest-wins merging converges.
+//
+// Aggregation is incremental: a zone whose attribute content has not
+// changed since its last aggregate (table.dirty clear) skips the program
+// evaluation entirely. Steady-state heartbeats only advance issue times,
+// so the clean path merely re-stamps the aggregate row this agent owns
+// with the new max input time — keeping the failure detector fed without
+// a single Eval. Zones iterate deepest-first, so a content change deep in
+// the chain marks each ancestor dirty before the ancestor is visited.
 func (a *Agent) recomputeAggregatesLocked() {
 	for i := len(a.chain) - 1; i >= 1; i-- {
 		child := a.chain[i]
@@ -660,47 +976,100 @@ func (a *Agent) recomputeAggregatesLocked() {
 		if len(ct.rows) == 0 {
 			continue
 		}
-		inputs := make([]value.Map, 0, len(ct.rows))
+		name := ZoneName(child)
+		pt := a.tables[parent]
+
 		var latest time.Time
 		for _, r := range ct.rows {
-			inputs = append(inputs, r.Attrs)
 			if r.Issued.After(latest) {
 				latest = r.Issued
 			}
 		}
-		// Deterministic input order (map iteration is random).
-		sort.Slice(inputs, func(x, y int) bool {
-			ax, _ := inputs[x][AttrAddr].AsString()
-			ay, _ := inputs[y][AttrAddr].AsString()
+
+		if !ct.dirty {
+			existing, exists := pt.rows[name]
+			switch {
+			case exists && existing.Owner == a.addr:
+				// Same content, fresher inputs: re-stamp our aggregate
+				// so peers' failure detectors see it refreshed.
+				if latest.After(existing.Issued) {
+					row := &Row{
+						Name:   name,
+						Attrs:  existing.Attrs,
+						Issued: latest,
+						Owner:  a.addr,
+						enc:    existing.enc,
+						hashed: existing.hashed,
+						hash:   existing.hash,
+					}
+					a.signRowLocked(row, parent)
+					pt.rows[name] = row
+				}
+				continue
+			case exists:
+				// A peer owns the current aggregate; it refreshes via
+				// gossip. Nothing to do for a clean zone.
+				continue
+			}
+			// No aggregate row at all: fall through to the full path.
+		}
+
+		rows := make([]*Row, 0, len(ct.rows))
+		for _, r := range ct.rows {
+			rows = append(rows, r)
+		}
+		// Deterministic input order (map iteration is random), compared
+		// on cached encodings so no map is re-encoded per comparison.
+		sort.Slice(rows, func(x, y int) bool {
+			ax, _ := rows[x].Attrs[AttrAddr].AsString()
+			ay, _ := rows[y].Attrs[AttrAddr].AsString()
 			if ax != ay {
 				return ax < ay
 			}
-			return attrsLess(inputs[x], inputs[y])
+			return string(rows[x].encoding()) < string(rows[y].encoding())
 		})
+		inputs := make([]value.Map, len(rows))
+		for x, r := range rows {
+			inputs[x] = r.Attrs
+		}
+		a.stats.AggEvals++
 		out, err := a.cfg.Aggregation.Eval(inputs)
 		if err != nil {
 			continue // a broken program must not kill the agent
 		}
 		applyPrefixRules(a.cfg.PrefixRules, inputs, out)
 
-		name := ZoneName(child)
-		pt := a.tables[parent]
+		// The zone stays dirty until the stored aggregate row actually
+		// reflects this output: a skip below (peer's copy fresher, or a
+		// same-stamp tie-break loss) must retry next Tick once input
+		// heartbeats advance `latest` past the stored copy — otherwise
+		// the losing content would be re-stamped forever by its owner's
+		// clean path and never corrected.
 		existing, exists := pt.rows[name]
+		if exists && existing.Attrs.Equal(out) {
+			// Whoever stamped the stored copy, it matches the current
+			// content: the zone is clean, and the owner keeps it fresh.
+			ct.dirty = false
+			continue
+		}
 		if exists && existing.Issued.After(latest) {
 			continue // a peer computed from fresher inputs
 		}
-		if exists && existing.Issued.Equal(latest) {
-			if existing.Attrs.Equal(out) || !attrsLess(existing.Attrs, out) {
-				continue
-			}
+		outEnc := out.AppendBinary(nil)
+		if exists && existing.Issued.Equal(latest) &&
+			!(string(existing.encoding()) < string(outEnc)) {
+			continue // lost the deterministic tie-break at this stamp
 		}
 		row := &Row{
 			Name:   name,
 			Attrs:  out,
 			Issued: latest,
 			Owner:  a.addr,
+			enc:    outEnc,
 		}
 		a.signRowLocked(row, parent)
+		ct.dirty = false
+		pt.dirty = true
 		pt.rows[name] = row
 	}
 }

@@ -1,0 +1,339 @@
+package astrolabe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"newswire/internal/sim"
+	"newswire/internal/value"
+	"newswire/internal/wire"
+)
+
+// TestQuiescentTickZeroAggEvals is the incremental-aggregation
+// acceptance check: once nothing but heartbeats is happening, a Tick
+// must not evaluate the aggregation program at all — clean zones only
+// re-stamp the aggregate row this agent owns.
+func TestQuiescentTickZeroAggEvals(t *testing.T) {
+	// Strict single-agent case first: no gossip traffic at all.
+	solo := newTestCluster(t, []string{"/usa/ny"}, nil)
+	a := solo.agents[0]
+	base := a.Stats().AggEvals
+	if base == 0 {
+		t.Fatal("construction should have evaluated the aggregation at least once")
+	}
+	for i := 0; i < 5; i++ {
+		a.Tick()
+	}
+	if got := a.Stats().AggEvals; got != base {
+		t.Fatalf("quiescent ticks ran %d extra Eval calls", got-base)
+	}
+
+	// Cluster case: after convergence, gossip carries only heartbeat
+	// re-stamps, which must not dirty any zone.
+	c := newTestCluster(t, []string{"/usa/ny", "/usa/ny", "/usa/sf", "/usa/sf"}, nil)
+	c.runRounds(10)
+	before := int64(0)
+	for _, ag := range c.agents {
+		before += ag.Stats().AggEvals
+	}
+	c.runRounds(5)
+	after := int64(0)
+	for _, ag := range c.agents {
+		after += ag.Stats().AggEvals
+	}
+	if after != before {
+		t.Fatalf("steady-state rounds ran %d Eval calls, want 0", after-before)
+	}
+
+	// A real content change must evaluate again.
+	c.agents[0].SetAttr("cpu", value.Float(0.5))
+	changed := int64(0)
+	for _, ag := range c.agents {
+		changed += ag.Stats().AggEvals
+	}
+	if changed == after {
+		t.Fatal("SetAttr did not trigger re-aggregation")
+	}
+}
+
+// TestDigestDiff exercises every branch of the digest diff rules
+// directly against one agent's tables.
+func TestDigestDiff(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z"}, nil)
+	a := c.agents[0]
+	now := c.eng.Now()
+
+	// Seed a third-party row the initiator will be stale on, and one it
+	// will be fresher on.
+	a.MergeRows([]wire.RowUpdate{
+		{Zone: "/z", Name: "stale-here", Attrs: value.Map{"x": value.Int(1)}, Issued: now.Add(-time.Minute)},
+		{Zone: "/z", Name: "fresh-here", Attrs: value.Map{"x": value.Int(2)}, Issued: now.Add(time.Minute)},
+		{Zone: "/z", Name: "tied", Attrs: value.Map{"x": value.Int(3)}, Issued: now},
+	})
+
+	tiedHash := fnv64a(value.Map{"x": value.Int(3)}.AppendBinary(nil))
+	digests := []wire.RowDigest{
+		// We lack this row entirely → should land in Want.
+		{Zone: "/z", Name: "unknown", Issued: now},
+		// Initiator's copy is fresher than ours → Want.
+		{Zone: "/z", Name: "stale-here", Issued: now},
+		// Initiator's copy is staler than ours → Rows.
+		{Zone: "/z", Name: "fresh-here", Issued: now},
+		// Same stamp, same content → neither.
+		{Zone: "/z", Name: "tied", Issued: now, Hash: tiedHash},
+		// A zone we do not replicate → ignored.
+		{Zone: "/asia", Name: "x", Issued: now},
+	}
+
+	a.mu.Lock()
+	rows, want, size := a.diffDigestLocked("/z", digests)
+	a.mu.Unlock()
+	if size <= 0 {
+		t.Fatalf("size = %d", size)
+	}
+
+	wantSet := map[string]bool{}
+	for _, w := range want {
+		wantSet[w.Zone+"|"+w.Name] = true
+	}
+	rowSet := map[string]bool{}
+	for i := range rows {
+		rowSet[rows[i].Zone+"|"+rows[i].Name] = true
+	}
+
+	for _, k := range []string{"/z|unknown", "/z|stale-here"} {
+		if !wantSet[k] {
+			t.Errorf("want set missing %s: %v", k, want)
+		}
+	}
+	if !rowSet["/z|fresh-here"] {
+		t.Errorf("rows missing fresh-here: %v", rowSet)
+	}
+	if wantSet["/z|tied"] || rowSet["/z|tied"] {
+		t.Error("identical row exchanged despite matching digest")
+	}
+	if wantSet["/asia|x"] || rowSet["/asia|x"] {
+		t.Error("unreplicated zone leaked into the diff")
+	}
+	// Rows the initiator never digested (our own row, its peer rows)
+	// must be pushed.
+	if !rowSet["/z|node-0"] {
+		t.Errorf("undigested local rows not pushed: %v", rowSet)
+	}
+
+	// Same stamp + different hash → both directions, so the encoded
+	// tie-break can run on both sides.
+	a.mu.Lock()
+	rows, want, _ = a.diffDigestLocked("/z", []wire.RowDigest{
+		{Zone: "/z", Name: "tied", Issued: now, Hash: tiedHash + 1},
+	})
+	a.mu.Unlock()
+	foundRow, foundWant := false, false
+	for i := range rows {
+		if rows[i].Name == "tied" {
+			foundRow = true
+		}
+	}
+	for _, w := range want {
+		if w.Name == "tied" {
+			foundWant = true
+		}
+	}
+	if !foundRow || !foundWant {
+		t.Fatalf("hash mismatch at equal stamps must exchange both ways (row=%v want=%v)",
+			foundRow, foundWant)
+	}
+}
+
+// TestFullStateFallbackConverges keeps the pre-digest protocol working:
+// clusters running with DisableDeltaGossip still converge.
+func TestFullStateFallbackConverges(t *testing.T) {
+	zones := []string{"/usa/ny", "/usa/ny", "/asia/jp", "/asia/jp"}
+	c := newTestCluster(t, zones, func(i int, cfg *Config) {
+		cfg.DisableDeltaGossip = true
+	})
+	c.runRounds(10)
+	for i, a := range c.agents {
+		usa, ok1 := a.Row("/", "usa")
+		asia, ok2 := a.Row("/", "asia")
+		if !ok1 || !ok2 {
+			t.Fatalf("agent %d root table incomplete", i)
+		}
+		if n, _ := usa.Attrs[AttrMembers].AsInt(); n != 2 {
+			t.Fatalf("agent %d sees usa nmembers=%v", i, usa.Attrs[AttrMembers])
+		}
+		if n, _ := asia.Attrs[AttrMembers].AsInt(); n != 2 {
+			t.Fatalf("agent %d sees asia nmembers=%v", i, asia.Attrs[AttrMembers])
+		}
+	}
+	if st := c.agents[0].Stats(); st.DigestsSent != 0 {
+		t.Fatalf("fallback agent sent %d digest entries", st.DigestsSent)
+	}
+}
+
+// TestMixedModeConverges runs half the agents on delta gossip and half
+// on the full-state fallback: every agent handles both protocols on
+// receive, so a mixed deployment (mid-upgrade, or one side ablated)
+// must still converge.
+func TestMixedModeConverges(t *testing.T) {
+	zones := []string{"/usa/ny", "/usa/ny", "/asia/jp", "/asia/jp"}
+	c := newTestCluster(t, zones, func(i int, cfg *Config) {
+		cfg.DisableDeltaGossip = i%2 == 0
+	})
+	c.runRounds(10)
+	for i, a := range c.agents {
+		usa, _ := a.Row("/", "usa")
+		asia, _ := a.Row("/", "asia")
+		if n, _ := usa.Attrs[AttrMembers].AsInt(); n != 2 {
+			t.Fatalf("agent %d sees usa nmembers=%v", i, usa.Attrs[AttrMembers])
+		}
+		if n, _ := asia.Attrs[AttrMembers].AsInt(); n != 2 {
+			t.Fatalf("agent %d sees asia nmembers=%v", i, asia.Attrs[AttrMembers])
+		}
+	}
+}
+
+// TestDeltaGossipByteSavings drives two identical leaf zones — one per
+// protocol — and checks the delta variant moves fewer bytes in steady
+// state, per the agents' own accounting.
+func TestDeltaGossipByteSavings(t *testing.T) {
+	run := func(disable bool) int64 {
+		zones := make([]string, 8)
+		for i := range zones {
+			zones[i] = "/z"
+		}
+		c := newTestCluster(t, zones, func(i int, cfg *Config) {
+			cfg.DisableDeltaGossip = disable
+		})
+		// Realistic row weight: every member carries a subscription
+		// Bloom filter (the paper's 1024-bit geometry).
+		for _, a := range c.agents {
+			a.SetAttr(AttrSubs, value.Bytes(make([]byte, 128)))
+		}
+		c.runRounds(5)
+		var start int64
+		for _, a := range c.agents {
+			start += a.Stats().GossipBytesSent
+		}
+		c.runRounds(10)
+		var end int64
+		for _, a := range c.agents {
+			end += a.Stats().GossipBytesSent
+		}
+		return end - start
+	}
+	full := run(true)
+	delta := run(false)
+	if delta*2 > full {
+		t.Fatalf("delta gossip sent %d bytes, full %d — want at least 2x savings", delta, full)
+	}
+}
+
+// TestGossipByteAccountingMatchesWire cross-checks the agents'
+// hand-rolled size accounting against the wire package's EstimateSize
+// as charged by the simulated network.
+func TestGossipByteAccountingMatchesWire(t *testing.T) {
+	zones := []string{"/z", "/z", "/z"}
+	c := newTestCluster(t, zones, nil)
+	c.runRounds(6)
+	var agents int64
+	for _, a := range c.agents {
+		agents += a.Stats().GossipBytesSent
+	}
+	netSent, _ := c.net.BytesTotals()
+	// The network total includes the same messages; bootstrap MergeRows
+	// bypasses the network, and agents only send gossip kinds, so the
+	// two totals must match exactly.
+	if agents != netSent {
+		t.Fatalf("agent accounting %d bytes, network charged %d", agents, netSent)
+	}
+}
+
+// --- regression benchmarks for the encoding cache ---
+
+// benchAgentPair returns two converged same-zone agents and a batch of
+// row updates b will repeatedly merge into a.
+func benchAgentPair(b *testing.B, nrows int) (*Agent, []wire.RowUpdate) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	ep := net.Attach("bench", func(*wire.Message) {})
+	a, err := NewAgent(Config{
+		Name: "bench", ZonePath: "/z", Transport: ep,
+		Clock: eng.Clock(), Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]wire.RowUpdate, nrows)
+	for i := range rows {
+		rows[i] = wire.RowUpdate{
+			Zone: "/z", Name: fmt.Sprintf("peer-%d", i),
+			Attrs: value.Map{
+				AttrAddr: value.String(fmt.Sprintf("p%d", i)),
+				AttrLoad: value.Float(float64(i) / float64(nrows)),
+				AttrSubs: value.Bytes(make([]byte, 128)),
+			},
+			Issued: eng.Now(),
+			Owner:  fmt.Sprintf("p%d", i),
+		}
+	}
+	a.MergeRows(rows)
+	return a, rows
+}
+
+// BenchmarkMergeEqualStampTieBreak hits the worst case the attrsLess
+// double-encoding fix targets: every incoming row carries the stored
+// row's issue time with different content, forcing the encoded
+// tie-break on each merge. The stored side must come from the row's
+// encoding cache.
+func BenchmarkMergeEqualStampTieBreak(b *testing.B) {
+	a, rows := benchAgentPair(b, 64)
+	// Same stamps, different content, and an encoding that orders below
+	// the stored rows so the merge never replaces them (steady worst
+	// case; replacement would reset the cache each iteration).
+	challenge := make([]wire.RowUpdate, len(rows))
+	for i := range rows {
+		challenge[i] = rows[i]
+		attrs := rows[i].Attrs.Clone()
+		attrs[AttrAddr] = value.String("!") // sorts first in the encoding
+		challenge[i].Attrs = attrs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MergeRows(challenge)
+	}
+}
+
+// BenchmarkMergeFreshHeartbeats models the dominant steady-state load:
+// re-delivery of identical rows with advanced issue times.
+func BenchmarkMergeFreshHeartbeats(b *testing.B) {
+	a, rows := benchAgentPair(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rows {
+			rows[j].Issued = rows[j].Issued.Add(time.Millisecond)
+		}
+		a.MergeRows(rows)
+	}
+}
+
+// BenchmarkDigestBuild measures building the digest for a full 64-row
+// leaf zone — the per-partner cost of initiating delta gossip.
+func BenchmarkDigestBuild(b *testing.B) {
+	a, _ := benchAgentPair(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.mu.Lock()
+		digests, _ := a.digestLocked("/z")
+		a.mu.Unlock()
+		if len(digests) == 0 {
+			b.Fatal("empty digest")
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"newswire/internal/astrolabe"
 	"newswire/internal/cache"
 	"newswire/internal/flow"
+	"newswire/internal/metrics"
 	"newswire/internal/multicast"
 	"newswire/internal/news"
 	"newswire/internal/pubsub"
@@ -52,6 +53,10 @@ type Config struct {
 	FailTimeout time.Duration
 	// Fanout is gossip partners per level per Tick. Default 1.
 	Fanout int
+	// DisableDeltaGossip falls back to full-state anti-entropy exchanges
+	// (see astrolabe.Config.DisableDeltaGossip). Delta gossip is the
+	// default.
+	DisableDeltaGossip bool
 
 	// Mode is the subscription-summary representation. Default ModeBloom.
 	Mode pubsub.Mode
@@ -146,16 +151,17 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 
 	agentCfg := astrolabe.Config{
-		Name:           cfg.Name,
-		ZonePath:       cfg.ZonePath,
-		Transport:      cfg.Transport,
-		Clock:          cfg.Clock,
-		Rand:           cfg.Rand,
-		GossipInterval: cfg.GossipInterval,
-		FailTimeout:    cfg.FailTimeout,
-		Fanout:         cfg.Fanout,
-		Aggregation:    cfg.Aggregation,
-		PrefixRules:    prefixRules,
+		Name:               cfg.Name,
+		ZonePath:           cfg.ZonePath,
+		Transport:          cfg.Transport,
+		Clock:              cfg.Clock,
+		Rand:               cfg.Rand,
+		GossipInterval:     cfg.GossipInterval,
+		FailTimeout:        cfg.FailTimeout,
+		Fanout:             cfg.Fanout,
+		DisableDeltaGossip: cfg.DisableDeltaGossip,
+		Aggregation:        cfg.Aggregation,
+		PrefixRules:        prefixRules,
 	}
 	if cfg.Security != nil {
 		agentCfg.SignRow = cfg.Security.signRow
@@ -233,6 +239,21 @@ func (n *Node) forwardFilter() multicast.Filter {
 
 // Agent exposes the Astrolabe agent (experiments read its tables).
 func (n *Node) Agent() *astrolabe.Agent { return n.agent }
+
+// FillMetrics mirrors the node's cumulative gossip counters into reg,
+// under the astrolabe_* names. Counters are synced, not added, so
+// calling it repeatedly (e.g. once per display refresh) never double
+// counts.
+func (n *Node) FillMetrics(reg *metrics.Registry) {
+	st := n.agent.Stats()
+	reg.Counter("astrolabe_gossips_sent").SyncTo(st.GossipsSent)
+	reg.Counter("astrolabe_gossips_received").SyncTo(st.GossipsReceived)
+	reg.Counter("astrolabe_gossip_bytes_sent").SyncTo(st.GossipBytesSent)
+	reg.Counter("astrolabe_rows_sent").SyncTo(st.RowsSent)
+	reg.Counter("astrolabe_digests_sent").SyncTo(st.DigestsSent)
+	reg.Counter("astrolabe_rows_merged").SyncTo(st.RowsMerged)
+	reg.Counter("astrolabe_agg_evals").SyncTo(st.AggEvals)
+}
 
 // Router exposes the multicast router (experiments read its stats).
 func (n *Node) Router() *multicast.Router { return n.router }
@@ -327,7 +348,7 @@ func (n *Node) antiEntropyStep() {
 // HandleMessage dispatches one inbound message to the right component.
 func (n *Node) HandleMessage(msg *wire.Message) {
 	switch msg.Kind {
-	case wire.KindGossip, wire.KindGossipReply:
+	case wire.KindGossip, wire.KindGossipReply, wire.KindGossipDigest, wire.KindGossipDelta:
 		n.agent.HandleMessage(msg)
 	case wire.KindMulticast:
 		if n.admit(msg) {

@@ -25,19 +25,26 @@ func RunE7(opt Options) *Table {
 		ID:    "E7",
 		Title: "gossip rounds until a new subscription reaches the root everywhere",
 		Claim: "within tens of seconds the root zone has all the information (§6)",
-		Columns: []string{"nodes", "levels", "rounds", "virtual time",
-			"rounds(all nodes)"},
+		Columns: []string{"nodes", "mode", "levels", "rounds", "virtual time",
+			"rounds(all nodes)", "KB/node/round"},
 	}
 	for _, n := range sizes {
-		t.AddRow(runE7Size(n, opt.Seed)...)
+		t.AddRow(runE7Size(n, opt.Seed, false)...)
+		t.AddRow(runE7Size(n, opt.Seed, true)...)
 	}
 	t.Notes = append(t.Notes,
 		"gossip interval 2s; 'rounds' = first round the publisher-side root row shows the bit;",
-		"'rounds(all nodes)' = every node's root table shows it (full dissemination)")
+		"'rounds(all nodes)' = every node's root table shows it (full dissemination);",
+		"mode 'delta' = digest-based anti-entropy (default), 'full' = full-state fallback;",
+		"KB/node/round = network bytes during the measured rounds / nodes / rounds")
 	return t
 }
 
-func runE7Size(n int, seed int64) []string {
+func runE7Size(n int, seed int64, fullState bool) []string {
+	mode := "delta"
+	if fullState {
+		mode = "full"
+	}
 	// Branching 16 gives the 4096-node point a depth-2 tree, so the
 	// standard table shows multi-level convergence; the huge -big points
 	// use the paper's 64-row tables.
@@ -47,9 +54,12 @@ func runE7Size(n int, seed int64) []string {
 	}
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		N: n, Branching: branching, Seed: seed + int64(n),
+		Customize: func(i int, cfg *core.Config) {
+			cfg.DisableDeltaGossip = fullState
+		},
 	})
 	if err != nil {
-		return []string{fmt.Sprint(n), "error", err.Error(), "", ""}
+		return []string{fmt.Sprint(n), mode, "error", err.Error(), "", "", ""}
 	}
 	// Warm up so aggregation/representative state is steady.
 	cluster.RunRounds(8)
@@ -62,6 +72,7 @@ func runE7Size(n int, seed int64) []string {
 	flipper := cluster.Nodes[n/2]
 	_ = flipper.Subscribe(subject)
 	start := cluster.Eng.Now()
+	bytesStart, _ := cluster.Net.BytesTotals()
 
 	rootHasBit := func(node *core.Node) bool {
 		rows, ok := node.Agent().Table(astrolabe.RootZone)
@@ -85,10 +96,11 @@ func runE7Size(n int, seed int64) []string {
 		return false
 	}
 
-	firstRound, allRound := 0, 0
+	firstRound, allRound, roundsRun := 0, 0, 0
 	const maxRounds = 200
 	for round := 1; round <= maxRounds; round++ {
 		cluster.RunRounds(1)
+		roundsRun = round
 		if firstRound == 0 && rootHasBit(flipper) {
 			firstRound = round
 		}
@@ -107,6 +119,9 @@ func runE7Size(n int, seed int64) []string {
 		}
 	}
 	elapsed := cluster.Eng.Now().Sub(start)
+	bytesEnd, _ := cluster.Net.BytesTotals()
+	kbPerNodeRound := float64(bytesEnd-bytesStart) / 1024 /
+		float64(n) / float64(roundsRun)
 	first := "never"
 	if firstRound > 0 {
 		first = fmt.Sprint(firstRound)
@@ -117,10 +132,12 @@ func runE7Size(n int, seed int64) []string {
 	}
 	return []string{
 		fmt.Sprint(n),
+		mode,
 		fmt.Sprint(treeLevels(n, branching)),
 		first,
 		elapsed.String(),
 		all,
+		fmt.Sprintf("%.2f", kbPerNodeRound),
 	}
 }
 

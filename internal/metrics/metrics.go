@@ -42,6 +42,18 @@ func (c *Counter) Value() int64 {
 	return c.n
 }
 
+// SyncTo raises the counter to total if it is currently below it, and
+// otherwise leaves it unchanged. It mirrors an externally maintained
+// cumulative total (for example astrolabe.Stats) into the registry
+// without double counting, while keeping the counter monotone.
+func (c *Counter) SyncTo(total int64) {
+	c.mu.Lock()
+	if total > c.n {
+		c.n = total
+	}
+	c.mu.Unlock()
+}
+
 // Gauge is a settable instantaneous value.
 type Gauge struct {
 	mu sync.Mutex

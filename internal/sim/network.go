@@ -52,9 +52,11 @@ type Network struct {
 	stats     map[string]*EndpointStats
 
 	// Totals across all endpoints.
-	totalSent      int64
-	totalDelivered int64
-	totalDropped   int64
+	totalSent       int64
+	totalDelivered  int64
+	totalDropped    int64
+	totalBytesSent  int64
+	totalBytesDeliv int64
 }
 
 type linkKey struct{ from, to string }
@@ -133,6 +135,7 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 	st.MsgsSent++
 	st.BytesSent += size
 	n.totalSent++
+	n.totalBytesSent += size
 
 	dropped := n.crashed[ep.addr] || n.crashed[to] || n.blocked[linkKey{ep.addr, to}]
 	if !dropped && n.link.LossRate > 0 && n.eng.rng.Float64() < n.link.LossRate {
@@ -158,6 +161,7 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 			rst.MsgsReceived++
 			rst.BytesReceived += size
 			n.totalDelivered++
+			n.totalBytesDeliv += size
 		} else {
 			n.totalDropped++
 		}
@@ -245,4 +249,13 @@ func (n *Network) Totals() (sent, delivered, dropped int64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.totalSent, n.totalDelivered, n.totalDropped
+}
+
+// BytesTotals returns estimated wire bytes (sent, delivered) across the
+// whole network. Experiments use it to compare gossip traffic volume
+// between protocol variants.
+func (n *Network) BytesTotals() (sent, delivered int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalBytesSent, n.totalBytesDeliv
 }

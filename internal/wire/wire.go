@@ -29,6 +29,8 @@ const (
 	KindMulticast         // SendToZone forward carrying a news item
 	KindStateRequest      // cache state transfer: give me recent items
 	KindStateReply        // cache state transfer: here they are
+	KindGossipDigest      // delta anti-entropy: initiator's row digest
+	KindGossipDelta       // delta anti-entropy: missing/stale rows + wants
 )
 
 // String returns the kind name for logs.
@@ -44,6 +46,10 @@ func (k Kind) String() string {
 		return "state-request"
 	case KindStateReply:
 		return "state-reply"
+	case KindGossipDigest:
+		return "gossip-digest"
+	case KindGossipDelta:
+		return "gossip-delta"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -99,6 +105,46 @@ type Gossip struct {
 type GossipReply struct {
 	FromZone string
 	Rows     []RowUpdate
+}
+
+// RowDigest summarizes one stored row for delta anti-entropy: enough for
+// a peer to decide per row which side is fresher without seeing the
+// attributes. Hash is an FNV-64a hash of the row's canonical attribute
+// encoding; it detects same-timestamp divergence so the encoded
+// tie-break can run on the full rows.
+type RowDigest struct {
+	Zone   string
+	Name   string
+	Issued time.Time
+	Hash   uint64
+}
+
+// RowRef names one row the sender wants the full update for.
+type RowRef struct {
+	Zone string
+	Name string
+}
+
+// GossipDigest is the request leg of a delta anti-entropy exchange: the
+// initiator describes every row it holds for the shared tables, so the
+// partner can reply with only the rows the initiator is missing or
+// stale on.
+type GossipDigest struct {
+	// FromZone is the initiator's leaf zone path, which tells the
+	// receiver which ancestor tables the two agents share.
+	FromZone string
+	Digests  []RowDigest
+}
+
+// GossipDelta is the transfer leg of a delta exchange. The digest
+// receiver replies with the rows the initiator needs plus Want — refs of
+// rows the initiator advertised fresher copies of; the initiator answers
+// those with a second GossipDelta carrying empty Want, which ends the
+// exchange.
+type GossipDelta struct {
+	FromZone string
+	Rows     []RowUpdate
+	Want     []RowRef
 }
 
 // ItemEnvelope wraps a published news item as it travels through the
@@ -203,6 +249,8 @@ type Message struct {
 
 	Gossip       *Gossip
 	GossipReply  *GossipReply
+	GossipDigest *GossipDigest
+	GossipDelta  *GossipDelta
 	Multicast    *Multicast
 	StateRequest *StateRequest
 	StateReply   *StateReply
@@ -224,6 +272,10 @@ func (m *Message) Validate() error {
 		want = m.StateRequest != nil
 	case KindStateReply:
 		want = m.StateReply != nil
+	case KindGossipDigest:
+		want = m.GossipDigest != nil
+	case KindGossipDelta:
+		want = m.GossipDelta != nil
 	default:
 		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
 	}
@@ -266,6 +318,11 @@ func (m *Message) EstimateSize() int {
 		n += len(m.Gossip.FromZone) + rowsSize(m.Gossip.Rows)
 	case m.GossipReply != nil:
 		n += len(m.GossipReply.FromZone) + rowsSize(m.GossipReply.Rows)
+	case m.GossipDigest != nil:
+		n += len(m.GossipDigest.FromZone) + DigestsSize(m.GossipDigest.Digests)
+	case m.GossipDelta != nil:
+		n += len(m.GossipDelta.FromZone) + rowsSize(m.GossipDelta.Rows) +
+			RefsSize(m.GossipDelta.Want)
 	case m.Multicast != nil:
 		n += len(m.Multicast.TargetZone) + 8 + envelopeSize(&m.Multicast.Envelope)
 	case m.StateRequest != nil:
@@ -286,8 +343,33 @@ func rowsSize(rows []RowUpdate) int {
 	n := 0
 	for i := range rows {
 		r := &rows[i]
-		n += len(r.Zone) + len(r.Name) + len(r.Owner) + len(r.Signer) + len(r.Sig) + 12
-		n += len(r.Attrs.AppendBinary(nil))
+		n += RowSize(&rows[i], len(r.Attrs.AppendBinary(nil)))
+	}
+	return n
+}
+
+// RowSize estimates one RowUpdate's wire size given the length of its
+// encoded attribute map, so callers holding a cached encoding (the
+// gossip agent) can account bytes without re-encoding.
+func RowSize(r *RowUpdate, attrsLen int) int {
+	return len(r.Zone) + len(r.Name) + len(r.Owner) + len(r.Signer) + len(r.Sig) + 12 + attrsLen
+}
+
+// DigestsSize estimates the wire size of a digest list: per entry the
+// zone and name strings plus issue time, hash and framing.
+func DigestsSize(digests []RowDigest) int {
+	n := 0
+	for i := range digests {
+		n += len(digests[i].Zone) + len(digests[i].Name) + 18
+	}
+	return n
+}
+
+// RefsSize estimates the wire size of a row-ref list.
+func RefsSize(refs []RowRef) int {
+	n := 0
+	for i := range refs {
+		n += len(refs[i].Zone) + len(refs[i].Name) + 2
 	}
 	return n
 }

@@ -37,6 +37,8 @@ func TestKindString(t *testing.T) {
 		{KindMulticast, "multicast"},
 		{KindStateRequest, "state-request"},
 		{KindStateReply, "state-reply"},
+		{KindGossipDigest, "gossip-digest"},
+		{KindGossipDelta, "gossip-delta"},
 		{Kind(99), "kind(99)"},
 	}
 	for _, tt := range tests {
@@ -174,6 +176,10 @@ func TestValidate(t *testing.T) {
 		{"unknown kind", Message{Kind: Kind(77)}, false},
 		{"zero message", Message{}, false},
 		{"state request", Message{Kind: KindStateRequest, StateRequest: &StateRequest{}}, true},
+		{"valid digest", *sampleDigestMessage(), true},
+		{"digest missing payload", Message{Kind: KindGossipDigest}, false},
+		{"valid delta", *sampleDeltaMessage(), true},
+		{"delta missing payload", Message{Kind: KindGossipDelta}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -263,9 +269,116 @@ func TestEncodeIsDeterministicForSameMessage(t *testing.T) {
 	}
 }
 
+func sampleDigestMessage() *Message {
+	return &Message{
+		Kind: KindGossipDigest,
+		From: "node-1:9000",
+		GossipDigest: &GossipDigest{
+			FromZone: "/usa/ny",
+			Digests: []RowDigest{
+				{Zone: "/usa/ny", Name: "node-1",
+					Issued: time.Unix(1017619200, 0).UTC(), Hash: 0xdeadbeef},
+				{Zone: "/", Name: "usa",
+					Issued: time.Unix(1017619260, 0).UTC(), Hash: 42},
+			},
+		},
+	}
+}
+
+func sampleDeltaMessage() *Message {
+	return &Message{
+		Kind: KindGossipDelta,
+		From: "node-2:9000",
+		GossipDelta: &GossipDelta{
+			FromZone: "/usa/sf",
+			Rows: []RowUpdate{{
+				Zone: "/usa/sf", Name: "node-2",
+				Attrs:  value.Map{"load": value.Float(0.1)},
+				Issued: time.Unix(1017619200, 0).UTC(),
+				Owner:  "node-2:9000",
+			}},
+			Want: []RowRef{{Zone: "/", Name: "asia"}},
+		},
+	}
+}
+
+func TestEncodeDecodeDeltaGossip(t *testing.T) {
+	for _, m := range []*Message{sampleDigestMessage(), sampleDeltaMessage()} {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != m.Kind || got.From != m.From {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		switch m.Kind {
+		case KindGossipDigest:
+			d := got.GossipDigest
+			if d.FromZone != m.GossipDigest.FromZone || len(d.Digests) != 2 {
+				t.Fatalf("digest payload mismatch: %+v", d)
+			}
+			if d.Digests[0] != m.GossipDigest.Digests[0] {
+				t.Fatalf("digest entry mismatch: %+v", d.Digests[0])
+			}
+		case KindGossipDelta:
+			d := got.GossipDelta
+			if d.FromZone != m.GossipDelta.FromZone || len(d.Rows) != 1 || len(d.Want) != 1 {
+				t.Fatalf("delta payload mismatch: %+v", d)
+			}
+			if d.Want[0] != m.GossipDelta.Want[0] {
+				t.Fatalf("want ref mismatch: %+v", d.Want[0])
+			}
+			if !d.Rows[0].Attrs.Equal(m.GossipDelta.Rows[0].Attrs) {
+				t.Fatalf("row attrs mismatch: %+v", d.Rows[0])
+			}
+		}
+	}
+}
+
+func TestDeltaEstimateSizes(t *testing.T) {
+	digest := sampleDigestMessage()
+	delta := sampleDeltaMessage()
+	if s := digest.EstimateSize(); s <= 0 {
+		t.Fatalf("digest EstimateSize = %d", s)
+	}
+	if s := delta.EstimateSize(); s <= 0 {
+		t.Fatalf("delta EstimateSize = %d", s)
+	}
+	// A digest of a table must be much smaller than the rows themselves
+	// once rows carry real payloads — that is the point of the protocol.
+	heavyRow := RowUpdate{
+		Zone: "/usa/ny", Name: "node-1",
+		Attrs: value.Map{"subs": value.Bytes(make([]byte, 128))},
+	}
+	rows := Message{Kind: KindGossip, Gossip: &Gossip{FromZone: "/usa/ny",
+		Rows: []RowUpdate{heavyRow}}}
+	dig := Message{Kind: KindGossipDigest, GossipDigest: &GossipDigest{FromZone: "/usa/ny",
+		Digests: []RowDigest{{Zone: "/usa/ny", Name: "node-1"}}}}
+	if dig.EstimateSize() >= rows.EstimateSize() {
+		t.Fatalf("digest (%d) not smaller than full row (%d)",
+			dig.EstimateSize(), rows.EstimateSize())
+	}
+	// Per-entry sizing helpers must scale with content.
+	if DigestsSize(sampleDigestMessage().GossipDigest.Digests) <= DigestsSize(nil) {
+		t.Fatal("DigestsSize insensitive to entries")
+	}
+	if RefsSize([]RowRef{{Zone: "/z", Name: "n"}}) <= RefsSize(nil) {
+		t.Fatal("RefsSize insensitive to refs")
+	}
+	if RowSize(&heavyRow, 130) <= RowSize(&heavyRow, 0) {
+		t.Fatal("RowSize insensitive to encoded attr length")
+	}
+}
+
 func TestEstimateSizeCoversAllKinds(t *testing.T) {
 	msgs := []*Message{
 		sampleGossipMessage(),
+		sampleDigestMessage(),
+		sampleDeltaMessage(),
 		{
 			Kind: KindGossipReply,
 			GossipReply: &GossipReply{FromZone: "/z", Rows: []RowUpdate{{
