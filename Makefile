@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -17,6 +17,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fail if any file needs gofmt (CI gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Vet plus staticcheck when available (CI installs it; local runs skip
+# silently if absent, keeping lint dependency-free).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped"; fi
+
+# Quick experiment smoke: the scale (E1), robustness/retry (E6), and
+# convergence (E7) tables at reduced size, saved for artifact upload.
+smoke: bin/newswire-bench
+	mkdir -p artifacts
+	bin/newswire-bench -quick -run E1,E6,E7 | tee artifacts/tables.txt
 
 # Quick-size experiment tables + hot-path micro-benchmarks.
 bench:

@@ -4,11 +4,12 @@
 // automatic zone reconfiguration, and cache-based end-to-end recovery.
 //
 // The demo crashes 20% of a 64-node cluster mid-stream, shows that
-// k=3-redundant forwarding keeps most deliveries flowing, lets failure
-// detection re-elect representatives, and recovers the stragglers from
-// zone peers' caches. It then launches a flooding publisher and shows
-// per-publisher admission control clipping it while legitimate traffic
-// is untouched.
+// k=3-redundant forwarding plus ack/retry forwarding (per-forward acks,
+// retransmission with backoff, representative failover) keeps deliveries
+// flowing, lets failure detection re-elect representatives, and recovers
+// the stragglers from zone peers' caches. It then launches a flooding
+// publisher and shows per-publisher admission control clipping it while
+// legitimate traffic is untouched.
 //
 // Run with: go run ./examples/resilience
 package main
@@ -37,8 +38,9 @@ func run() error {
 		Branching: 8,
 		Seed:      13,
 		Customize: func(i int, cfg *newswire.Config) {
-			cfg.RepCount = 3    // k-redundant forwarding (§9-10)
-			cfg.PublishRate = 2 // admission control per publisher (§8)
+			cfg.RepCount = 3             // k-redundant forwarding (§9-10)
+			cfg.AckTimeout = time.Second // reliable forwarding: ack/retry/failover
+			cfg.PublishRate = 2          // admission control per publisher (§8)
 			cfg.PublishBurst = 6
 		},
 	})
@@ -99,6 +101,18 @@ func run() error {
 	}
 	fmt.Printf("live nodes with all 5 items (k=3, stale tables): %d of %d\n",
 		countHaving("breaking", 5), live)
+	var retries, failovers, acks int64
+	for _, node := range cluster.Nodes {
+		if cluster.Net.Crashed(node.Addr()) {
+			continue
+		}
+		st := node.Router().Stats()
+		retries += st.RetriesSent
+		failovers += st.FailoversTotal
+		acks += st.AcksReceived
+	}
+	fmt.Printf("reliable forwarding: %d acks received, %d retries, %d rep failovers\n",
+		acks, retries, failovers)
 
 	// --- Phase 2: failure detection + cache recovery close the gap. ---
 	fmt.Println("\n-- phase 2: failure detection + end-to-end cache recovery --")

@@ -1177,11 +1177,19 @@ func (a *Agent) pickZonePartnersLocked(zone string, n int) []string {
 	child, _ := ChildToward(zone, a.leaf)
 	ownName := ZoneName(child)
 	t := a.tables[zone]
-	var candidates []string
-	for name, r := range t.rows {
-		if name == ownName {
-			continue
+	// Visit rows in sorted name order: the rep draw below consumes the
+	// seeded rand stream, and pairing draws with rows in map order would
+	// make identically-seeded runs diverge.
+	names := make([]string, 0, len(t.rows))
+	for name := range t.rows {
+		if name != ownName {
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	var candidates []string
+	for _, name := range names {
+		r := t.rows[name]
 		if reps, ok := r.Attrs[AttrReps].AsStrings(); ok && len(reps) > 0 {
 			candidates = append(candidates, reps[a.cfg.Rand.Intn(len(reps))])
 		} else if addr, ok := r.Attrs[AttrAddr].AsString(); ok {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"newswire/internal/astrolabe"
@@ -102,6 +103,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Clock:          eng.Clock(),
 			Rand:           rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
 			GossipInterval: cfg.GossipInterval,
+			// Retransmit deadlines run on the event engine so reliable
+			// forwarding (Config.AckTimeout) stays deterministic.
+			After: eng.After,
 		}
 		if cfg.Customize != nil {
 			cfg.Customize(i, &nodeCfg)
@@ -121,13 +125,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // a leaf zone exchange leaf rows; at each higher level, one delegate per
 // zone contributes its aggregate row to every node sharing that table.
 func (c *Cluster) bootstrap() {
-	// Group nodes by leaf zone.
+	// Group nodes by leaf zone. Iterate zones in sorted order everywhere
+	// below: map order would make the first-seen dedup (and hence the
+	// seeded tables) differ between runs with the same seed.
 	byLeaf := make(map[string][]*Node)
 	for _, n := range c.Nodes {
 		byLeaf[n.ZonePath()] = append(byLeaf[n.ZonePath()], n)
 	}
+	leafZones := make([]string, 0, len(byLeaf))
+	for z := range byLeaf {
+		leafZones = append(leafZones, z)
+	}
+	sort.Strings(leafZones)
 	// Leaf-level introductions.
-	for _, members := range byLeaf {
+	for _, z := range leafZones {
+		members := byLeaf[z]
 		rows := make([]wire.RowUpdate, 0, len(members))
 		for _, m := range members {
 			rows = append(rows, m.agent.OwnRowUpdate())
@@ -145,8 +157,8 @@ func (c *Cluster) bootstrap() {
 	// rounds replace them with converged aggregates. Without the dedup a
 	// large cluster pays hundreds of millions of encoded tie-breaks.
 	rowsByZone := make(map[string]map[string]wire.RowUpdate)
-	for _, members := range byLeaf {
-		delegate := members[0]
+	for _, z := range leafZones {
+		delegate := byLeaf[z][0]
 		for _, u := range delegate.agent.ChainRowUpdates() {
 			if u.Zone == delegate.ZonePath() {
 				continue // leaf rows were handled above
@@ -164,8 +176,14 @@ func (c *Cluster) bootstrap() {
 	for _, n := range c.Nodes {
 		var seeds []wire.RowUpdate
 		for _, zone := range n.agent.Chain() {
-			for _, u := range rowsByZone[zone] {
-				seeds = append(seeds, u)
+			byName := rowsByZone[zone]
+			names := make([]string, 0, len(byName))
+			for name := range byName {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				seeds = append(seeds, byName[name])
 			}
 		}
 		n.agent.MergeRows(seeds)

@@ -73,6 +73,20 @@ type Config struct {
 	// ablations).
 	Sender multicast.Sender
 
+	// AckTimeout, when positive, makes multicast forwarding reliable:
+	// every forward requests an ack and unacknowledged forwards are
+	// retransmitted with exponential backoff, failing over to the
+	// next-best representative from the aggregated zone table. 0 (the
+	// default) keeps fire-and-forget forwarding.
+	AckTimeout time.Duration
+	// MaxForwardAttempts caps transmissions per reliable forward
+	// (initial send included). Default 4.
+	MaxForwardAttempts int
+	// After schedules delayed callbacks for the retransmit machinery.
+	// NewCluster wires the simulation engine so retries run in virtual
+	// time; live nodes may leave it nil to get time.AfterFunc.
+	After func(d time.Duration, fn func())
+
 	// CacheItems bounds the message cache. Default 1024.
 	CacheItems int
 	// CacheTTL ages cache entries out (0 = never).
@@ -196,13 +210,16 @@ func NewNode(cfg Config) (*Node, error) {
 	n.cache = store
 
 	routerCfg := multicast.Config{
-		View:      agent,
-		Transport: cfg.Transport,
-		RepCount:  cfg.RepCount,
-		Rand:      cfg.Rand,
-		Filter:    n.forwardFilter(),
-		Deliver:   n.deliver,
-		Sender:    cfg.Sender,
+		View:        agent,
+		Transport:   cfg.Transport,
+		RepCount:    cfg.RepCount,
+		Rand:        cfg.Rand,
+		Filter:      n.forwardFilter(),
+		Deliver:     n.deliver,
+		Sender:      cfg.Sender,
+		AckTimeout:  cfg.AckTimeout,
+		After:       cfg.After,
+		MaxAttempts: cfg.MaxForwardAttempts,
 	}
 	if cfg.Security != nil {
 		routerCfg.VerifyEnvelope = cfg.Security.verifyEnvelope
@@ -240,10 +257,10 @@ func (n *Node) forwardFilter() multicast.Filter {
 // Agent exposes the Astrolabe agent (experiments read its tables).
 func (n *Node) Agent() *astrolabe.Agent { return n.agent }
 
-// FillMetrics mirrors the node's cumulative gossip counters into reg,
-// under the astrolabe_* names. Counters are synced, not added, so
-// calling it repeatedly (e.g. once per display refresh) never double
-// counts.
+// FillMetrics mirrors the node's cumulative gossip and forwarding
+// counters into reg, under the astrolabe_* and multicast_* names.
+// Counters are synced, not added, so calling it repeatedly (e.g. once per
+// display refresh) never double counts.
 func (n *Node) FillMetrics(reg *metrics.Registry) {
 	st := n.agent.Stats()
 	reg.Counter("astrolabe_gossips_sent").SyncTo(st.GossipsSent)
@@ -253,6 +270,16 @@ func (n *Node) FillMetrics(reg *metrics.Registry) {
 	reg.Counter("astrolabe_digests_sent").SyncTo(st.DigestsSent)
 	reg.Counter("astrolabe_rows_merged").SyncTo(st.RowsMerged)
 	reg.Counter("astrolabe_agg_evals").SyncTo(st.AggEvals)
+	rst := n.router.Stats()
+	reg.Counter("multicast_published").SyncTo(rst.Published)
+	reg.Counter("multicast_forwarded").SyncTo(rst.Forwarded)
+	reg.Counter("multicast_delivered").SyncTo(rst.Delivered)
+	reg.Counter("multicast_duplicates").SyncTo(rst.Duplicates)
+	reg.Counter("multicast_acks_sent").SyncTo(rst.AcksSent)
+	reg.Counter("multicast_acks_received").SyncTo(rst.AcksReceived)
+	reg.Counter("multicast_retries_sent").SyncTo(rst.RetriesSent)
+	reg.Counter("multicast_failovers_total").SyncTo(rst.FailoversTotal)
+	reg.Counter("multicast_delivery_failures").SyncTo(rst.DeliveryFailures)
 }
 
 // Router exposes the multicast router (experiments read its stats).
@@ -354,6 +381,8 @@ func (n *Node) HandleMessage(msg *wire.Message) {
 		if n.admit(msg) {
 			n.router.HandleMessage(msg)
 		}
+	case wire.KindMulticastAck:
+		n.router.HandleMessage(msg)
 	case wire.KindStateRequest:
 		n.handleStateRequest(msg)
 	case wire.KindStateReply:

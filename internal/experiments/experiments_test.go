@@ -203,32 +203,55 @@ func TestE6RedundancyHelps(t *testing.T) {
 	tab := RunE6(quick)
 	byKey := map[string][]string{}
 	for _, row := range tab.Rows {
-		byKey[row[0]+"/"+row[1]] = row
+		byKey[row[0]+"/"+row[1]+"/"+row[2]] = row
 	}
 	// No failures: near-perfect delivery (k=1 can drop a copy to the 1%
 	// link loss before recovery; k=3 should be essentially complete).
-	row := byKey["0.0%/1"]
+	row := byKey["0.0%/1/off"]
 	if row == nil {
 		t.Fatalf("missing baseline row: %v", tab.Rows)
 	}
-	if d := parsePct(t, row[2]); d < 0.95 {
+	if d := parsePct(t, row[3]); d < 0.95 {
 		t.Errorf("no-failure k=1 delivery %v, want ≥95%%", d)
 	}
-	if d := parsePct(t, byKey["0.0%/3"][2]); d < 0.995 {
+	if d := parsePct(t, byKey["0.0%/3/off"][3]); d < 0.995 {
 		t.Errorf("no-failure k=3 delivery %v, want ≈100%%", d)
 	}
 	// With 10% killed, k=3 must beat k=1 before recovery.
-	k1 := parsePct(t, byKey["10.0%/1"][2])
-	k3 := parsePct(t, byKey["10.0%/3"][2])
+	k1 := parsePct(t, byKey["10.0%/1/off"][3])
+	k3 := parsePct(t, byKey["10.0%/3/off"][3])
 	if !(k3 >= k1) {
 		t.Errorf("k=3 (%v) should not lose to k=1 (%v) under failures", k3, k1)
 	}
-	// Recovery closes the gap for every row.
+	// The tentpole ablation: with the first item's single-rep forwarders
+	// crashed mid-flight, ack/retry with failover keeps delivery ≥99%
+	// while fire-and-forget visibly loses zones.
+	fcOn := parsePct(t, byKey["fwd-crash/1/on"][3])
+	fcOff := parsePct(t, byKey["fwd-crash/1/off"][3])
+	if fcOn < 0.99 {
+		t.Errorf("fwd-crash retry-on delivery %v, want ≥99%%", fcOn)
+	}
+	if !(fcOn > fcOff) {
+		t.Errorf("retry-on (%v) should beat retry-off (%v) under forwarder crash", fcOn, fcOff)
+	}
+	if byKey["fwd-crash/1/on"][5] == "0" {
+		t.Error("fwd-crash retry-on row shows no retries")
+	}
+	if byKey["fwd-crash/1/on"][6] == "0" {
+		t.Error("fwd-crash retry-on row shows no failovers")
+	}
+	// Recovery closes the gap for every row. Exception: fwd-crash with
+	// retry off blacks out entire zones, and zone-peer recovery cannot
+	// conjure an item no zone member ever received — that row only has
+	// to not regress.
 	for _, row := range tab.Rows {
-		before := parsePct(t, row[2])
-		after := parsePct(t, row[3])
+		before := parsePct(t, row[3])
+		after := parsePct(t, row[4])
 		if after+1e-9 < before {
 			t.Errorf("recovery reduced delivery: %v -> %v", before, after)
+		}
+		if row[0] == "fwd-crash" && row[2] == "off" {
+			continue
 		}
 		if after < 0.99 {
 			t.Errorf("after recovery %v, want ~100%% (row %v)", after, row)

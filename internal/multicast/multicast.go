@@ -9,12 +9,22 @@
 // mesh-routing work the paper cites) is supported; duplicates are
 // suppressed via the items' unique publisher/ID/revision keys (§9).
 // The selective pub/sub forwarding of §6 plugs in through the Filter hook.
+//
+// With Config.AckTimeout set, forwarding is reliable rather than
+// fire-and-forget: every forward requests a MulticastAck, unacknowledged
+// forwards are retransmitted with exponential jittered backoff, and on
+// each retry the sender re-consults the aggregated zone table and fails
+// over to the next-best representative of the child zone (excluding those
+// already tried). Retransmits are idempotent — the duplicate-suppression
+// log absorbs re-sent copies, so reliability never causes duplicate
+// deliveries.
 package multicast
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"newswire/internal/astrolabe"
 	"newswire/internal/sqlagg"
@@ -77,6 +87,29 @@ type Config struct {
 	// VerifyEnvelope, when set, authenticates items before forwarding or
 	// delivery; failing envelopes are dropped.
 	VerifyEnvelope func(env *wire.ItemEnvelope) error
+
+	// AckTimeout, when positive, makes forwarding reliable: every forward
+	// carries an AckSeq, and a forward not acknowledged within the
+	// deadline is retransmitted with exponential backoff (doubling per
+	// attempt, ±RetryJitter), failing over to the next-best
+	// representative from a fresh read of the zone table. 0 keeps the
+	// paper's fire-and-forget forwarding.
+	AckTimeout time.Duration
+	// After schedules a callback after a delay, driving retransmit
+	// deadlines. Simulated deployments wire the event engine (so retries
+	// happen in virtual time); live nodes may leave it nil to get
+	// time.AfterFunc. Only consulted when AckTimeout > 0.
+	After func(d time.Duration, fn func())
+	// MaxAttempts caps transmissions per reliable forward, the initial
+	// send included. Default 4.
+	MaxAttempts int
+	// RetryJitter is the ± fraction of random spread applied to each
+	// backoff delay. Default 0.2.
+	RetryJitter float64
+	// MaxPendingAcks bounds the retransmit table; forwards beyond it
+	// degrade to fire-and-forget rather than queueing unboundedly.
+	// Default 8192.
+	MaxPendingAcks int
 }
 
 // Stats counts router activity.
@@ -87,6 +120,13 @@ type Stats struct {
 	Duplicates  int64
 	FilteredOut int64
 	BadEnvelope int64
+
+	// Reliable-forwarding counters (zero when AckTimeout is off).
+	AcksSent         int64 // acks this node sent for inbound forwards
+	AcksReceived     int64 // acks that resolved a pending forward
+	RetriesSent      int64 // retransmissions after an ack deadline
+	FailoversTotal   int64 // retries that switched representative
+	DeliveryFailures int64 // forwards abandoned after MaxAttempts
 }
 
 // LogEntry records one forwarding decision (§9's forwarder log).
@@ -100,6 +140,7 @@ type LogEntry struct {
 type Router struct {
 	cfg  Config
 	view View
+	rq   *retransmitQueue // nil when AckTimeout is off
 
 	mu        sync.Mutex
 	seen      map[string]map[string]bool // item key -> zones handled
@@ -142,13 +183,29 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 8192
 	}
-	return &Router{
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.RetryJitter <= 0 {
+		cfg.RetryJitter = 0.2
+	}
+	if cfg.MaxPendingAcks <= 0 {
+		cfg.MaxPendingAcks = 8192
+	}
+	if cfg.AckTimeout > 0 && cfg.After == nil {
+		cfg.After = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+	}
+	r := &Router{
 		cfg:       cfg,
 		view:      cfg.View,
 		seen:      make(map[string]map[string]bool),
 		delivered: make(map[string]bool),
 		preds:     make(map[string]*sqlagg.Predicate),
-	}, nil
+	}
+	if cfg.AckTimeout > 0 {
+		r.rq = newRetransmitQueue(cfg.MaxPendingAcks)
+	}
+	return r, nil
 }
 
 // Stats returns a copy of the router's counters.
@@ -188,9 +245,13 @@ func (r *Router) Publish(env wire.ItemEnvelope, scope string) error {
 	return nil
 }
 
-// HandleMessage processes an inbound multicast forward. Other message
-// kinds are ignored.
+// HandleMessage processes an inbound multicast forward or ack. Other
+// message kinds are ignored.
 func (r *Router) HandleMessage(msg *wire.Message) {
+	if msg.Kind == wire.KindMulticastAck && msg.MulticastAck != nil {
+		r.handleAck(msg.MulticastAck)
+		return
+	}
 	if msg.Kind != wire.KindMulticast || msg.Multicast == nil {
 		return
 	}
@@ -203,14 +264,46 @@ func (r *Router) HandleMessage(msg *wire.Message) {
 			r.mu.Lock()
 			r.stats.BadEnvelope++
 			r.mu.Unlock()
+			// No ack: a forward this node discards as unverifiable was
+			// not delivered, and the sender should not believe it was.
 			return
 		}
+	}
+	// Acknowledge before the dedup check: a retransmitted copy of an
+	// already-handled forward still needs its ack (the first one may have
+	// been lost), and the duplicate-suppression log below keeps the
+	// retransmit idempotent.
+	if m.AckSeq != 0 && msg.From != "" {
+		r.mu.Lock()
+		r.stats.AcksSent++
+		r.mu.Unlock()
+		_ = r.cfg.Transport.Send(msg.From, &wire.Message{
+			Kind: wire.KindMulticastAck,
+			MulticastAck: &wire.MulticastAck{
+				Seq:        m.AckSeq,
+				Key:        m.Envelope.Key(),
+				TargetZone: m.TargetZone,
+			},
+		})
 	}
 	if m.Deliver {
 		r.deliverLocal(&m.Envelope)
 		return
 	}
 	r.route(m)
+}
+
+// handleAck resolves the pending forward the ack confirms; late, stale or
+// mismatched acks are ignored.
+func (r *Router) handleAck(a *wire.MulticastAck) {
+	if r.rq == nil {
+		return
+	}
+	if p := r.rq.ack(a.Seq, a.Key); p != nil {
+		r.mu.Lock()
+		r.stats.AcksReceived++
+		r.mu.Unlock()
+	}
 }
 
 // route fans the item out for the subtree rooted at m.TargetZone.
@@ -341,7 +434,7 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 		if !ok {
 			continue
 		}
-		r.send(addr, &wire.Multicast{
+		r.sendTracked(m.TargetZone, row.Name, addr, &wire.Multicast{
 			TargetZone: m.TargetZone,
 			Hops:       m.Hops + 1,
 			Deliver:    true,
@@ -377,13 +470,122 @@ func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast,
 			r.route(&wire.Multicast{TargetZone: nextTarget, Hops: m.Hops, Envelope: m.Envelope})
 			continue
 		}
-		r.send(addr, &wire.Multicast{
+		r.sendTracked(zone, row.Name, addr, &wire.Multicast{
 			TargetZone: nextTarget,
 			Hops:       m.Hops + 1,
 			Envelope:   m.Envelope,
 		})
 	}
 	r.logForward(m.Envelope.Key(), nextTarget, chosen)
+}
+
+// sendTracked transmits m to addr, registering it for ack tracking and
+// retransmission when reliable forwarding is on. zone and rowName record
+// where the destination came from, so a retry can re-consult the (possibly
+// fresher) table and fail over to an alternate representative.
+func (r *Router) sendTracked(zone, rowName, addr string, m *wire.Multicast) {
+	if r.rq == nil {
+		r.send(addr, m)
+		return
+	}
+	p := &pendingForward{
+		addr:    addr,
+		zone:    zone,
+		rowName: rowName,
+		msg:     *m,
+		attempt: 1,
+		tried:   map[string]bool{addr: true},
+	}
+	seq, ok := r.rq.register(p)
+	if !ok {
+		// Retransmit table full: degrade to fire-and-forget rather than
+		// queueing unboundedly (the end-to-end cache recovery still backs
+		// this forward up).
+		r.send(addr, m)
+		return
+	}
+	m.AckSeq = seq
+	r.send(addr, m)
+	r.scheduleDeadline(seq, 1)
+}
+
+// scheduleDeadline arms the ack deadline for attempt n of pending forward
+// seq: AckTimeout doubled per attempt, spread by ±RetryJitter.
+func (r *Router) scheduleDeadline(seq uint64, attempt int) {
+	d := r.cfg.AckTimeout << (attempt - 1)
+	r.mu.Lock()
+	jitter := 1 + r.cfg.RetryJitter*(2*r.cfg.Rand.Float64()-1)
+	r.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	r.cfg.After(d, func() { r.onAckDeadline(seq) })
+}
+
+// onAckDeadline fires when a reliable forward's ack deadline passes: if
+// the forward is still pending it is retransmitted — to the next-best
+// representative the zone table lists when one remains untried, otherwise
+// to the same address — until MaxAttempts is exhausted.
+func (r *Router) onAckDeadline(seq uint64) {
+	p := r.rq.take(seq)
+	if p == nil {
+		return // acked in time
+	}
+	if p.attempt >= r.cfg.MaxAttempts {
+		r.mu.Lock()
+		r.stats.DeliveryFailures++
+		r.mu.Unlock()
+		return
+	}
+	addr := r.failoverAddr(p)
+	p.attempt++
+	r.mu.Lock()
+	r.stats.RetriesSent++
+	if addr != p.addr {
+		r.stats.FailoversTotal++
+	}
+	r.mu.Unlock()
+	p.addr = addr
+	p.tried[addr] = true
+	r.rq.reinsert(p)
+	m := p.msg // fresh copy per transmission; AckSeq is already seq
+	r.send(addr, &m)
+	r.logForward(p.msg.Envelope.Key(), p.msg.TargetZone, []string{addr})
+	r.scheduleDeadline(seq, p.attempt)
+}
+
+// failoverAddr re-consults the zone table the original forward was routed
+// from and returns the best representative not yet tried; when the table
+// offers nothing new (vanished row, every candidate tried) it falls back
+// to the current address.
+func (r *Router) failoverAddr(p *pendingForward) string {
+	row, ok := r.view.Row(p.zone, p.rowName)
+	if !ok {
+		return p.addr
+	}
+	reps, ok := row.Attrs[astrolabe.AttrReps].AsStrings()
+	if !ok || len(reps) == 0 {
+		if addr, ok := row.Attrs[astrolabe.AttrAddr].AsString(); ok {
+			reps = []string{addr}
+		} else {
+			return p.addr
+		}
+	}
+	// reps is ranked best-first by the REPS election aggregate, so the
+	// first untried candidate is the next-best representative.
+	for _, cand := range reps {
+		if cand == r.view.Addr() || p.tried[cand] {
+			continue
+		}
+		return cand
+	}
+	return p.addr
+}
+
+// PendingAcks reports how many reliable forwards await acknowledgment.
+func (r *Router) PendingAcks() int {
+	if r.rq == nil {
+		return 0
+	}
+	return r.rq.Len()
 }
 
 // passesFilter applies the pub/sub filter hook and the publisher's

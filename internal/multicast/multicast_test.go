@@ -37,7 +37,10 @@ type mcCluster struct {
 	nodes []*mcNode
 }
 
-func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter) *mcCluster {
+// newMCCluster builds a small simulated cluster. Optional hooks adjust
+// each node's router Config before creation (e.g. to turn on reliable
+// forwarding).
+func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter, hooks ...func(i int, cfg *Config)) *mcCluster {
 	t.Helper()
 	eng := sim.NewEngine(777)
 	net := sim.NewNetwork(eng, sim.LinkModel{
@@ -50,7 +53,7 @@ func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter) *mc
 		node := &mcNode{}
 		ep := net.Attach(addr, func(m *wire.Message) {
 			switch m.Kind {
-			case wire.KindMulticast:
+			case wire.KindMulticast, wire.KindMulticastAck:
 				node.router.HandleMessage(m)
 			default:
 				node.agent.HandleMessage(m)
@@ -66,7 +69,7 @@ func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter) *mc
 		if err != nil {
 			t.Fatal(err)
 		}
-		router, err := NewRouter(Config{
+		cfg := Config{
 			View:      agent,
 			Transport: ep,
 			RepCount:  repCount,
@@ -77,7 +80,14 @@ func newMCCluster(t *testing.T, zones []string, repCount int, filter Filter) *mc
 				node.delivered = append(node.delivered, env.Key())
 				node.mu.Unlock()
 			},
-		})
+		}
+		for _, h := range hooks {
+			h(i, &cfg)
+		}
+		if cfg.AckTimeout > 0 && cfg.After == nil {
+			cfg.After = eng.After // virtual-time retries
+		}
+		router, err := NewRouter(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -531,5 +541,144 @@ func TestDedupWindowBoundsMemory(t *testing.T) {
 	eng.RunUntilIdle(0)
 	if got := len(node.deliveredKeys()); got != before {
 		t.Fatalf("recent duplicate re-delivered (%d -> %d)", before, got)
+	}
+}
+
+// reliableHook turns on ack/retry forwarding with a short virtual-time
+// timeout; newMCCluster wires the engine's After automatically.
+func reliableHook(timeout time.Duration) func(i int, cfg *Config) {
+	return func(i int, cfg *Config) { cfg.AckTimeout = timeout }
+}
+
+func TestReliableMulticastSurvivesForwarderCrash(t *testing.T) {
+	// k=1: a single representative forwards into /a. Crash it while its
+	// row is still in every table — without retries the zone goes dark
+	// (TestMulticastSingleRepFailureLosesDelivery); with ack/retry the
+	// publisher times out and fails over to the next listed rep.
+	zones := []string{"/a/x", "/a/x", "/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil, reliableHook(200*time.Millisecond))
+
+	row, ok := c.nodes[3].agent.Row("/", "a")
+	if !ok {
+		t.Fatal("no /a row at /b node")
+	}
+	if reps, _ := row.Attrs[astrolabe.AttrReps].AsStrings(); len(reps) < 2 {
+		t.Fatalf("want ≥2 ranked reps for /a, got %v", reps)
+	}
+
+	// Publish, then crash the representative the forward actually chose
+	// before the (≥5ms) link latency delivers it: a crash mid-forward.
+	// Publish routes synchronously, so the forwarding log already names
+	// the destination.
+	if err := c.nodes[3].router.Publish(envelope("failover"), "/"); err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, e := range c.nodes[3].router.Log() {
+		if e.Key == "test/failover#0" && e.Zone == "/a" && len(e.Dests) > 0 {
+			victim = e.Dests[0]
+		}
+	}
+	if victim == "" {
+		t.Fatal("publisher's log lacks the /a forward")
+	}
+	c.net.Crash(victim)
+	c.eng.RunFor(10 * time.Second)
+
+	for i, n := range c.nodes {
+		if c.net.Crashed(n.agent.Addr()) {
+			continue
+		}
+		if got := len(n.deliveredKeys()); got != 1 {
+			t.Errorf("live node %d delivered %d copies, want 1", i, got)
+		}
+	}
+	st := c.nodes[3].router.Stats()
+	if st.RetriesSent == 0 {
+		t.Error("publisher never retried the dead representative")
+	}
+	if st.FailoversTotal == 0 {
+		t.Error("publisher never failed over to an alternate representative")
+	}
+}
+
+func TestReliableMulticastNoDuplicatesUnderLostAcks(t *testing.T) {
+	// Asymmetric partition: forwards from n0 arrive at n1 but acks back
+	// are lost. n0 retransmits until MaxAttempts; n1 must deliver exactly
+	// once (dedup absorbs the retries).
+	zones := []string{"/a/x", "/a/x"}
+	c := newMCCluster(t, zones, 1, nil, reliableHook(200*time.Millisecond))
+
+	c.net.PartitionOneWay([]string{"n1"}, []string{"n0"})
+	if err := c.nodes[0].router.Publish(envelope("once"), "/"); err != nil {
+		t.Fatal(err)
+	}
+	c.eng.RunFor(15 * time.Second)
+
+	if got := c.nodes[1].deliveredKeys(); len(got) != 1 {
+		t.Fatalf("node 1 delivered %d copies, want exactly 1: %v", len(got), got)
+	}
+	st0 := c.nodes[0].router.Stats()
+	if st0.RetriesSent == 0 {
+		t.Error("lost acks should force retransmissions")
+	}
+	if st0.DeliveryFailures == 0 {
+		t.Error("exhausted retries should count a delivery failure")
+	}
+	if st1 := c.nodes[1].router.Stats(); st1.Duplicates == 0 {
+		t.Error("retransmits should hit node 1's duplicate suppression")
+	}
+	if c.nodes[0].router.PendingAcks() != 0 {
+		t.Error("pending table should drain after MaxAttempts")
+	}
+}
+
+func TestReliableMulticastAcksClearPending(t *testing.T) {
+	zones := []string{"/a/x", "/a/x", "/b/y"}
+	c := newMCCluster(t, zones, 1, nil, reliableHook(time.Second))
+
+	if err := c.nodes[0].router.Publish(envelope("clean"), "/"); err != nil {
+		t.Fatal(err)
+	}
+	c.eng.RunFor(10 * time.Second)
+
+	for i, n := range c.nodes {
+		if got := len(n.deliveredKeys()); got != 1 {
+			t.Errorf("node %d delivered %d copies, want 1", i, got)
+		}
+		if p := n.router.PendingAcks(); p != 0 {
+			t.Errorf("node %d still has %d pending acks", i, p)
+		}
+	}
+	st := c.nodes[0].router.Stats()
+	if st.AcksReceived == 0 {
+		t.Error("publisher received no acks on a healthy network")
+	}
+	if st.RetriesSent != 0 {
+		t.Errorf("healthy lossless network should need no retries, got %d", st.RetriesSent)
+	}
+}
+
+func TestReliableRetriesHealLinkLoss(t *testing.T) {
+	// 100% loss on the first-choice path forces the ack deadline every
+	// time; retries (to the same or an alternate address) must still get
+	// the item through.
+	zones := []string{"/a/x", "/a/x"}
+	c := newMCCluster(t, zones, 1, nil, reliableHook(200*time.Millisecond))
+
+	// Drop the first transmission n0->n1 only: after one loss, restore.
+	c.net.SetLinkLoss("n0", "n1", 1.0)
+	if err := c.nodes[0].router.Publish(envelope("heal"), "/"); err != nil {
+		t.Fatal(err)
+	}
+	c.eng.RunFor(150 * time.Millisecond) // first copy lost in flight
+	c.net.ClearLinkLoss("n0", "n1")
+	c.eng.RunFor(10 * time.Second)
+
+	if got := len(c.nodes[1].deliveredKeys()); got != 1 {
+		t.Fatalf("node 1 delivered %d copies, want 1", got)
+	}
+	if st := c.nodes[0].router.Stats(); st.RetriesSent == 0 {
+		t.Error("lost first copy should have been retried")
 	}
 }

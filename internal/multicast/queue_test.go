@@ -2,6 +2,7 @@ package multicast
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -273,4 +274,107 @@ func newQuickHarness(strategy Strategy) (*queueHarness, *ForwardQueue) {
 	}
 	q, _ := NewForwardQueue(ep, strategy, 1000)
 	return h, q
+}
+
+// TestRetransmitQueueConcurrentAcks hammers the retransmit table from
+// concurrent acker and deadline goroutines (the shapes a real TCP
+// transport produces) and checks every forward resolves exactly once.
+// Run with -race.
+func TestRetransmitQueueConcurrentAcks(t *testing.T) {
+	const n = 500
+	q := newRetransmitQueue(n)
+
+	seqs := make([]uint64, 0, n)
+	keys := make(map[uint64]string, n)
+	for i := 0; i < n; i++ {
+		env := wire.ItemEnvelope{Publisher: "p", ItemID: fmt.Sprintf("it-%d", i)}
+		p := &pendingForward{
+			addr:  "dst",
+			zone:  "/z",
+			msg:   wire.Multicast{TargetZone: "/z", Envelope: env},
+			tried: map[string]bool{"dst": true},
+		}
+		seq, ok := q.register(p)
+		if !ok {
+			t.Fatalf("register %d refused below the limit", i)
+		}
+		if p.msg.AckSeq != seq {
+			t.Fatalf("registered forward carries AckSeq %d, want %d", p.msg.AckSeq, seq)
+		}
+		seqs = append(seqs, seq)
+		keys[seq] = env.Key()
+	}
+
+	// Half the seqs race an acker against a deadline-taker; each entry
+	// must resolve on exactly one side.
+	var ackWins, takeWins int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, seq := range seqs {
+		seq := seq
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if q.ack(seq, keys[seq]) != nil {
+				mu.Lock()
+				ackWins++
+				mu.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if q.take(seq) != nil {
+				mu.Lock()
+				takeWins++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if ackWins+takeWins != n {
+		t.Fatalf("resolved %d+%d times, want exactly %d", ackWins, takeWins, n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue still holds %d entries", q.Len())
+	}
+}
+
+// TestRetransmitQueueAckValidation covers the guards: wrong keys, stale
+// seqs, the capacity limit, and seq stability across reinsert.
+func TestRetransmitQueueAckValidation(t *testing.T) {
+	q := newRetransmitQueue(2)
+	env := wire.ItemEnvelope{Publisher: "p", ItemID: "a"}
+	p1 := &pendingForward{msg: wire.Multicast{Envelope: env}, tried: map[string]bool{}}
+	seq, ok := q.register(p1)
+	if !ok {
+		t.Fatal("register refused with space available")
+	}
+	if q.ack(seq, "someone/else#0") != nil {
+		t.Fatal("ack with mismatched key resolved the entry")
+	}
+	if q.ack(seq+99, env.Key()) != nil {
+		t.Fatal("ack for unknown seq resolved an entry")
+	}
+
+	// Deadline path: take, reinsert, then a late ack for the original
+	// seq still resolves it (the seq is stable across retries).
+	taken := q.take(seq)
+	if taken == nil {
+		t.Fatal("take failed for a pending entry")
+	}
+	q.reinsert(taken)
+	if q.ack(seq, env.Key()) == nil {
+		t.Fatal("ack after reinsert failed")
+	}
+
+	// Capacity: the third concurrent registration degrades.
+	q2 := newRetransmitQueue(2)
+	for i := 0; i < 2; i++ {
+		if _, ok := q2.register(&pendingForward{msg: wire.Multicast{Envelope: env}}); !ok {
+			t.Fatalf("register %d refused below the limit", i)
+		}
+	}
+	if _, ok := q2.register(&pendingForward{msg: wire.Multicast{Envelope: env}}); ok {
+		t.Fatal("register above the limit accepted")
+	}
 }

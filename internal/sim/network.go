@@ -49,6 +49,7 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	crashed   map[string]bool
 	blocked   map[linkKey]bool
+	lossOvr   map[linkKey]float64
 	stats     map[string]*EndpointStats
 
 	// Totals across all endpoints.
@@ -69,6 +70,7 @@ func NewNetwork(eng *Engine, link LinkModel) *Network {
 		endpoints: make(map[string]*Endpoint),
 		crashed:   make(map[string]bool),
 		blocked:   make(map[linkKey]bool),
+		lossOvr:   make(map[linkKey]float64),
 		stats:     make(map[string]*EndpointStats),
 	}
 }
@@ -138,7 +140,11 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 	n.totalBytesSent += size
 
 	dropped := n.crashed[ep.addr] || n.crashed[to] || n.blocked[linkKey{ep.addr, to}]
-	if !dropped && n.link.LossRate > 0 && n.eng.rng.Float64() < n.link.LossRate {
+	loss := n.link.LossRate
+	if ovr, ok := n.lossOvr[linkKey{ep.addr, to}]; ok {
+		loss = ovr
+	}
+	if !dropped && loss > 0 && n.eng.rng.Float64() < loss {
 		dropped = true
 	}
 	if dropped {
@@ -181,6 +187,14 @@ func (n *Network) Crash(addr string) {
 	n.mu.Unlock()
 }
 
+// CrashAfter schedules a crash of addr once d of virtual time has
+// elapsed. With d shorter than the link latency this crashes a node
+// *between* transmitting a message and the ack coming back — the
+// crash-during-forward fault the reliable multicast layer must survive.
+func (n *Network) CrashAfter(addr string, d time.Duration) {
+	n.eng.After(d, func() { n.Crash(addr) })
+}
+
 // Restore clears a crash.
 func (n *Network) Restore(addr string) {
 	n.mu.Lock()
@@ -218,6 +232,48 @@ func (n *Network) Partition(a, b []string) {
 			n.blocked[linkKey{y, x}] = true
 		}
 	}
+	n.mu.Unlock()
+}
+
+// PartitionOneWay blocks every link from a-side to b-side while leaving
+// the reverse direction intact — an asymmetric partition. Under it, data
+// from a still reaches b but acks from b back to a are lost, which is the
+// worst case for an ack/retry protocol: every forward looks failed to the
+// sender even though it arrived.
+func (n *Network) PartitionOneWay(a, b []string) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[linkKey{x, y}] = true
+		}
+	}
+	n.mu.Unlock()
+}
+
+// HealOneWay removes the directed blocks from a-side to b-side.
+func (n *Network) HealOneWay(a, b []string) {
+	n.mu.Lock()
+	for _, x := range a {
+		for _, y := range b {
+			delete(n.blocked, linkKey{x, y})
+		}
+	}
+	n.mu.Unlock()
+}
+
+// SetLinkLoss overrides the loss rate of the directed link from -> to,
+// replacing the global LinkModel rate for that link only. Rate 0 makes
+// the link lossless; use ClearLinkLoss to return to the model default.
+func (n *Network) SetLinkLoss(from, to string, rate float64) {
+	n.mu.Lock()
+	n.lossOvr[linkKey{from, to}] = rate
+	n.mu.Unlock()
+}
+
+// ClearLinkLoss removes a per-link loss override.
+func (n *Network) ClearLinkLoss(from, to string) {
+	n.mu.Lock()
+	delete(n.lossOvr, linkKey{from, to})
 	n.mu.Unlock()
 }
 

@@ -231,3 +231,83 @@ func TestNetworkReattachReplacesEndpoint(t *testing.T) {
 		t.Fatalf("delivery went to old endpoint: first=%d second=%d", firstGot, secondGot)
 	}
 }
+
+func TestCrashAfterDropsMessagesInFlight(t *testing.T) {
+	link := LinkModel{LatencyMin: 20 * time.Millisecond, LatencyMax: 20 * time.Millisecond}
+	e, n := newTestNet(t, link)
+	got := 0
+	n.Attach("b", func(*wire.Message) { got++ })
+	a := n.Attach("a", nil)
+
+	// b crashes 10ms from now; a message sent now (20ms latency) must be
+	// lost even though b was alive at transmission time.
+	n.CrashAfter("b", 10*time.Millisecond)
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if got != 0 {
+		t.Fatalf("message delivered to a node that crashed mid-flight (got=%d)", got)
+	}
+	if !n.Crashed("b") {
+		t.Fatal("CrashAfter never crashed b")
+	}
+}
+
+func TestPartitionOneWay(t *testing.T) {
+	e, n := newTestNet(t, LinkModel{})
+	aGot, bGot := 0, 0
+	a := n.Attach("a", func(*wire.Message) { aGot++ })
+	b := n.Attach("b", func(*wire.Message) { bGot++ })
+
+	n.PartitionOneWay([]string{"a"}, []string{"b"})
+	a.Send("b", gossipMsg()) // blocked direction
+	b.Send("a", gossipMsg()) // open direction
+	e.RunUntilIdle(0)
+	if bGot != 0 {
+		t.Fatalf("a->b delivered through one-way partition (bGot=%d)", bGot)
+	}
+	if aGot != 1 {
+		t.Fatalf("b->a should be unaffected (aGot=%d)", aGot)
+	}
+
+	n.HealOneWay([]string{"a"}, []string{"b"})
+	a.Send("b", gossipMsg())
+	e.RunUntilIdle(0)
+	if bGot != 1 {
+		t.Fatalf("a->b still blocked after HealOneWay (bGot=%d)", bGot)
+	}
+}
+
+func TestSetLinkLossOverride(t *testing.T) {
+	// Model default is lossless; force 100% loss on one direction only.
+	e, n := newTestNet(t, LinkModel{})
+	aGot, bGot := 0, 0
+	a := n.Attach("a", func(*wire.Message) { aGot++ })
+	b := n.Attach("b", func(*wire.Message) { bGot++ })
+
+	n.SetLinkLoss("a", "b", 1.0)
+	for i := 0; i < 10; i++ {
+		a.Send("b", gossipMsg())
+		b.Send("a", gossipMsg())
+	}
+	e.RunUntilIdle(0)
+	if bGot != 0 {
+		t.Fatalf("a->b should lose everything at rate 1.0 (bGot=%d)", bGot)
+	}
+	if aGot != 10 {
+		t.Fatalf("b->a should be lossless (aGot=%d)", aGot)
+	}
+
+	// Override can also make a lossy model reliable.
+	e2, n2 := newTestNet(t, LinkModel{LossRate: 1.0})
+	got := 0
+	n2.Attach("d", func(*wire.Message) { got++ })
+	c := n2.Attach("c", nil)
+	n2.SetLinkLoss("c", "d", 0)
+	c.Send("d", gossipMsg())
+	n2.ClearLinkLoss("c", "d")
+	c.Send("d", gossipMsg())
+	e2.RunUntilIdle(0)
+	if got != 1 {
+		t.Fatalf("loss override/clear sequence delivered %d, want 1", got)
+	}
+}

@@ -310,3 +310,65 @@ func TestTCPCloseWhilePeerHoldsConnection(t *testing.T) {
 		t.Fatal("Close deadlocked on an open inbound connection")
 	}
 }
+
+// TestTCPAckRoundTrip drives a reliable-forwarding exchange over real
+// TCP: a multicast with AckSeq set goes a -> b, and b acks by dialing
+// the From address the transport stamped on the inbound message.
+func TestTCPAckRoundTrip(t *testing.T) {
+	ackCol := newCollector()
+	a, err := ListenTCP("127.0.0.1:0", ackCol.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var b Transport
+	b, err = ListenTCP("127.0.0.1:0", func(m *wire.Message) {
+		if m.Kind != wire.KindMulticast || m.Multicast.AckSeq == 0 {
+			return
+		}
+		// Echo seq/key/zone back to the sender, as the router does.
+		_ = b.Send(m.From, &wire.Message{
+			Kind: wire.KindMulticastAck,
+			MulticastAck: &wire.MulticastAck{
+				Seq:        m.Multicast.AckSeq,
+				Key:        m.Multicast.Envelope.Key(),
+				TargetZone: m.Multicast.TargetZone,
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	env := wire.ItemEnvelope{Publisher: "reuters", ItemID: "ack-rt"}
+	if err := a.Send(b.Addr(), &wire.Message{
+		Kind: wire.KindMulticast,
+		Multicast: &wire.Multicast{
+			TargetZone: "/usa",
+			AckSeq:     42,
+			Envelope:   env,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	msgs := ackCol.waitFor(t, 1)
+	ack := msgs[0]
+	if ack.Kind != wire.KindMulticastAck || ack.MulticastAck == nil {
+		t.Fatalf("got %v, want a multicast-ack", ack.Kind)
+	}
+	if ack.MulticastAck.Seq != 42 {
+		t.Errorf("ack seq = %d, want 42", ack.MulticastAck.Seq)
+	}
+	if ack.MulticastAck.Key != env.Key() {
+		t.Errorf("ack key = %q, want %q", ack.MulticastAck.Key, env.Key())
+	}
+	if ack.MulticastAck.TargetZone != "/usa" {
+		t.Errorf("ack zone = %q, want /usa", ack.MulticastAck.TargetZone)
+	}
+	if ack.From != b.Addr() {
+		t.Errorf("ack From = %q, want %q", ack.From, b.Addr())
+	}
+}

@@ -31,6 +31,7 @@ const (
 	KindStateReply        // cache state transfer: here they are
 	KindGossipDigest      // delta anti-entropy: initiator's row digest
 	KindGossipDelta       // delta anti-entropy: missing/stale rows + wants
+	KindMulticastAck      // per-forward delivery acknowledgment
 )
 
 // String returns the kind name for logs.
@@ -50,6 +51,8 @@ func (k Kind) String() string {
 		return "gossip-digest"
 	case KindGossipDelta:
 		return "gossip-delta"
+	case KindMulticastAck:
+		return "multicast-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -220,8 +223,25 @@ type Multicast struct {
 	// Deliver marks a final-delivery copy: the receiver delivers the item
 	// to its application and does not fan out further. Leaf-zone
 	// representatives use it when distributing to their zone's members.
-	Deliver  bool
+	Deliver bool
+	// AckSeq, when non-zero, asks the receiver to confirm this forward
+	// with a MulticastAck echoing the value. The sender retransmits
+	// unacknowledged forwards; receivers must treat re-sent copies as
+	// idempotent (the duplicate-suppression log already does).
+	AckSeq   uint64
 	Envelope ItemEnvelope
+}
+
+// MulticastAck confirms receipt of one acked Multicast forward. Key and
+// TargetZone echo the forward so the sender can sanity-check that the ack
+// matches the retransmit-table entry before clearing it.
+type MulticastAck struct {
+	// Seq echoes the forward's AckSeq.
+	Seq uint64
+	// Key echoes the envelope's dedup key.
+	Key string
+	// TargetZone echoes the forward's target zone.
+	TargetZone string
 }
 
 // StateRequest asks a peer's cache for items published since a time, used
@@ -252,6 +272,7 @@ type Message struct {
 	GossipDigest *GossipDigest
 	GossipDelta  *GossipDelta
 	Multicast    *Multicast
+	MulticastAck *MulticastAck
 	StateRequest *StateRequest
 	StateReply   *StateReply
 }
@@ -276,6 +297,8 @@ func (m *Message) Validate() error {
 		want = m.GossipDigest != nil
 	case KindGossipDelta:
 		want = m.GossipDelta != nil
+	case KindMulticastAck:
+		want = m.MulticastAck != nil
 	default:
 		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
 	}
@@ -324,7 +347,9 @@ func (m *Message) EstimateSize() int {
 		n += len(m.GossipDelta.FromZone) + rowsSize(m.GossipDelta.Rows) +
 			RefsSize(m.GossipDelta.Want)
 	case m.Multicast != nil:
-		n += len(m.Multicast.TargetZone) + 8 + envelopeSize(&m.Multicast.Envelope)
+		n += len(m.Multicast.TargetZone) + 16 + envelopeSize(&m.Multicast.Envelope)
+	case m.MulticastAck != nil:
+		n += len(m.MulticastAck.Key) + len(m.MulticastAck.TargetZone) + 8
 	case m.StateRequest != nil:
 		n += 16
 		for _, s := range m.StateRequest.Subjects {

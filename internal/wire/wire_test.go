@@ -39,6 +39,7 @@ func TestKindString(t *testing.T) {
 		{KindStateReply, "state-reply"},
 		{KindGossipDigest, "gossip-digest"},
 		{KindGossipDelta, "gossip-delta"},
+		{KindMulticastAck, "multicast-ack"},
 		{Kind(99), "kind(99)"},
 	}
 	for _, tt := range tests {
@@ -121,6 +122,55 @@ func TestEncodeDecodeMulticast(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeMulticastAck(t *testing.T) {
+	// A reliable forward round-trips its AckSeq, and the ack echoes it.
+	fwd := &Message{
+		Kind: KindMulticast,
+		From: "rep-1:9000",
+		Multicast: &Multicast{
+			TargetZone: "/asia",
+			AckSeq:     77,
+			Envelope:   ItemEnvelope{Publisher: "reuters", ItemID: "item-1"},
+		},
+	}
+	data, err := Encode(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Multicast.AckSeq != 77 {
+		t.Fatalf("AckSeq lost: %+v", got.Multicast)
+	}
+
+	ack := &Message{
+		Kind: KindMulticastAck,
+		From: "leaf-3:9000",
+		MulticastAck: &MulticastAck{
+			Seq:        77,
+			Key:        "reuters/item-1#0",
+			TargetZone: "/asia",
+		},
+	}
+	data, err = Encode(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got.MulticastAck
+	if a == nil || a.Seq != 77 || a.Key != "reuters/item-1#0" || a.TargetZone != "/asia" {
+		t.Fatalf("ack payload lost: %+v", a)
+	}
+	if s := got.EstimateSize(); s <= 0 {
+		t.Fatalf("ack EstimateSize = %d", s)
+	}
+}
+
 func TestEncodeDecodeStateTransfer(t *testing.T) {
 	req := &Message{
 		Kind: KindStateRequest,
@@ -180,6 +230,9 @@ func TestValidate(t *testing.T) {
 		{"digest missing payload", Message{Kind: KindGossipDigest}, false},
 		{"valid delta", *sampleDeltaMessage(), true},
 		{"delta missing payload", Message{Kind: KindGossipDelta}, false},
+		{"valid ack", Message{Kind: KindMulticastAck,
+			MulticastAck: &MulticastAck{Seq: 1}}, true},
+		{"ack missing payload", Message{Kind: KindMulticastAck}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
