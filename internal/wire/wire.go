@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"newswire/internal/value"
@@ -308,19 +309,50 @@ func (m *Message) Validate() error {
 	return nil
 }
 
-// Encode serializes the message for the TCP transport.
+// encBufPool recycles the scratch buffers Encode serializes into, and
+// readerPool the bytes.Reader Decode drains from. Gossip messages at the
+// paper's 64-row table size encode to tens of KB; without pooling every
+// Encode re-grows a fresh buffer through several doublings, which is pure
+// garbage on the TCP hot path.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+var readerPool = sync.Pool{
+	New: func() any { return new(bytes.Reader) },
+}
+
+// maxPooledBuf caps the size of buffers returned to the pool so one huge
+// state transfer does not pin its worth of memory forever.
+const maxPooledBuf = 1 << 20
+
+// Encode serializes the message for the TCP transport. The returned slice
+// is freshly allocated and owned by the caller; the scratch buffer behind
+// it is pooled.
 func Encode(m *Message) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(m); err != nil {
+		encBufPool.Put(buf)
 		return nil, fmt.Errorf("wire: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encBufPool.Put(buf)
+	}
+	return out, nil
 }
 
 // Decode deserializes a message produced by Encode and validates it.
 func Decode(data []byte) (*Message, error) {
+	r := readerPool.Get().(*bytes.Reader)
+	r.Reset(data)
 	var m Message
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+	err := gob.NewDecoder(r).Decode(&m)
+	r.Reset(nil) // drop the reference to data before pooling
+	readerPool.Put(r)
+	if err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
 	if err := m.Validate(); err != nil {

@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -507,5 +510,100 @@ func TestRowUpdateSignedPayloadCoversFields(t *testing.T) {
 	r.Signer, r.Sig = "x", []byte{1}
 	if string(r.SignedPayload()) != p1 {
 		t.Error("signature fields must not be covered")
+	}
+}
+
+// benchGossipMessage builds a gossip message at the paper's 64-row table
+// shape, the dominant steady-state message on the TCP transport.
+func benchGossipMessage() *Message {
+	rows := make([]RowUpdate, 64)
+	for i := range rows {
+		rows[i] = RowUpdate{
+			Zone: "/z00", Name: fmt.Sprintf("node-%d", i),
+			Attrs: value.Map{
+				"addr":     value.String(fmt.Sprintf("n%d", i)),
+				"load":     value.Float(float64(i) / 64),
+				"nmembers": value.Int(1),
+				"subs":     value.Bytes(make([]byte, 128)),
+			},
+			Issued: time.Unix(1017619200, int64(i)).UTC(),
+			Owner:  fmt.Sprintf("n%d", i),
+		}
+	}
+	return &Message{
+		Kind:   KindGossip,
+		From:   "n0",
+		Gossip: &Gossip{FromZone: "/z00", Rows: rows},
+	}
+}
+
+// BenchmarkEncodeDecode measures the pooled Encode/Decode round trip.
+// The sync.Pool scratch buffers are the win under guard here: run with
+// -benchmem and compare allocs/op against the recorded baseline in
+// EXPERIMENTS.md before touching the codec.
+func BenchmarkEncodeDecode(b *testing.B) {
+	m := benchGossipMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncode compares the pooled serialize side against the
+// unpooled construction it replaced, so the B/op and allocs/op win stays
+// visible in every -benchmem run.
+func BenchmarkEncode(b *testing.B) {
+	m := benchGossipMessage()
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestEncodeBufferPoolReuse pins the pooling behaviour: after a warm-up
+// encode, the steady-state Encode of a mid-size message must not re-grow
+// a scratch buffer from scratch. The bound is deliberately loose (gob
+// internals allocate per call); what it catches is losing the pool, which
+// roughly doubles allocations per call.
+func TestEncodeBufferPoolReuse(t *testing.T) {
+	m := benchGossipMessage()
+	if _, err := Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(50, func() {
+		if _, err := Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var buf bytes.Buffer
+	cold := testing.AllocsPerRun(50, func() {
+		buf = bytes.Buffer{}
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("pooled Encode: %.0f allocs/op, unpooled baseline: %.0f", warm, cold)
+	if warm >= cold {
+		t.Errorf("pooled Encode allocates %.0f/op, not below unpooled %.0f/op", warm, cold)
 	}
 }
