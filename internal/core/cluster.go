@@ -28,6 +28,12 @@ type ClusterConfig struct {
 	// Customize, when set, adjusts each node's Config before creation
 	// (the cluster fills Transport/Clock/Rand/Name/ZonePath itself).
 	Customize func(i int, cfg *Config)
+	// Workers selects the execution mode: 0 runs the original serial
+	// event loop; >= 1 runs the deterministic parallel executor with
+	// that many workers; -1 sizes the pool to GOMAXPROCS. Both modes
+	// produce bit-identical tables for the same seed (see
+	// sim/parallel.go for the construction).
+	Workers int
 }
 
 // Cluster is a set of simulated nodes arranged in a balanced zone tree.
@@ -37,8 +43,12 @@ type Cluster struct {
 	Nodes []*Node
 
 	cfg     ClusterConfig
+	exec    *sim.Executor
 	tickers []*sim.Ticker
 }
+
+// Parallel reports whether the cluster runs under the parallel executor.
+func (c *Cluster) Parallel() bool { return c.exec != nil }
 
 // ZonePathFor computes node i's leaf zone in a balanced tree with the
 // given branching: nodes fill leaf zones of up to b members; leaf zones
@@ -89,6 +99,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	net := sim.NewNetwork(eng, cfg.Link)
 	c := &Cluster{Eng: eng, Net: net, cfg: cfg}
+	if cfg.Workers != 0 {
+		c.exec = sim.NewExecutor(net, cfg.Workers)
+	}
 
 	for i := 0; i < cfg.N; i++ {
 		addr := fmt.Sprintf("n%d", i)
@@ -107,12 +120,26 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			// forwarding (Config.AckTimeout) stays deterministic.
 			After: eng.After,
 		}
+		if c.exec != nil {
+			// Parallel mode: the node reads time through its owned clock
+			// and registers timers through the executor, so its events
+			// can run inside parallel windows yet commit in serial order.
+			nodeCfg.Clock = c.exec.Register(ep)
+			nodeCfg.After = c.exec.AfterFunc(ep)
+		}
 		if cfg.Customize != nil {
 			cfg.Customize(i, &nodeCfg)
 		}
 		n, err := NewNode(nodeCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		if c.exec != nil && nodeCfg.AckTimeout > 0 && nodeCfg.AckTimeout < c.exec.Lookahead() {
+			// A retransmit deadline shorter than the conservative
+			// lookahead window would fire inside an executed window and
+			// break serial equivalence (sim/parallel.go).
+			return nil, fmt.Errorf("core: node %d: AckTimeout %v below link lookahead %v; use Workers: 0",
+				i, nodeCfg.AckTimeout, c.exec.Lookahead())
 		}
 		node = n
 		c.Nodes = append(c.Nodes, n)
@@ -210,20 +237,35 @@ func (c *Cluster) StopTicking() {
 
 // RunRounds ticks every node once per gossip interval for r rounds,
 // advancing virtual time between rounds. Use either this or StartTicking,
-// not both.
+// not both. Under the parallel executor the tick phase fans out across
+// the worker pool and commits each node's sends in node-index order —
+// the exact order of the serial loop.
 func (c *Cluster) RunRounds(r int) {
 	for i := 0; i < r; i++ {
-		for _, n := range c.Nodes {
-			if !c.Net.Crashed(n.Addr()) {
-				n.Tick()
+		if c.exec != nil {
+			c.exec.RunOwners(func(k int) {
+				n := c.Nodes[k]
+				if !c.Net.Crashed(n.Addr()) {
+					n.Tick()
+				}
+			})
+		} else {
+			for _, n := range c.Nodes {
+				if !c.Net.Crashed(n.Addr()) {
+					n.Tick()
+				}
 			}
 		}
-		c.Eng.RunFor(c.cfg.GossipInterval)
+		c.RunFor(c.cfg.GossipInterval)
 	}
 }
 
 // RunFor advances virtual time (delivering messages and firing tickers).
 func (c *Cluster) RunFor(d time.Duration) {
+	if c.exec != nil {
+		c.exec.RunFor(d)
+		return
+	}
 	c.Eng.RunFor(d)
 }
 

@@ -48,21 +48,38 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // After schedules fn to run d from now. Non-positive delays run at the
 // current time (but still through the queue, preserving ordering).
 func (e *Engine) After(d time.Duration, fn func()) {
-	if d < 0 {
-		d = 0
-	}
-	e.At(e.clock.Now().Add(d), fn)
+	e.AfterOwned(noOwner, d, fn)
 }
 
 // At schedules fn at the absolute virtual time t. Times in the past are
 // clamped to now.
 func (e *Engine) At(t time.Time, fn func()) {
+	e.AtOwned(noOwner, t, fn)
+}
+
+// noOwner marks events that are not tied to one simulated node; the
+// parallel executor runs them serially, in order, on its own goroutine.
+const noOwner = -1
+
+// AfterOwned schedules fn like After and tags the event as owned by the
+// executor-registered node `owner`: the event touches only that node's
+// state, so parallel windows may run it concurrently with other owners'
+// events. Pass noOwner (or use After) for events without that guarantee.
+func (e *Engine) AfterOwned(owner int, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtOwned(owner, e.clock.Now().Add(d), fn)
+}
+
+// AtOwned schedules fn like At with an owner tag (see AfterOwned).
+func (e *Engine) AtOwned(owner int, t time.Time, fn func()) {
 	now := e.clock.Now()
 	if t.Before(now) {
 		t = now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, &event{at: t, seq: e.seq, owner: owner, fn: fn})
 }
 
 // Ticker is a recurring scheduled callback. Stop cancels future firings.
@@ -151,9 +168,10 @@ func (e *Engine) RunUntilIdle(maxEvents int) int {
 func (e *Engine) Pending() int { return e.events.Len() }
 
 type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+	at    time.Time
+	seq   uint64
+	owner int // executor owner id, or noOwner
+	fn    func()
 }
 
 // eventHeap orders events by (time, insertion sequence) so simultaneous

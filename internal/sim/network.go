@@ -84,6 +84,13 @@ type Endpoint struct {
 	addr    string
 	handler transport.Handler
 	closed  bool
+
+	// Parallel-executor registration (see parallel.go). owner tags this
+	// endpoint's delivery events; exec carries the effect sink used to
+	// buffer sends during parallel windows. Both are set once, before
+	// the simulation runs.
+	owner int
+	exec  *execNode
 }
 
 var _ transport.Transport = (*Endpoint)(nil)
@@ -94,7 +101,7 @@ var _ transport.Transport = (*Endpoint)(nil)
 func (n *Network) Attach(addr string, h transport.Handler) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ep := &Endpoint{net: n, addr: addr, handler: h}
+	ep := &Endpoint{net: n, addr: addr, handler: h, owner: noOwner}
 	n.endpoints[addr] = ep
 	if n.stats[addr] == nil {
 		n.stats[addr] = &EndpointStats{}
@@ -119,7 +126,25 @@ func (ep *Endpoint) Close() error {
 // Send implements transport.Transport. The message is delivered to the
 // destination's handler after a sampled link latency, unless the link
 // drops it, either side is crashed, or the link is blocked by a partition.
+//
+// When the sending node is executing inside a parallel window (see
+// parallel.go), the send is buffered as an effect and replayed through
+// transmit at commit, in canonical event order; loss and latency are
+// sampled only then, keeping the engine RNG stream serial-identical.
 func (ep *Endpoint) Send(to string, msg *wire.Message) error {
+	if en := ep.exec; en != nil {
+		if sink := en.sink; sink != nil {
+			if ep.closed {
+				return errClosed
+			}
+			if err := msg.Validate(); err != nil {
+				return fmt.Errorf("sim: send: %w", err)
+			}
+			msg.From = ep.addr
+			*sink = append(*sink, effect{ep: ep, to: to, msg: msg})
+			return nil
+		}
+	}
 	n := ep.net
 	n.mu.Lock()
 	if ep.closed {
@@ -131,6 +156,16 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 		return fmt.Errorf("sim: send: %w", err)
 	}
 	msg.From = ep.addr
+	ep.transmit(to, msg)
+	return nil
+}
+
+// transmit counts, samples loss and latency, and schedules delivery of a
+// validated, From-stamped message. Called with n.mu held; releases it.
+// The delivery event is tagged with the destination's executor owner (if
+// registered), making it eligible for parallel windows.
+func (ep *Endpoint) transmit(to string, msg *wire.Message) {
+	n := ep.net
 	size := int64(msg.EstimateSize())
 
 	st := n.stats[ep.addr]
@@ -150,15 +185,19 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 	if dropped {
 		n.totalDropped++
 		n.mu.Unlock()
-		return nil
+		return
 	}
 	latency := n.link.LatencyMin
 	if span := n.link.LatencyMax - n.link.LatencyMin; span > 0 {
 		latency += time.Duration(n.eng.rng.Int63n(int64(span)))
 	}
+	dstOwner := noOwner
+	if dst, ok := n.endpoints[to]; ok {
+		dstOwner = dst.owner
+	}
 	n.mu.Unlock()
 
-	n.eng.After(latency, func() {
+	n.eng.AtOwned(dstOwner, n.eng.clock.Now().Add(latency), func() {
 		n.mu.Lock()
 		dst, ok := n.endpoints[to]
 		crashed := n.crashed[to]
@@ -176,7 +215,6 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 			dst.handler(msg)
 		}
 	})
-	return nil
 }
 
 // Crash marks addr as failed: all its traffic (including messages already
