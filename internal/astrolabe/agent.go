@@ -1,6 +1,7 @@
 package astrolabe
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -141,31 +142,99 @@ type Row struct {
 	Signer string
 	Sig    []byte
 
-	// enc caches the canonical binary encoding of Attrs, and hash its
-	// FNV-64a hash, both computed on first use. Attrs is immutable once
-	// the row is stored, so the cache never goes stale. The encoding
-	// drives the deterministic tie-break and aggregation input order;
-	// the hash rides in gossip digests.
+	// enc caches the canonical binary encoding of Attrs for the few rows
+	// that obtain it eagerly (an agent's own rows, aggregates it
+	// computes, tie-break participants). hash is the encoding's FNV-64a
+	// hash and encLen its length; both are computed on first use —
+	// through a pooled scratch buffer when enc is absent, so the great
+	// majority of rows (merged copies of other nodes' state) never
+	// retain their encoding at all. Attrs is immutable once the row is
+	// stored, so none of the caches go stale. The encoding drives the
+	// deterministic tie-break and aggregation input order; the hash
+	// rides in gossip digests; the length feeds wire-size accounting.
 	enc    []byte
 	hashed bool
 	hash   uint64
+	encLen int32
 }
 
+// encScratch pools encoding buffers for hash/size computation and cold
+// tie-break comparisons, so those paths neither allocate per call nor
+// retain an encoding per row.
+var encScratch = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // encoding returns the row's canonical attribute encoding, caching it.
+// Only paths that genuinely need the bytes retained should call this;
+// use attrsHash/encSize/encLess for digesting, sizing and ordering.
 func (r *Row) encoding() []byte {
 	if r.enc == nil {
 		r.enc = r.Attrs.AppendBinary(nil)
+		r.encLen = int32(len(r.enc))
 	}
 	return r.enc
 }
 
+// ensureDigest populates hash and encLen without retaining the encoding.
+func (r *Row) ensureDigest() {
+	if r.hashed {
+		return
+	}
+	if r.enc != nil {
+		r.hash = fnv64a(r.enc)
+		r.encLen = int32(len(r.enc))
+		r.hashed = true
+		return
+	}
+	bp := encScratch.Get().(*[]byte)
+	b := r.Attrs.AppendBinary((*bp)[:0])
+	r.hash = fnv64a(b)
+	r.encLen = int32(len(b))
+	r.hashed = true
+	*bp = b[:0]
+	encScratch.Put(bp)
+}
+
 // attrsHash returns the FNV-64a hash of the row's canonical encoding.
 func (r *Row) attrsHash() uint64 {
-	if !r.hashed {
-		r.hash = fnv64a(r.encoding())
-		r.hashed = true
-	}
+	r.ensureDigest()
 	return r.hash
+}
+
+// encSize returns the length of the row's canonical encoding without
+// materializing it.
+func (r *Row) encSize() int {
+	if r.enc != nil {
+		return len(r.enc)
+	}
+	r.ensureDigest()
+	return int(r.encLen)
+}
+
+// encLess orders two rows by their canonical encodings, comparing cached
+// bytes when present and pooled scratch encodings otherwise. Callers use
+// it only to break ties between rows whose addr attributes collide, so
+// the encode-on-demand path stays cold.
+func (r *Row) encLess(o *Row) bool {
+	rb, ob := r.enc, o.enc
+	var rs, os *[]byte
+	if rb == nil {
+		rs = encScratch.Get().(*[]byte)
+		rb = r.Attrs.AppendBinary((*rs)[:0])
+	}
+	if ob == nil {
+		os = encScratch.Get().(*[]byte)
+		ob = o.Attrs.AppendBinary((*os)[:0])
+	}
+	less := bytes.Compare(rb, ob) < 0
+	if rs != nil {
+		*rs = rb[:0]
+		encScratch.Put(rs)
+	}
+	if os != nil {
+		*os = ob[:0]
+		encScratch.Put(os)
+	}
+	return less
 }
 
 // fnv64a is the 64-bit FNV-1a hash, inlined to keep digest construction
@@ -373,6 +442,7 @@ func (a *Agent) reissueOwnRowLocked(attrs value.Map, contentChanged bool) {
 		row.enc = old.enc
 		row.hashed = old.hashed
 		row.hash = old.hash
+		row.encLen = old.encLen
 	}
 	a.signRowLocked(row, a.leaf)
 	a.ownRow = row
@@ -714,7 +784,13 @@ func (a *Agent) handleGossipDelta(msg *wire.Message) {
 // (computed from the cached encodings, so nothing is re-encoded). When
 // deepest is the agent's leaf zone the whole chain is sent.
 func (a *Agent) sharedRowsLocked(deepest string) ([]wire.RowUpdate, int) {
-	var out []wire.RowUpdate
+	total := 0
+	for _, zone := range a.chain {
+		if ZoneContains(zone, deepest) {
+			total += len(a.tables[zone].rows)
+		}
+	}
+	out := make([]wire.RowUpdate, 0, total)
 	size := 0
 	for _, zone := range a.chain {
 		// Include zone if it is an ancestor-or-equal of the deepest
@@ -733,7 +809,7 @@ func (a *Agent) sharedRowsLocked(deepest string) ([]wire.RowUpdate, int) {
 				Signer: r.Signer,
 				Sig:    r.Sig,
 			})
-			size += wire.RowSize(&out[len(out)-1], len(r.encoding()))
+			size += wire.RowSize(&out[len(out)-1], r.encSize())
 		}
 	}
 	return out, size
@@ -744,7 +820,13 @@ func (a *Agent) sharedRowsLocked(deepest string) ([]wire.RowUpdate, int) {
 // hashes come from the per-row cache, so steady-state digests cost no
 // encoding work.
 func (a *Agent) digestLocked(deepest string) ([]wire.RowDigest, int) {
-	var out []wire.RowDigest
+	total := 0
+	for _, zone := range a.chain {
+		if ZoneContains(zone, deepest) {
+			total += len(a.tables[zone].rows)
+		}
+	}
+	out := make([]wire.RowDigest, 0, total)
 	for _, zone := range a.chain {
 		if !ZoneContains(zone, deepest) {
 			continue
@@ -784,7 +866,7 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 			Signer: r.Signer,
 			Sig:    r.Sig,
 		})
-		size += wire.RowSize(&rows[len(rows)-1], len(r.encoding()))
+		size += wire.RowSize(&rows[len(rows)-1], r.encSize())
 	}
 
 	// digested tracks which of our rows the initiator mentioned, so the
@@ -865,7 +947,7 @@ func (a *Agent) rowsForRefsLocked(refs []wire.RowRef) ([]wire.RowUpdate, int) {
 			Signer: r.Signer,
 			Sig:    r.Sig,
 		})
-		size += wire.RowSize(&out[len(out)-1], len(r.encoding()))
+		size += wire.RowSize(&out[len(out)-1], r.encSize())
 	}
 	return out, size
 }
@@ -1001,6 +1083,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 						enc:    existing.enc,
 						hashed: existing.hashed,
 						hash:   existing.hash,
+						encLen: existing.encLen,
 					}
 					a.signRowLocked(row, parent)
 					pt.rows[name] = row
@@ -1026,7 +1109,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 			if ax != ay {
 				return ax < ay
 			}
-			return string(rows[x].encoding()) < string(rows[y].encoding())
+			return rows[x].encLess(rows[y])
 		})
 		inputs := make([]value.Map, len(rows))
 		for x, r := range rows {

@@ -1,0 +1,64 @@
+package value
+
+import "sync"
+
+// Attribute-name interning.
+//
+// A running system handles a tiny, heavily repeated vocabulary of
+// attribute names ("addr", "load", "nmembers", "subs", ...), but every
+// decoded wire message used to retain its own copy of each name for as
+// long as the rows it carried stayed merged into a table. At simulation
+// scale that is millions of identical short strings. Interning maps each
+// name to one canonical instance.
+//
+// The table is capped: attribute names are an open set in principle
+// (prefix-rule attributes are generated per subscription), and an
+// adversarial peer must not be able to grow process memory without bound
+// by inventing names. Past the cap, Intern degrades to identity.
+
+const maxInterned = 1 << 14
+
+var (
+	internMu sync.RWMutex
+	interned = make(map[string]string)
+)
+
+// Intern returns the canonical instance of s, registering it if the
+// table has room. The returned string is always equal to s.
+func Intern(s string) string {
+	internMu.RLock()
+	c, ok := interned[s]
+	internMu.RUnlock()
+	if ok {
+		return c
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if c, ok := interned[s]; ok {
+		return c
+	}
+	if len(interned) >= maxInterned {
+		return s
+	}
+	interned[s] = s
+	return s
+}
+
+// InternKeys re-keys m through the intern table so the map retains one
+// shared instance of each attribute name instead of per-message copies.
+// Values are untouched. Callers must own m (decode paths do).
+func (m Map) InternKeys() {
+	var scratch [16]string
+	keys := scratch[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		v := m[k]
+		// Delete before re-inserting: assigning to an existing key keeps
+		// the key instance already in the map, which is exactly the
+		// per-message copy we want to drop.
+		delete(m, k)
+		m[Intern(k)] = v
+	}
+}

@@ -1,0 +1,55 @@
+package value
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestInternReturnsCanonicalInstance(t *testing.T) {
+	a := Intern(string([]byte("attr-name")))
+	b := Intern(string([]byte("attr-name")))
+	if a != b {
+		t.Fatalf("Intern returned different contents: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatal("Intern returned distinct backing arrays for equal strings")
+	}
+}
+
+func TestInternKeysDropsPerMessageCopies(t *testing.T) {
+	canon := Intern("load")
+	// Simulate a decoded message: the key is a fresh heap copy.
+	m := Map{string([]byte("load")): Float(0.5)}
+	m.InternKeys()
+	if len(m) != 1 {
+		t.Fatalf("InternKeys changed map size: %d", len(m))
+	}
+	if v, ok := m["load"]; !ok || !v.Equal(Float(0.5)) {
+		t.Fatalf("InternKeys lost the value: %v %v", v, ok)
+	}
+	for k := range m {
+		if unsafe.StringData(k) != unsafe.StringData(canon) {
+			t.Fatal("map key is not the interned instance after InternKeys")
+		}
+	}
+}
+
+func TestInternCapStopsGrowth(t *testing.T) {
+	// Saturate the table; strings past the cap must still round-trip by
+	// value even though they are not retained.
+	prefix := strings.Repeat("x", 8)
+	for i := 0; i < maxInterned+64; i++ {
+		Intern(prefix + strconv.Itoa(i))
+	}
+	internMu.RLock()
+	n := len(interned)
+	internMu.RUnlock()
+	if n > maxInterned {
+		t.Fatalf("intern table grew past cap: %d > %d", n, maxInterned)
+	}
+	if got := Intern("definitely-not-retained-past-cap"); got != "definitely-not-retained-past-cap" {
+		t.Fatalf("Intern corrupted a value past the cap: %q", got)
+	}
+}

@@ -358,7 +358,27 @@ func Decode(data []byte) (*Message, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	internAttrs(&m)
 	return &m, nil
+}
+
+// internAttrs re-keys every decoded row's attribute map through the
+// value intern table: gob gives each message private copies of the same
+// few attribute names, and merged rows would otherwise retain those
+// copies for as long as they sit in a table.
+func internAttrs(m *Message) {
+	var rows []RowUpdate
+	switch {
+	case m.Gossip != nil:
+		rows = m.Gossip.Rows
+	case m.GossipReply != nil:
+		rows = m.GossipReply.Rows
+	case m.GossipDelta != nil:
+		rows = m.GossipDelta.Rows
+	}
+	for i := range rows {
+		rows[i].Attrs.InternKeys()
+	}
 }
 
 // EstimateSize approximates the on-the-wire size of the message in bytes
