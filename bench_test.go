@@ -293,6 +293,37 @@ func BenchmarkGossipRound(b *testing.B) {
 	b.Run("delta", func(b *testing.B) { run(b, false) })
 }
 
+// BenchmarkGossipRound4096 measures one gossip round of a 4096-node
+// cluster (the largest standard E1 point) under the serial engine and
+// under the deterministic parallel executor with GOMAXPROCS workers.
+// Both arms produce bit-identical simulations; the parallel arm's gain
+// scales with available cores (a single-core host shows parity). Run
+// with -benchmem: the alloc reduction between arms and across revisions
+// is part of what this benchmark guards.
+func BenchmarkGossipRound4096(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+			N: 4096, Branching: 64, Seed: 1, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range cluster.Nodes {
+			if err := n.Subscribe("tech/linux"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cluster.RunRounds(2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cluster.RunRounds(1)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("parallel", func(b *testing.B) { run(b, -1) })
+}
+
 // BenchmarkPublishDelivery measures one end-to-end publish through a
 // warmed 64-node cluster.
 func BenchmarkPublishDelivery(b *testing.B) {

@@ -3,17 +3,26 @@
 //
 // Usage:
 //
-//	newswire-bench              # run everything at standard size
-//	newswire-bench -run E3,E5   # specific experiments
-//	newswire-bench -quick       # smaller, faster configurations
-//	newswire-bench -big         # include the largest E1/E7 points
-//	newswire-bench -seed 7      # change the deterministic seed
+//	newswire-bench                   # run everything at standard size
+//	newswire-bench -run E3,E5        # specific experiments
+//	newswire-bench -quick            # smaller, faster configurations
+//	newswire-bench -big              # include the largest E1/E7 points
+//	newswire-bench -seed 7           # change the deterministic seed
+//	newswire-bench -workers -1       # parallel executor, GOMAXPROCS workers
+//	newswire-bench -verify-parallel  # gate: parallel tables == serial tables
+//	newswire-bench -json out/        # write BENCH_<ID>.json result files
+//	newswire-bench -speedup          # measure serial vs parallel gossip rounds
+//	newswire-bench -cpuprofile p.out # pprof the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,14 +36,40 @@ func main() {
 	}
 }
 
+// jsonReport is the machine-readable result written per experiment when
+// -json is set, so the perf trajectory is tracked across changes.
+type jsonReport struct {
+	ID          string                     `json:"id"`
+	Title       string                     `json:"title"`
+	Claim       string                     `json:"claim,omitempty"`
+	Columns     []string                   `json:"columns"`
+	Rows        [][]string                 `json:"rows"`
+	Notes       []string                   `json:"notes,omitempty"`
+	Seed        int64                      `json:"seed"`
+	Quick       bool                       `json:"quick"`
+	Big         bool                       `json:"big"`
+	Workers     int                        `json:"workers"`
+	GOMAXPROCS  int                        `json:"gomaxprocs"`
+	NumCPU      int                        `json:"num_cpu"`
+	WallSeconds float64                    `json:"wall_seconds"`
+	Verified    bool                       `json:"verified_against_serial,omitempty"`
+	Bench       *experiments.SpeedupReport `json:"bench,omitempty"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("newswire-bench", flag.ContinueOnError)
 	var (
-		runList = fs.String("run", "all", "comma-separated experiment IDs (E1..E8, A1..A4) or 'all'")
-		quick   = fs.Bool("quick", false, "run reduced-size configurations")
-		big     = fs.Bool("big", false, "include the largest configurations (slow, memory-hungry)")
-		seed    = fs.Int64("seed", 1, "deterministic random seed")
-		list    = fs.Bool("list", false, "list available experiments and exit")
+		runList    = fs.String("run", "all", "comma-separated experiment IDs (E1..E8, A1..A4) or 'all'")
+		quick      = fs.Bool("quick", false, "run reduced-size configurations")
+		big        = fs.Bool("big", false, "include the largest configurations (slow, memory-hungry)")
+		seed       = fs.Int64("seed", 1, "deterministic random seed")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		workers    = fs.Int("workers", 0, "cluster execution mode: 0 serial, N>=1 parallel workers, -1 GOMAXPROCS")
+		verifyPar  = fs.Bool("verify-parallel", false, "run each experiment serially and in parallel; fail on any table difference")
+		jsonDir    = fs.String("json", "", "directory to write BENCH_<ID>.json result files into")
+		speedup    = fs.Bool("speedup", false, "measure serial-vs-parallel gossip rounds at 4096 nodes (recorded in BENCH_E1.json)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +81,32 @@ func run(args []string) error {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)
 		}
 		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "newswire-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "newswire-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}
@@ -65,16 +126,65 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+	}
 
-	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed, Workers: *workers}
+	if *verifyPar && opt.Workers == 0 {
+		opt.Workers = 4
+	}
 	for _, r := range all {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}
 		start := time.Now()
 		table := r.Run(opt)
+		wall := time.Since(start)
+		verified := false
+		if *verifyPar {
+			serialOpt := opt
+			serialOpt.Workers = 0
+			serialTable := r.Run(serialOpt)
+			if got, wantT := table.String(), serialTable.String(); got != wantT {
+				return fmt.Errorf("%s: parallel table differs from serial table:\n--- parallel ---\n%s--- serial ---\n%s",
+					r.ID, got, wantT)
+			}
+			verified = true
+			fmt.Printf("   (%s: parallel table verified identical to serial)\n", r.ID)
+		}
 		table.Render(os.Stdout)
-		fmt.Printf("   (%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("   (%s completed in %v)\n\n", r.ID, wall.Round(time.Millisecond))
+
+		if *jsonDir != "" {
+			rep := &jsonReport{
+				ID: table.ID, Title: table.Title, Claim: table.Claim,
+				Columns: table.Columns, Rows: table.Rows, Notes: table.Notes,
+				Seed: *seed, Quick: *quick, Big: *big, Workers: opt.Workers,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+				WallSeconds: wall.Seconds(), Verified: verified,
+			}
+			if *speedup && r.ID == "E1" {
+				b, err := experiments.MeasureGossipSpeedup(4096, 5, *seed, opt.Workers)
+				if err != nil {
+					return fmt.Errorf("speedup: %w", err)
+				}
+				rep.Bench = b
+				fmt.Printf("   (E1 gossip rounds @4096 nodes: serial %.2fs, parallel %.2fs, %.2fx, allocs %d -> %d)\n\n",
+					b.SerialSeconds, b.ParallelSeconds, b.Speedup, b.SerialAllocs, b.ParallelAllocs)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+table.ID+".json")
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return fmt.Errorf("json: %w", err)
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("json: %w", err)
+			}
+			fmt.Printf("   (wrote %s)\n\n", path)
+		}
 	}
 	return nil
 }

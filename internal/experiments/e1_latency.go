@@ -8,7 +8,6 @@ import (
 	"newswire/internal/core"
 	"newswire/internal/metrics"
 	"newswire/internal/news"
-	"newswire/internal/vtime"
 	"newswire/internal/wire"
 )
 
@@ -31,7 +30,7 @@ func RunE1(opt Options) *Table {
 			"delivered"},
 	}
 	for _, n := range sizes {
-		row := runE1Size(n, opt.Seed)
+		row := runE1Size(n, opt.Seed, opt.Workers)
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -39,31 +38,35 @@ func RunE1(opt Options) *Table {
 	return t
 }
 
-func runE1Size(n int, seed int64) []string {
+func runE1Size(n int, seed int64, workers int) []string {
 	branching := 64
 	if n < 256 {
 		branching = 16
 	}
 	lat := &metrics.Histogram{}
-	var clock vtime.Clock
 	var publishAt time.Time
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		N:         n,
 		Branching: branching,
 		Seed:      seed,
+		Workers:   workers,
 		Customize: func(i int, cfg *core.Config) {
 			// k=2 redundant representatives, as the system description
 			// prescribes for robust delivery over lossy links (§9-10).
 			cfg.RepCount = 2
+			// Read delivery time through the node's own clock: under the
+			// parallel executor the engine clock lags inside a compute
+			// window, while cfg.Clock reports the delivery event's time —
+			// identical to what the serial engine clock would have shown.
+			nodeClock := cfg.Clock
 			cfg.OnItem = func(*news.Item, *wire.ItemEnvelope) {
-				lat.Observe(clock.Now().Sub(publishAt).Seconds())
+				lat.Observe(nodeClock.Now().Sub(publishAt).Seconds())
 			}
 		},
 	})
 	if err != nil {
 		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}
 	}
-	clock = cluster.Eng.Clock()
 	for _, node := range cluster.Nodes {
 		_ = node.Subscribe("tech/linux")
 	}

@@ -21,6 +21,11 @@ type Options struct {
 	Big bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers selects the cluster execution mode for experiments that
+	// support it (currently E1): 0 = serial engine, >= 1 = deterministic
+	// parallel executor, -1 = GOMAXPROCS workers. Tables are identical
+	// for any value; only wall-clock time changes.
+	Workers int
 }
 
 // Table is one experiment's result table.

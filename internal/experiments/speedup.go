@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"newswire/internal/core"
+)
+
+// SpeedupReport records a serial-vs-parallel measurement of the cluster
+// gossip round loop — the before/after benchmark behind the parallel
+// executor. Allocation counters come from runtime.MemStats deltas around
+// the measured rounds, so the alloc-reduction work is tracked in the
+// same artifact. GOMAXPROCS and NumCPU qualify the wall-clock numbers: a
+// single-core host cannot show wall-clock speedup no matter the worker
+// count, only the determinism and allocation properties.
+type SpeedupReport struct {
+	Nodes           int     `json:"nodes"`
+	Rounds          int     `json:"rounds"`
+	Workers         int     `json:"workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	SerialAllocs    uint64  `json:"serial_allocs"`
+	ParallelAllocs  uint64  `json:"parallel_allocs"`
+	SerialBytes     uint64  `json:"serial_alloc_bytes"`
+	ParallelBytes   uint64  `json:"parallel_alloc_bytes"`
+}
+
+// MeasureGossipSpeedup times `rounds` gossip rounds of an n-node cluster
+// under the serial engine and again under the parallel executor with the
+// given worker count (<= 0 selects GOMAXPROCS).
+func MeasureGossipSpeedup(nodes, rounds int, seed int64, workers int) (*SpeedupReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run := func(w int) (secs float64, allocs, bytes uint64, err error) {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N:       nodes,
+			Seed:    seed,
+			Workers: w,
+			Customize: func(i int, cfg *core.Config) {
+				cfg.RepCount = 2
+			},
+		})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("cluster (workers=%d): %w", w, err)
+		}
+		cluster.RunRounds(2) // warm the tables past the bootstrap transient
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		cluster.RunRounds(rounds)
+		secs = time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
+		return secs, m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, nil
+	}
+	r := &SpeedupReport{
+		Nodes:      nodes,
+		Rounds:     rounds,
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	var err error
+	if r.SerialSeconds, r.SerialAllocs, r.SerialBytes, err = run(0); err != nil {
+		return nil, err
+	}
+	if r.ParallelSeconds, r.ParallelAllocs, r.ParallelBytes, err = run(workers); err != nil {
+		return nil, err
+	}
+	if r.ParallelSeconds > 0 {
+		r.Speedup = r.SerialSeconds / r.ParallelSeconds
+	}
+	return r, nil
+}
