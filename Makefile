@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -41,6 +41,14 @@ smoke: bin/newswire-bench
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Parallel-executor smoke: regenerate E1 (largest standard point: 4096
+# nodes) under the parallel executor, gating on the serial-vs-parallel
+# table equality check, and record wall/alloc numbers as BENCH_E1.json.
+# The equality check is the gate; the timing numbers are informational.
+bench-smoke: bin/newswire-bench
+	mkdir -p artifacts
+	bin/newswire-bench -run E1 -workers -1 -verify-parallel -speedup -json artifacts | tee artifacts/bench-smoke.txt
+
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench
 	bin/newswire-bench
@@ -49,8 +57,10 @@ tables-quick: bin/newswire-bench
 	bin/newswire-bench -quick
 
 # Adds the 32k/131k-node E1/E7 points (slow, several GB of memory).
+# GOGC=200 trades peak heap for ~15% less GC churn on the 131k point;
+# -workers -1 lets hosts with spare cores run gossip windows in parallel.
 tables-big: bin/newswire-bench
-	bin/newswire-bench -run E1,E7 -big
+	GOGC=200 bin/newswire-bench -run E1,E7 -big -workers -1
 
 bin/newswire-bench:
 	$(GO) build -o bin/newswire-bench ./cmd/newswire-bench
