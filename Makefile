@@ -1,5 +1,11 @@
 # NewsWire build and experiment targets.
 
+# Recipes pipe gating commands through tee (smoke, bench-smoke); with the
+# default /bin/sh the pipeline's exit status is tee's, so a failed bench or
+# equality check would pass CI green. pipefail restores propagation.
+SHELL := bash
+.SHELLFLAGS := -o pipefail -ec
+
 GO ?= go
 
 .PHONY: all build test vet race fmt-check lint smoke bench bench-smoke tables tables-quick tables-big examples clean
