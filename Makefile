@@ -51,9 +51,13 @@ bench:
 # nodes) under the parallel executor, gating on the serial-vs-parallel
 # table equality check, and record wall/alloc numbers as BENCH_E1.json.
 # The equality check is the gate; the timing numbers are informational.
+# With -trace the gate also covers span-set equality (fingerprints),
+# and the slowest deliveries' hop paths land in the JSON artifact.
 bench-smoke: bin/newswire-bench
 	mkdir -p artifacts
-	bin/newswire-bench -run E1 -workers -1 -verify-parallel -speedup -json artifacts | tee artifacts/bench-smoke.txt
+	bin/newswire-bench -run E1 -workers -1 -verify-parallel -speedup -trace -json artifacts | tee artifacts/bench-smoke.txt
+	$(GO) test . -run TestGossipRoundTraceOverheadGuard -count=1 -v | tee artifacts/trace-guard.txt
+	bin/newswire-bench -run E6 -quick -trace -json artifacts | tee artifacts/trace-smoke.txt
 
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench

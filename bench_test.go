@@ -264,9 +264,9 @@ func BenchmarkNITFRoundTrip(b *testing.B) {
 // the paper's 64-row leaf-zone shape. The bytes/round metric is the
 // steady-state network traffic the whole cluster generates per round.
 func BenchmarkGossipRound(b *testing.B) {
-	run := func(b *testing.B, fullState bool) {
+	run := func(b *testing.B, fullState, traced bool) {
 		cluster, err := newswire.NewCluster(newswire.ClusterConfig{
-			N: 64, Branching: 64, Seed: 1,
+			N: 64, Branching: 64, Seed: 1, Trace: traced,
 			Customize: func(i int, cfg *newswire.Config) {
 				cfg.DisableDeltaGossip = fullState
 			},
@@ -281,6 +281,7 @@ func BenchmarkGossipRound(b *testing.B) {
 		}
 		cluster.RunRounds(5)
 		startBytes, _ := cluster.Net.BytesTotals()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			cluster.RunRounds(1)
@@ -289,8 +290,54 @@ func BenchmarkGossipRound(b *testing.B) {
 		endBytes, _ := cluster.Net.BytesTotals()
 		b.ReportMetric(float64(endBytes-startBytes)/float64(b.N), "bytes/round")
 	}
-	b.Run("full", func(b *testing.B) { run(b, true) })
-	b.Run("delta", func(b *testing.B) { run(b, false) })
+	b.Run("full", func(b *testing.B) { run(b, true, false) })
+	b.Run("delta", func(b *testing.B) { run(b, false, false) })
+	// The traced arm attaches the span collector; gossip traffic emits no
+	// spans, so any delta against the arm above is pure recorder overhead.
+	b.Run("delta-traced", func(b *testing.B) { run(b, false, true) })
+}
+
+// TestGossipRoundTraceOverheadGuard is the CI gate on the disabled-tracing
+// hot path: a steady-state gossip round with a nil recorder must stay near
+// the pre-observability baseline, and attaching a recorder must not change
+// the gossip path's allocations at all — gossip emits no spans. Note the
+// ceiling is calibrated to testing.AllocsPerRun, which reads ~15% above
+// the amortized -benchmem number for the same workload (~30.3k/round here
+// vs the benchmark's 26.5k delta allocs/op).
+func TestGossipRoundTraceOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	measure := func(traced bool) float64 {
+		cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+			N: 64, Branching: 64, Seed: 1, Trace: traced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cluster.Nodes {
+			if err := n.Subscribe("tech/linux"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cluster.RunRounds(5)
+		return testing.AllocsPerRun(3, func() { cluster.RunRounds(1) })
+	}
+	nilRec := measure(false)
+	attached := measure(true)
+	t.Logf("allocs/round: recorder nil %.0f, attached %.0f", nilRec, attached)
+	const ceiling = 34000 // ~30.3k measured via AllocsPerRun + ~10% headroom
+	if nilRec > ceiling {
+		t.Errorf("nil-recorder gossip round allocates %.0f/op, above the %d baseline ceiling", nilRec, ceiling)
+	}
+	if attached > ceiling {
+		t.Errorf("attached-recorder gossip round allocates %.0f/op, above the %d ceiling", attached, ceiling)
+	}
+	// The benchmark's delta vs delta-traced arms are alloc-identical; allow
+	// only trivial jitter between the two harness runs here.
+	if attached-nilRec > 500 {
+		t.Errorf("attaching a recorder added %.0f allocs/round to the gossip path, want ~0", attached-nilRec)
+	}
 }
 
 // BenchmarkGossipRound4096 measures one gossip round of a 4096-node

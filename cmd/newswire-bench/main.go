@@ -10,6 +10,7 @@
 //	newswire-bench -seed 7           # change the deterministic seed
 //	newswire-bench -workers -1       # parallel executor, GOMAXPROCS workers
 //	newswire-bench -verify-parallel  # gate: parallel tables == serial tables
+//	newswire-bench -trace            # print slowest/failed delivery hop paths (E1, E6)
 //	newswire-bench -json out/        # write BENCH_<ID>.json result files
 //	newswire-bench -speedup          # measure serial vs parallel gossip rounds
 //	newswire-bench -cpuprofile p.out # pprof the run
@@ -54,6 +55,7 @@ type jsonReport struct {
 	WallSeconds float64                    `json:"wall_seconds"`
 	Verified    bool                       `json:"verified_against_serial,omitempty"`
 	Bench       *experiments.SpeedupReport `json:"bench,omitempty"`
+	Traces      []*experiments.TraceReport `json:"traces,omitempty"`
 }
 
 func run(args []string) error {
@@ -65,7 +67,8 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "deterministic random seed")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		workers    = fs.Int("workers", 0, "cluster execution mode: 0 serial, N>=1 parallel workers, -1 GOMAXPROCS")
-		verifyPar  = fs.Bool("verify-parallel", false, "run each experiment serially and in parallel; fail on any table difference")
+		verifyPar  = fs.Bool("verify-parallel", false, "run each experiment serially and in parallel; fail on any table or trace difference")
+		traced     = fs.Bool("trace", false, "attach delivery tracing (E1, E6) and print slowest/failed hop paths")
 		jsonDir    = fs.String("json", "", "directory to write BENCH_<ID>.json result files into")
 		speedup    = fs.Bool("speedup", false, "measure serial-vs-parallel gossip rounds at 4096 nodes (recorded in BENCH_E1.json)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -132,7 +135,7 @@ func run(args []string) error {
 		}
 	}
 
-	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed, Workers: *workers}
+	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed, Workers: *workers, Trace: *traced}
 	if *verifyPar && opt.Workers == 0 {
 		opt.Workers = 4
 	}
@@ -152,10 +155,28 @@ func run(args []string) error {
 				return fmt.Errorf("%s: parallel table differs from serial table:\n--- parallel ---\n%s--- serial ---\n%s",
 					r.ID, got, wantT)
 			}
+			// With -trace on, the span sets must match too: same spans, same
+			// canonical order, fingerprint-equal between executors.
+			if len(table.Traces) != len(serialTable.Traces) {
+				return fmt.Errorf("%s: parallel run produced %d trace reports, serial %d",
+					r.ID, len(table.Traces), len(serialTable.Traces))
+			}
+			for i, tr := range table.Traces {
+				if st := serialTable.Traces[i]; tr.Fingerprint != st.Fingerprint {
+					return fmt.Errorf("%s: trace %q span fingerprint differs: parallel %s (%d spans) vs serial %s (%d spans)",
+						r.ID, tr.Label, tr.Fingerprint, tr.SpanCount, st.Fingerprint, st.SpanCount)
+				}
+			}
 			verified = true
 			fmt.Printf("   (%s: parallel table verified identical to serial)\n", r.ID)
+			if len(table.Traces) > 0 {
+				fmt.Printf("   (%s: %d trace span sets verified identical to serial)\n", r.ID, len(table.Traces))
+			}
 		}
 		table.Render(os.Stdout)
+		for _, tr := range table.Traces {
+			tr.Render(os.Stdout)
+		}
 		fmt.Printf("   (%s completed in %v)\n\n", r.ID, wall.Round(time.Millisecond))
 
 		if *jsonDir != "" {
@@ -165,6 +186,7 @@ func run(args []string) error {
 				Seed: *seed, Quick: *quick, Big: *big, Workers: opt.Workers,
 				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 				WallSeconds: wall.Seconds(), Verified: verified,
+				Traces: table.Traces,
 			}
 			if *speedup && r.ID == "E1" {
 				b, err := experiments.MeasureGossipSpeedup(4096, 5, *seed, opt.Workers)

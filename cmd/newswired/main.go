@@ -90,7 +90,7 @@ func run(args []string) error {
 	}
 
 	if *httpAddr != "" {
-		ui := newswire.NewWebUI(ln.Node())
+		ui := ln.WebUI()
 		srv := &http.Server{Addr: *httpAddr, Handler: ui.Handler()}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -98,7 +98,7 @@ func run(args []string) error {
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("web interface on http://%s/\n", *httpAddr)
+		fmt.Printf("web interface on http://%s/ (status.json, items.json, zones.json, trace.json, metrics)\n", *httpAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

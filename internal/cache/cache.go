@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"newswire/internal/trace"
 	"newswire/internal/vtime"
 	"newswire/internal/wire"
 )
@@ -29,6 +30,11 @@ type Config struct {
 	// fusing superseded revisions away on arrival (§9's "fused or
 	// aggregated into a more compact form").
 	FuseRevisions bool
+	// Tracer, when non-nil, receives a dedup-drop span for every duplicate
+	// or superseded envelope the cache suppresses. TraceNode names this
+	// node in those spans (typically the transport address).
+	Tracer    trace.Recorder
+	TraceNode string
 }
 
 // Stats counts cache activity.
@@ -91,6 +97,7 @@ func (c *Cache) Put(env wire.ItemEnvelope) bool {
 
 	if _, dup := c.entries[key]; dup {
 		c.stats.Duplicates++
+		c.traceDropLocked(key, "cache-dup")
 		return false
 	}
 	if c.cfg.FuseRevisions {
@@ -98,6 +105,7 @@ func (c *Cache) Put(env wire.ItemEnvelope) bool {
 			if env.Revision <= newest {
 				// Superseded revision arriving late: fused away.
 				c.stats.Duplicates++
+				c.traceDropLocked(key, "cache-superseded")
 				return false
 			}
 			// Newer revision: fuse the older one out.
@@ -115,6 +123,19 @@ func (c *Cache) Put(env wire.ItemEnvelope) bool {
 	c.order = append(c.order, key)
 	c.enforceCapLocked()
 	return true
+}
+
+// traceDropLocked emits a dedup-drop span when a tracer is attached. The
+// nil check is the entire cost of the disabled path. Called with c.mu
+// held; the recorders never call back into the cache, so no lock cycle.
+func (c *Cache) traceDropLocked(key, note string) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	c.cfg.Tracer.Record(trace.Span{
+		Kind: trace.KindDedupDrop, Key: key, Node: c.cfg.TraceNode,
+		At: c.cfg.Clock.Now(), Note: note,
+	})
 }
 
 // Has reports whether the exact envelope key is cached. With revision

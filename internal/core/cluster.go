@@ -8,6 +8,7 @@ import (
 
 	"newswire/internal/astrolabe"
 	"newswire/internal/sim"
+	"newswire/internal/trace"
 	"newswire/internal/wire"
 )
 
@@ -34,6 +35,12 @@ type ClusterConfig struct {
 	// produce bit-identical tables for the same seed (see
 	// sim/parallel.go for the construction).
 	Workers int
+	// Trace attaches a per-node trace.Collector to every node. Tracing
+	// never touches the engine's RNG or event order, so traced runs
+	// produce tables bit-identical to untraced runs, and the collector's
+	// canonical span order is identical between serial and parallel
+	// execution of the same seed.
+	Trace bool
 }
 
 // Cluster is a set of simulated nodes arranged in a balanced zone tree.
@@ -44,7 +51,21 @@ type Cluster struct {
 
 	cfg     ClusterConfig
 	exec    *sim.Executor
+	tracer  *trace.Collector
 	tickers []*sim.Ticker
+}
+
+// Tracer returns the cluster's span collector, or nil when ClusterConfig
+// Trace was off.
+func (c *Cluster) Tracer() *trace.Collector { return c.tracer }
+
+// TraceSpans returns every recorded span in canonical deterministic order
+// (nil without tracing).
+func (c *Cluster) TraceSpans() []trace.Span {
+	if c.tracer == nil {
+		return nil
+	}
+	return c.tracer.Spans()
 }
 
 // Parallel reports whether the cluster runs under the parallel executor.
@@ -102,6 +123,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Workers != 0 {
 		c.exec = sim.NewExecutor(net, cfg.Workers)
 	}
+	if cfg.Trace {
+		c.tracer = trace.NewCollector(cfg.N)
+	}
 
 	for i := 0; i < cfg.N; i++ {
 		addr := fmt.Sprintf("n%d", i)
@@ -126,6 +150,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			// can run inside parallel windows yet commit in serial order.
 			nodeCfg.Clock = c.exec.Register(ep)
 			nodeCfg.After = c.exec.AfterFunc(ep)
+		}
+		if c.tracer != nil {
+			// Per-node buffer: one writer at a time under both executors
+			// (a node's events never run on two workers at once), and the
+			// span timestamps come from nodeCfg.Clock — virtual time, or
+			// the owned clock's event time inside parallel windows.
+			nodeCfg.Tracer = c.tracer.Node(i)
 		}
 		if cfg.Customize != nil {
 			cfg.Customize(i, &nodeCfg)

@@ -23,6 +23,7 @@ import (
 	"newswire/internal/news"
 	"newswire/internal/pubsub"
 	"newswire/internal/sqlagg"
+	"newswire/internal/trace"
 	"newswire/internal/transport"
 	"newswire/internal/value"
 	"newswire/internal/vtime"
@@ -110,6 +111,16 @@ type Config struct {
 	// Default 10×GossipInterval.
 	AntiEntropyWindow time.Duration
 
+	// Tracer receives delivery trace spans from the node's multicast
+	// router, cache and state-transfer paths. Nil disables tracing; the
+	// disabled path costs one pointer comparison per would-be span.
+	Tracer trace.Recorder
+	// LatencyReservoir caps the delivery-latency histogram's retained
+	// sample buffer (metrics.Histogram.SetReservoir). <= 0 keeps every
+	// sample — exact quantiles, right for bounded experiment runs; live
+	// nodes should set a cap so the histogram cannot grow without bound.
+	LatencyReservoir int
+
 	// Security enables certificates: signed rows, signed items, and
 	// verification of both. Nil runs open (trusted network / simulation).
 	Security *Security
@@ -122,12 +133,13 @@ type Config struct {
 // live runtime calls HandleMessage from transport goroutines while a
 // ticker drives Tick.
 type Node struct {
-	cfg    Config
-	agent  *astrolabe.Agent
-	router *multicast.Router
-	sub    *pubsub.Subscriber
-	cache  *cache.Cache
-	limit  *flow.Limiter
+	cfg     Config
+	agent   *astrolabe.Agent
+	router  *multicast.Router
+	sub     *pubsub.Subscriber
+	cache   *cache.Cache
+	limit   *flow.Limiter
+	latency *metrics.Histogram // publish-to-ingest delivery latency, seconds
 
 	mu         sync.Mutex
 	delivered  int64
@@ -151,7 +163,10 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.Geometry = pubsub.DefaultGeometry
 	}
 
-	n := &Node{cfg: cfg, publishers: make(map[string]bool)}
+	n := &Node{cfg: cfg, publishers: make(map[string]bool), latency: &metrics.Histogram{}}
+	if cfg.LatencyReservoir > 0 {
+		n.latency.SetReservoir(cfg.LatencyReservoir)
+	}
 
 	// Prefix rules follow the subscription mode.
 	var prefixRules []astrolabe.PrefixRule
@@ -203,6 +218,8 @@ func NewNode(cfg Config) (*Node, error) {
 		MaxItems:      cfg.CacheItems,
 		TTL:           cfg.CacheTTL,
 		FuseRevisions: cfg.FuseRevisions,
+		Tracer:        cfg.Tracer,
+		TraceNode:     agent.Addr(),
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +237,8 @@ func NewNode(cfg Config) (*Node, error) {
 		AckTimeout:  cfg.AckTimeout,
 		After:       cfg.After,
 		MaxAttempts: cfg.MaxForwardAttempts,
+		Tracer:      cfg.Tracer,
+		Clock:       cfg.Clock,
 	}
 	if cfg.Security != nil {
 		routerCfg.VerifyEnvelope = cfg.Security.verifyEnvelope
@@ -280,7 +299,20 @@ func (n *Node) FillMetrics(reg *metrics.Registry) {
 	reg.Counter("multicast_retries_sent").SyncTo(rst.RetriesSent)
 	reg.Counter("multicast_failovers_total").SyncTo(rst.FailoversTotal)
 	reg.Counter("multicast_delivery_failures").SyncTo(rst.DeliveryFailures)
+	cst := n.cache.Stats()
+	reg.Counter("cache_puts").SyncTo(cst.Puts)
+	reg.Counter("cache_duplicates").SyncTo(cst.Duplicates)
+	reg.Counter("cache_fused").SyncTo(cst.Fused)
+	reg.Counter("cache_expired").SyncTo(cst.Expired)
+	reg.Counter("cache_evicted").SyncTo(cst.Evicted)
+	reg.Gauge("cache_items").Set(float64(n.cache.Len()))
+	reg.Gauge("newswire_delivered_items").Set(float64(n.Delivered()))
+	reg.RegisterHistogram("newswire_delivery_latency_seconds", n.latency)
 }
+
+// DeliveryLatency exposes the node's publish-to-ingest latency histogram
+// (seconds). Bounded by Config.LatencyReservoir on live nodes.
+func (n *Node) DeliveryLatency() *metrics.Histogram { return n.latency }
 
 // Router exposes the multicast router (experiments read its stats).
 func (n *Node) Router() *multicast.Router { return n.router }
@@ -416,11 +448,13 @@ func (n *Node) deliver(env *wire.ItemEnvelope) {
 	n.ingest(env)
 }
 
-// ingest stores and (if new) surfaces one envelope.
-func (n *Node) ingest(env *wire.ItemEnvelope) {
+// ingest stores and (if new) surfaces one envelope, reporting whether the
+// item was new to this node.
+func (n *Node) ingest(env *wire.ItemEnvelope) bool {
 	if !n.cache.Put(*env) {
-		return // duplicate or superseded
+		return false // duplicate or superseded
 	}
+	n.latency.Observe(n.cfg.Clock.Now().Sub(env.Published).Seconds())
 	n.mu.Lock()
 	n.delivered++
 	if env.Published.After(n.lastSeen) {
@@ -428,13 +462,22 @@ func (n *Node) ingest(env *wire.ItemEnvelope) {
 	}
 	n.mu.Unlock()
 	if n.cfg.OnItem == nil {
-		return
+		return true
 	}
 	it, err := pubsub.DecodeItem(env)
 	if err != nil {
-		return // malformed payload; cached copy retained for forensics
+		return true // malformed payload; cached copy retained for forensics
 	}
 	n.cfg.OnItem(it, env)
+	return true
+}
+
+// traceSpan stamps and records one span. Callers nil-check cfg.Tracer
+// first, so disabled tracing never reaches this function.
+func (n *Node) traceSpan(s trace.Span) {
+	s.Node = n.agent.Addr()
+	s.At = n.cfg.Clock.Now()
+	n.cfg.Tracer.Record(s)
 }
 
 // PublishItem injects a news item into the network, disseminating to
@@ -640,6 +683,12 @@ func (n *Node) handleStateRequest(msg *wire.Message) {
 		maxItems = 4096
 	}
 	envs, truncated := n.cache.Since(req.Since, req.Subjects, maxItems)
+	if n.cfg.Tracer != nil && len(envs) > 0 {
+		n.traceSpan(trace.Span{
+			Kind: trace.KindCacheServe, Zone: n.agent.ZonePath(),
+			To: msg.From, Note: fmt.Sprintf("%d items", len(envs)),
+		})
+	}
 	_ = n.cfg.Transport.Send(msg.From, &wire.Message{
 		Kind:       wire.KindStateReply,
 		StateReply: &wire.StateReply{Envelopes: envs, Truncated: truncated},
@@ -657,6 +706,13 @@ func (n *Node) handleStateReply(msg *wire.Message) {
 		if !n.sub.ShouldDeliver(env) {
 			continue
 		}
-		n.ingest(env)
+		if n.ingest(env) && n.cfg.Tracer != nil {
+			// Recovered through anti-entropy / state transfer rather than
+			// the multicast tree — the "gossip-carry" path of §5/§9.
+			n.traceSpan(trace.Span{
+				Kind: trace.KindGossipCarry, Key: env.Key(),
+				Zone: n.agent.ZonePath(), To: msg.From,
+			})
+		}
 	}
 }

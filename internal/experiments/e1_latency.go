@@ -30,15 +30,18 @@ func RunE1(opt Options) *Table {
 			"delivered"},
 	}
 	for _, n := range sizes {
-		row := runE1Size(n, opt.Seed, opt.Workers)
+		row, rep := runE1Size(n, opt.Seed, opt.Workers, opt.Trace)
 		t.AddRow(row...)
+		if rep != nil {
+			t.Traces = append(t.Traces, rep)
+		}
 	}
 	t.Notes = append(t.Notes,
 		"simulated WAN links 20-180ms, 1% loss; latency is virtual time from publish to app delivery")
 	return t
 }
 
-func runE1Size(n int, seed int64, workers int) []string {
+func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceReport) {
 	branching := 64
 	if n < 256 {
 		branching = 16
@@ -50,6 +53,7 @@ func runE1Size(n int, seed int64, workers int) []string {
 		Branching: branching,
 		Seed:      seed,
 		Workers:   workers,
+		Trace:     traced,
 		Customize: func(i int, cfg *core.Config) {
 			// k=2 redundant representatives, as the system description
 			// prescribes for robust delivery over lossy links (§9-10).
@@ -65,7 +69,7 @@ func runE1Size(n int, seed int64, workers int) []string {
 		},
 	})
 	if err != nil {
-		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil
 	}
 	for _, node := range cluster.Nodes {
 		_ = node.Subscribe("tech/linux")
@@ -81,7 +85,7 @@ func runE1Size(n int, seed int64, workers int) []string {
 		Published: publishAt,
 	}
 	if err := cluster.Nodes[0].PublishItem(it, "", ""); err != nil {
-		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil
 	}
 	cluster.RunFor(60 * time.Second)
 
@@ -94,6 +98,10 @@ func runE1Size(n int, seed int64, workers int) []string {
 	for _, node := range cluster.Nodes {
 		zones[node.ZonePath()] = true
 	}
+	var rep *TraceReport
+	if traced {
+		rep = BuildTraceReport(fmt.Sprintf("E1 %d nodes", n), cluster.TraceSpans(), 3)
+	}
 	return []string{
 		fmt.Sprint(n),
 		fmt.Sprint(len(zones)),
@@ -102,7 +110,7 @@ func runE1Size(n int, seed int64, workers int) []string {
 		fmtMS(p99),
 		fmtMS(max),
 		fmtPct(float64(delivered) / float64(n)),
-	}
+	}, rep
 }
 
 // treeLevels returns the depth of the balanced tree the cluster builder

@@ -55,8 +55,11 @@ func RunE6(opt Options) *Table {
 		}
 	}
 	for _, retry := range []bool{false, true} {
-		row := runE6ForwarderCrash(opt.Seed, n, itemCount, retry)
+		row, rep := runE6ForwarderCrash(opt.Seed, n, itemCount, retry, opt.Trace)
 		t.AddRow(row...)
+		if rep != nil {
+			t.Traces = append(t.Traces, rep)
+		}
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d nodes, branching 16; failures injected right before publishing (tables still list the dead)", n),
@@ -67,9 +70,9 @@ func RunE6(opt Options) *Table {
 }
 
 // newE6Cluster builds the shared cluster shape for E6 cases.
-func newE6Cluster(seed int64, n, k int, retry bool) (*core.Cluster, error) {
+func newE6Cluster(seed int64, n, k int, retry, traced bool) (*core.Cluster, error) {
 	return core.NewCluster(core.ClusterConfig{
-		N: n, Branching: 16, Seed: seed,
+		N: n, Branching: 16, Seed: seed, Trace: traced,
 		Customize: func(i int, cfg *core.Config) {
 			cfg.RepCount = k
 			if retry {
@@ -80,7 +83,7 @@ func newE6Cluster(seed int64, n, k int, retry bool) (*core.Cluster, error) {
 }
 
 func runE6Case(seed int64, n int, phi float64, k, itemCount int, retry bool) []string {
-	cluster, err := newE6Cluster(seed+int64(phi*100)+int64(k), n, k, retry)
+	cluster, err := newE6Cluster(seed+int64(phi*100)+int64(k), n, k, retry, false)
 	if err != nil {
 		return []string{"error", err.Error(), "", "", "", "", "", ""}
 	}
@@ -120,11 +123,11 @@ func runE6Case(seed int64, n int, phi float64, k, itemCount int, retry bool) []s
 // zone behind a crashed forwarder misses the item; with retries the
 // publisher's ack deadline fires and fails over to the next listed
 // representative of the same zone.
-func runE6ForwarderCrash(seed int64, n, itemCount int, retry bool) []string {
+func runE6ForwarderCrash(seed int64, n, itemCount int, retry, traced bool) ([]string, *TraceReport) {
 	const k = 1
-	cluster, err := newE6Cluster(seed+9001, n, k, retry)
+	cluster, err := newE6Cluster(seed+9001, n, k, retry, traced)
 	if err != nil {
-		return []string{"error", err.Error(), "", "", "", "", "", ""}
+		return []string{"error", err.Error(), "", "", "", "", "", ""}, nil
 	}
 	for _, node := range cluster.Nodes {
 		_ = node.Subscribe("tech/security")
@@ -167,7 +170,16 @@ func runE6ForwarderCrash(seed int64, n, itemCount int, retry bool) []string {
 	}
 	cluster.RunFor(30 * time.Second)
 
-	return e6Tally(cluster, float64(len(victims))/float64(n), "fwd-crash", k, itemCount, retry)
+	row := e6Tally(cluster, float64(len(victims))/float64(n), "fwd-crash", k, itemCount, retry)
+	var rep *TraceReport
+	if traced {
+		label := "E6 fwd-crash retry=off"
+		if retry {
+			label = "E6 fwd-crash retry=on"
+		}
+		rep = BuildTraceReport(label, cluster.TraceSpans(), 2)
+	}
+	return row, rep
 }
 
 // e6Tally measures delivery before and after cache recovery and renders

@@ -26,6 +26,11 @@ type Options struct {
 	// parallel executor, -1 = GOMAXPROCS workers. Tables are identical
 	// for any value; only wall-clock time changes.
 	Workers int
+	// Trace attaches delivery tracing to the experiments that support it
+	// (E1 and the E6 crash-during-forward cases) and fills Table.Traces.
+	// Tracing never perturbs the run: tables are bit-identical with it on
+	// or off.
+	Trace bool
 }
 
 // Table is one experiment's result table.
@@ -36,6 +41,12 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Traces holds per-run delivery-trace reports when Options.Trace was
+	// set. Render and String deliberately ignore it so the
+	// serial-vs-parallel table equality gate keeps comparing pure table
+	// text; span-set equality is gated separately on TraceReport
+	// Fingerprint.
+	Traces []*TraceReport
 }
 
 // AddRow appends a formatted row.

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"newswire/internal/trace"
+)
+
+// TraceReport summarizes one traced cluster run: the canonical span-set
+// fingerprint (the serial-vs-parallel equality gate), the slowest
+// deliveries with their reconstructed hop paths, and every abandoned
+// reliable forward. Attached to Table.Traces, which Render ignores — the
+// table text stays bit-identical between traced and untraced runs.
+type TraceReport struct {
+	Label       string           `json:"label"`
+	SpanCount   int              `json:"span_count"`
+	Fingerprint string           `json:"fingerprint"`
+	Slowest     []TracedDelivery `json:"slowest,omitempty"`
+	Failed      []trace.Span     `json:"failed,omitempty"`
+}
+
+// TracedDelivery is one application delivery explained hop by hop.
+type TracedDelivery struct {
+	Key     string        `json:"key"`
+	Node    string        `json:"node"`
+	Latency time.Duration `json:"latency"`
+	Hops    []TraceHop    `json:"hops"`
+}
+
+// TraceHop is one span on a delivery path plus the time spent since the
+// previous hop.
+type TraceHop struct {
+	Span  trace.Span    `json:"span"`
+	Delta time.Duration `json:"delta"`
+}
+
+// BuildTraceReport digests a canonical span slice: delivery latency is
+// each deliver span's offset from its item's publish span, the topN
+// slowest deliveries get their hop paths reconstructed with trace.PathTo,
+// and delivery-fail spans are carried verbatim.
+func BuildTraceReport(label string, spans []trace.Span, topN int) *TraceReport {
+	r := &TraceReport{
+		Label:       label,
+		SpanCount:   len(spans),
+		Fingerprint: trace.Fingerprint(spans),
+	}
+	publishAt := make(map[string]time.Time)
+	for i := range spans {
+		s := &spans[i]
+		switch s.Kind {
+		case trace.KindPublish:
+			if _, ok := publishAt[s.Key]; !ok {
+				publishAt[s.Key] = s.At
+			}
+		case trace.KindDeliveryFail:
+			r.Failed = append(r.Failed, *s)
+		}
+	}
+	type deliv struct {
+		key, node string
+		lat       time.Duration
+	}
+	var delivs []deliv
+	for i := range spans {
+		s := &spans[i]
+		if s.Kind != trace.KindDeliver {
+			continue
+		}
+		pub, ok := publishAt[s.Key]
+		if !ok {
+			continue
+		}
+		delivs = append(delivs, deliv{key: s.Key, node: s.Node, lat: s.At.Sub(pub)})
+	}
+	sort.SliceStable(delivs, func(i, j int) bool { return delivs[i].lat > delivs[j].lat })
+	if topN > 0 && len(delivs) > topN {
+		delivs = delivs[:topN]
+	}
+	for _, d := range delivs {
+		td := TracedDelivery{Key: d.key, Node: d.node, Latency: d.lat}
+		path := trace.PathTo(spans, d.key, d.node)
+		prev := time.Time{}
+		for _, s := range path {
+			hop := TraceHop{Span: s}
+			if !prev.IsZero() {
+				hop.Delta = s.At.Sub(prev)
+			}
+			prev = s.At
+			td.Hops = append(td.Hops, hop)
+		}
+		r.Slowest = append(r.Slowest, td)
+	}
+	return r
+}
+
+// Render writes the report as indented text under a "-- trace" header,
+// one line per hop with the per-hop latency delta.
+func (r *TraceReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- trace %s: %d spans, fingerprint %.12s…\n",
+		r.Label, r.SpanCount, r.Fingerprint)
+	for i, d := range r.Slowest {
+		fmt.Fprintf(w, "   slowest[%d] %s -> %s in %v\n", i, d.Key, d.Node, d.Latency)
+		for _, h := range d.Hops {
+			s := h.Span
+			line := fmt.Sprintf("     %-8s %s", s.Kind, s.Node)
+			if s.To != "" {
+				line += " -> " + s.To
+			}
+			if s.Zone != "" {
+				line += "  zone=" + s.Zone
+			}
+			if s.Hop > 0 {
+				line += fmt.Sprintf("  hop=%d", s.Hop)
+			}
+			if h.Delta > 0 {
+				line += fmt.Sprintf("  +%v", h.Delta)
+			}
+			if s.Note != "" {
+				line += "  (" + s.Note + ")"
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	for _, s := range r.Failed {
+		fmt.Fprintf(w, "   failed  %s at %s -> %s after attempt %d\n",
+			s.Key, s.Node, s.To, s.Attempt)
+	}
+	fmt.Fprintln(w)
+}

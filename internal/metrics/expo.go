@@ -1,0 +1,262 @@
+// Labeled series and Prometheus text exposition (version 0.0.4).
+//
+// The registry's exposition model is deliberately small: counters and
+// gauges render as themselves, histograms render as Prometheus summaries
+// (quantile-labeled series plus _sum and _count), because the registry
+// keeps order statistics rather than fixed buckets. That is exactly the
+// shape scrapers expect from a summary and keeps the experiment-facing
+// quantile API as the single source of truth.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey renders the canonical registry key and exposition metadata
+// for a family name plus labels. Labels are sorted by key so the same set
+// always maps to the same series regardless of argument order.
+func seriesKey(name string, labels []Label) (string, seriesMeta) {
+	if len(labels) == 0 {
+		return name, seriesMeta{family: name}
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	rendered := sb.String()
+	return name + "{" + rendered + "}", seriesMeta{family: name, labels: rendered}
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// CounterWith returns the counter for name plus labels, creating it if
+// needed.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
+	key, meta := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+		r.meta[key] = meta
+	}
+	return c
+}
+
+// GaugeWith returns the gauge for name plus labels, creating it if needed.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
+	key, meta := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.meta[key] = meta
+	}
+	return g
+}
+
+// HistogramWith returns the histogram for name plus labels, creating it
+// if needed.
+func (r *Registry) HistogramWith(name string, labels ...Label) *Histogram {
+	key, meta := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[key] = h
+		r.meta[key] = meta
+	}
+	return h
+}
+
+// expoSeries is one series captured for rendering, outside the registry
+// lock.
+type expoSeries struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// expoFamily groups the series of one metric family.
+type expoFamily struct {
+	name   string
+	kind   string // "counter" | "gauge" | "summary"
+	series []expoSeries
+}
+
+// families snapshots the registry's series pointers grouped per family,
+// sorted by family then label set. Metric values are NOT read here — the
+// caller reads them under each metric's own lock.
+func (r *Registry) families() []expoFamily {
+	byName := make(map[string]*expoFamily)
+	r.mu.Lock()
+	for key, c := range r.counters {
+		m := r.meta[key]
+		f := byName[m.family]
+		if f == nil {
+			f = &expoFamily{name: m.family, kind: "counter"}
+			byName[m.family] = f
+		}
+		f.series = append(f.series, expoSeries{labels: m.labels, c: c})
+	}
+	for key, g := range r.gauges {
+		m := r.meta[key]
+		f := byName[m.family]
+		if f == nil {
+			f = &expoFamily{name: m.family, kind: "gauge"}
+			byName[m.family] = f
+		}
+		f.series = append(f.series, expoSeries{labels: m.labels, g: g})
+	}
+	for key, h := range r.histograms {
+		m := r.meta[key]
+		f := byName[m.family]
+		if f == nil {
+			f = &expoFamily{name: m.family, kind: "summary"}
+			byName[m.family] = f
+		}
+		f.series = append(f.series, expoSeries{labels: m.labels, h: h})
+	}
+	r.mu.Unlock()
+
+	out := make([]expoFamily, 0, len(byName))
+	for _, f := range byName {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// summaryQuantiles are the quantile series a histogram exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4) and reports the bytes written.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	for _, f := range r.families() {
+		if _, err := fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return cw.n, err
+		}
+		for _, s := range f.series {
+			var err error
+			switch {
+			case s.c != nil:
+				err = writeSample(cw, f.name, s.labels, "", float64(s.c.Value()))
+			case s.g != nil:
+				err = writeSample(cw, f.name, s.labels, "", s.g.Value())
+			case s.h != nil:
+				err = writeSummary(cw, f.name, s.labels, s.h)
+			}
+			if err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// writeSummary renders one histogram as quantile samples plus _sum/_count.
+func writeSummary(w io.Writer, name, labels string, h *Histogram) error {
+	for _, q := range summaryQuantiles {
+		ql := fmt.Sprintf(`quantile="%g"`, q)
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		if err := writeSample(w, name, ql, "", h.Quantile(q)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name, labels, "_sum", h.Sum()); err != nil {
+		return err
+	}
+	return writeSample(w, name, labels, "_count", float64(h.Count()))
+}
+
+// writeSample renders one exposition line.
+func writeSample(w io.Writer, name, labels, suffix string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatValue(v))
+	} else {
+		_, err = fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, labels, formatValue(v))
+	}
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus parsers expect:
+// integral values without an exponent, everything else in %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Handler returns an http.Handler serving the exposition — mount it as
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

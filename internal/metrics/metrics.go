@@ -1,15 +1,15 @@
 // Package metrics provides the lightweight counters, gauges and histograms
 // that the experiment harness uses to report the quantities the paper talks
 // about: delivery latency percentiles, per-node message loads, redundancy
-// fractions, and served-request ratios.
-//
-// The registry is deliberately simple — no export protocols, no labels —
-// because its only consumers are the benchmark tables in EXPERIMENTS.md.
+// fractions, and served-request ratios — and, since the observability PR,
+// the live-node exposition layer: labeled series and a Prometheus
+// text-format handler (expo.go) that cmd/newswired serves as /metrics.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -74,20 +74,73 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram accumulates observations and reports order statistics. It keeps
-// every sample; experiment runs are bounded, so exact quantiles are cheap
-// and avoid approximation arguments in EXPERIMENTS.md.
+// Histogram accumulates observations and reports order statistics.
+//
+// By default it keeps every sample: experiment runs are bounded, so exact
+// quantiles are cheap and avoid approximation arguments in
+// EXPERIMENTS.md. A long-running live node must not keep every delivery
+// latency forever, though — SetReservoir caps the retained samples with
+// uniform reservoir sampling (Vitter's algorithm R). Count, Sum, Mean,
+// Min and Max stay exact in either mode; quantiles become estimates over
+// the reservoir once it overflows.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
+
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+
+	cap int        // 0 = unbounded (exact mode)
+	rng *rand.Rand // reservoir replacement; lazily created, fixed seed
+}
+
+// SetReservoir bounds the retained sample buffer to cap samples (<= 0
+// restores the unbounded exact mode). Samples already held beyond the cap
+// are trimmed oldest-first.
+func (h *Histogram) SetReservoir(cap int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cap <= 0 {
+		h.cap = 0
+		return
+	}
+	h.cap = cap
+	if len(h.samples) > cap {
+		h.samples = h.samples[len(h.samples)-cap:]
+		h.sorted = false
+	}
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.cap > 0 && len(h.samples) >= h.cap {
+		// Reservoir replacement keeps each of the count samples retained
+		// with equal probability cap/count. The RNG seed is fixed: the
+		// histogram's statistical behaviour must not depend on ambient
+		// state, and capped histograms are a live-mode feature anyway.
+		if h.rng == nil {
+			h.rng = rand.New(rand.NewSource(1))
+		}
+		if j := h.rng.Int63n(h.count); j < int64(h.cap) {
+			h.samples[j] = v
+			h.sorted = false
+		}
+	} else {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
@@ -96,43 +149,40 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(d.Seconds())
 }
 
-// Count returns the number of samples.
+// Count returns the number of observations (exact even with a reservoir).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Sum returns the sum of all samples.
+// Sum returns the sum of all observations (exact even with a reservoir).
 func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	var s float64
-	for _, v := range h.samples {
-		s += v
-	}
-	return s
+	return h.sum
 }
 
-// Mean returns the sample mean, or 0 for an empty histogram.
+// Mean returns the observation mean, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var s float64
-	for _, v := range h.samples {
-		s += v
-	}
-	return s / float64(len(h.samples))
+	return h.sum / float64(h.count)
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank on the
-// sorted samples, or 0 for an empty histogram.
+// sorted retained samples, or 0 for an empty histogram. Exact in the
+// default mode; a reservoir estimate after a capped histogram overflows.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -153,27 +203,74 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[rank]
 }
 
-// Max returns the largest sample, or 0 for an empty histogram.
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
+// Max returns the largest observation, or 0 for an empty histogram.
+// Exact even when a reservoir has discarded the sample itself.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
 
-// Min returns the smallest sample, or 0 for an empty histogram.
-func (h *Histogram) Min() float64 { return h.Quantile(0) }
+// Min returns the smallest observation, or 0 for an empty histogram.
+// Exact even when a reservoir has discarded the sample itself.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
 
-// Reset discards all samples.
+// Reset discards all state.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
 	h.mu.Unlock()
+}
+
+// snapshot returns the fields a renderer needs in one critical section.
+func (h *Histogram) snapshot() (count int64, mean, p50, p99, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	count = h.count
+	if count > 0 {
+		mean = h.sum / float64(count)
+		min, max = h.min, h.max
+	}
+	p50 = h.quantileLocked(0.5)
+	p99 = h.quantileLocked(0.99)
+	return
 }
 
 // Registry is a named collection of metrics. The zero value is unusable;
 // construct with NewRegistry.
+//
+// Series may carry labels (CounterWith and friends); the plain accessors
+// are the empty-label special case. The registry lock only guards the
+// series maps — per-metric work (quantile sorts in particular) happens
+// under the individual metric's lock, so a Snapshot or exposition render
+// in flight never stalls a concurrent Counter() lookup on a hot path.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	meta       map[string]seriesMeta // series key -> family/labels
+}
+
+// seriesMeta locates a series inside its family for exposition.
+type seriesMeta struct {
+	family string
+	labels string // pre-rendered `k1="v1",k2="v2"`, "" when unlabeled
 }
 
 // NewRegistry returns an empty registry.
@@ -182,62 +279,92 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		meta:       make(map[string]seriesMeta),
 	}
 }
 
 // Counter returns the counter registered under name, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
+	return r.CounterWith(name)
 }
 
 // Gauge returns the gauge registered under name, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
-	}
-	return g
+	return r.GaugeWith(name)
 }
 
 // Histogram returns the histogram registered under name, creating it if
 // needed.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name)
+}
+
+// RegisterHistogram adopts an externally owned histogram under name, so a
+// component that already maintains one (for example a node's delivery
+// latency reservoir) can surface it through the registry without copying
+// samples. Re-registering the same instance is a no-op; a different
+// instance replaces the previous one.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	key, meta := seriesKey(name, nil)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = &Histogram{}
-		r.histograms[name] = h
-	}
-	return h
+	r.histograms[key] = h
+	r.meta[key] = meta
+	r.mu.Unlock()
 }
 
 // Snapshot renders every metric as "name value" lines sorted by name, for
-// debugging experiment runs.
+// debugging experiment runs. Values are read under each metric's own
+// lock, after the registry lock is released.
 func (r *Registry) Snapshot() string {
+	type namedCounter struct {
+		name string
+		c    *Counter
+	}
+	type namedGauge struct {
+		name string
+		g    *Gauge
+	}
+	type namedHistogram struct {
+		name string
+		h    *Histogram
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for key, c := range r.counters {
+		counters = append(counters, namedCounter{r.displayName(key), c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for key, g := range r.gauges {
+		gauges = append(gauges, namedGauge{r.displayName(key), g})
+	}
+	histograms := make([]namedHistogram, 0, len(r.histograms))
+	for key, h := range r.histograms {
+		histograms = append(histograms, namedHistogram{r.displayName(key), h})
+	}
+	r.mu.Unlock()
+
 	var lines []string
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.Value()))
+	for _, nc := range counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", nc.name, nc.c.Value()))
 	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s %g", name, g.Value()))
+	for _, ng := range gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", ng.name, ng.g.Value()))
 	}
-	for name, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%g p50=%g p99=%g",
-			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+	for _, nh := range histograms {
+		count, mean, p50, p99, min, max := nh.h.snapshot()
+		lines = append(lines, fmt.Sprintf(
+			"histogram %s count=%d mean=%g min=%g p50=%g p99=%g max=%g",
+			nh.name, count, mean, min, p50, p99, max))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
+}
+
+// displayName renders a series key for Snapshot. Called with r.mu held.
+func (r *Registry) displayName(key string) string {
+	m := r.meta[key]
+	if m.labels == "" {
+		return m.family
+	}
+	return m.family + "{" + m.labels + "}"
 }

@@ -28,7 +28,9 @@ import (
 
 	"newswire/internal/astrolabe"
 	"newswire/internal/sqlagg"
+	"newswire/internal/trace"
 	"newswire/internal/transport"
+	"newswire/internal/vtime"
 	"newswire/internal/wire"
 )
 
@@ -110,6 +112,16 @@ type Config struct {
 	// degrade to fire-and-forget rather than queueing unboundedly.
 	// Default 8192.
 	MaxPendingAcks int
+
+	// Tracer, when non-nil, receives a delivery-trace span for every
+	// forwarding decision this router makes (publish, forward, deliver,
+	// ack, retry, failover, dedup drop, abandoned forward). Nil disables
+	// tracing; the disabled path costs one nil check per would-be span.
+	Tracer trace.Recorder
+	// Clock stamps trace spans (virtual time in simulation, wall clock
+	// live). Defaults to the wall clock; only consulted when Tracer is
+	// set.
+	Clock vtime.Clock
 }
 
 // Stats counts router activity.
@@ -195,6 +207,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.AckTimeout > 0 && cfg.After == nil {
 		cfg.After = func(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
 	r := &Router{
 		cfg:       cfg,
 		view:      cfg.View,
@@ -206,6 +221,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.rq = newRetransmitQueue(cfg.MaxPendingAcks)
 	}
 	return r, nil
+}
+
+// traceSpan stamps and records one delivery-trace span. Callers must
+// check r.cfg.Tracer != nil first, so the disabled path pays exactly that
+// nil comparison and never builds a span (or an envelope key string).
+func (r *Router) traceSpan(s trace.Span) {
+	s.Node = r.view.Addr()
+	s.At = r.cfg.Clock.Now()
+	r.cfg.Tracer.Record(s)
 }
 
 // Stats returns a copy of the router's counters.
@@ -241,6 +265,9 @@ func (r *Router) Publish(env wire.ItemEnvelope, scope string) error {
 	r.mu.Lock()
 	r.stats.Published++
 	r.mu.Unlock()
+	if r.cfg.Tracer != nil {
+		r.traceSpan(trace.Span{Kind: trace.KindPublish, Key: env.Key(), Zone: scope})
+	}
 	r.route(&wire.Multicast{TargetZone: scope, Envelope: env})
 	return nil
 }
@@ -303,6 +330,12 @@ func (r *Router) handleAck(a *wire.MulticastAck) {
 		r.mu.Lock()
 		r.stats.AcksReceived++
 		r.mu.Unlock()
+		if r.cfg.Tracer != nil {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindAck, Key: a.Key, Zone: a.TargetZone,
+				To: p.addr, Attempt: p.attempt,
+			})
+		}
 	}
 }
 
@@ -327,6 +360,12 @@ func (r *Router) route(m *wire.Multicast) {
 	if zones[target] {
 		r.stats.Duplicates++
 		r.mu.Unlock()
+		if r.cfg.Tracer != nil {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindDedupDrop, Key: key, Zone: target,
+				Hop: m.Hops, Note: "forward-dup",
+			})
+		}
 		return
 	}
 	zones[target] = true
@@ -533,6 +572,12 @@ func (r *Router) onAckDeadline(seq uint64) {
 		r.mu.Lock()
 		r.stats.DeliveryFailures++
 		r.mu.Unlock()
+		if r.cfg.Tracer != nil {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindDeliveryFail, Key: p.msg.Envelope.Key(),
+				Zone: p.msg.TargetZone, To: p.addr, Attempt: p.attempt,
+			})
+		}
 		return
 	}
 	addr := r.failoverAddr(p)
@@ -543,6 +588,19 @@ func (r *Router) onAckDeadline(seq uint64) {
 		r.stats.FailoversTotal++
 	}
 	r.mu.Unlock()
+	if r.cfg.Tracer != nil {
+		r.traceSpan(trace.Span{
+			Kind: trace.KindRetry, Key: p.msg.Envelope.Key(),
+			Zone: p.msg.TargetZone, To: addr, Attempt: p.attempt,
+		})
+		if addr != p.addr {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindFailover, Key: p.msg.Envelope.Key(),
+				Zone: p.msg.TargetZone, To: addr, Attempt: p.attempt,
+				Note: "from " + p.addr,
+			})
+		}
+	}
 	p.addr = addr
 	p.tried[addr] = true
 	r.rq.reinsert(p)
@@ -623,6 +681,12 @@ func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
 	if r.delivered[key] {
 		r.stats.Duplicates++
 		r.mu.Unlock()
+		if r.cfg.Tracer != nil {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindDedupDrop, Key: key,
+				Zone: r.view.ZonePath(), Note: "deliver-dup",
+			})
+		}
 		return
 	}
 	r.delivered[key] = true
@@ -633,6 +697,11 @@ func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
 	}
 	r.stats.Delivered++
 	r.mu.Unlock()
+	if r.cfg.Tracer != nil {
+		r.traceSpan(trace.Span{
+			Kind: trace.KindDeliver, Key: key, Zone: r.view.ZonePath(),
+		})
+	}
 	r.cfg.Deliver(env)
 }
 
@@ -640,6 +709,16 @@ func (r *Router) send(addr string, m *wire.Multicast) {
 	r.mu.Lock()
 	r.stats.Forwarded++
 	r.mu.Unlock()
+	if r.cfg.Tracer != nil {
+		note := ""
+		if m.Deliver {
+			note = "deliver-copy"
+		}
+		r.traceSpan(trace.Span{
+			Kind: trace.KindForward, Key: m.Envelope.Key(),
+			Zone: m.TargetZone, To: addr, Hop: m.Hops, Note: note,
+		})
+	}
 	_ = r.cfg.Sender(addr, &wire.Message{Kind: wire.KindMulticast, Multicast: m})
 }
 

@@ -6,9 +6,18 @@ import (
 	"time"
 
 	"newswire/internal/core"
+	"newswire/internal/trace"
 	"newswire/internal/transport"
 	"newswire/internal/vtime"
 	"newswire/internal/wire"
+)
+
+// Live-node observability defaults: a bounded span ring and a capped
+// delivery-latency reservoir, so a node that runs for months holds
+// constant memory no matter how many items flow through it.
+const (
+	defaultLiveTraceCap       = 4096
+	defaultLiveLatencySamples = 8192
 )
 
 // LiveConfig configures a node that runs over real TCP with the wall
@@ -23,12 +32,18 @@ type LiveConfig struct {
 	// membership from: the node requests their gossip by sending its own
 	// chain rows, and normal anti-entropy does the rest.
 	Peers []string
+	// DisableTrace skips the default bounded span ring. By default a live
+	// node records its last few thousand delivery spans (served by the
+	// web interface's /trace.json); set Node.Tracer to override the
+	// recorder instead.
+	DisableTrace bool
 }
 
 // LiveNode is a running NewsWire node over TCP.
 type LiveNode struct {
 	node *core.Node
 	tr   *transport.TCP
+	ring *trace.Ring // nil when tracing is disabled or overridden
 
 	stop chan struct{}
 	done chan struct{}
@@ -56,6 +71,14 @@ func StartLive(cfg LiveConfig) (*LiveNode, error) {
 	if nodeCfg.Rand == nil {
 		nodeCfg.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
+	var ring *trace.Ring
+	if nodeCfg.Tracer == nil && !cfg.DisableTrace {
+		ring = trace.NewRing(defaultLiveTraceCap)
+		nodeCfg.Tracer = ring
+	}
+	if nodeCfg.LatencyReservoir == 0 {
+		nodeCfg.LatencyReservoir = defaultLiveLatencySamples
+	}
 	if nodeCfg.Name == "" {
 		nodeCfg.Name = fmt.Sprintf("node-%s", tr.Addr())
 	}
@@ -72,6 +95,7 @@ func StartLive(cfg LiveConfig) (*LiveNode, error) {
 	ln := &LiveNode{
 		node: n,
 		tr:   tr,
+		ring: ring,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -105,6 +129,18 @@ func (ln *LiveNode) run(interval time.Duration) {
 
 // Node returns the underlying node for subscriptions and publishing.
 func (ln *LiveNode) Node() *Node { return ln.node }
+
+// TraceRing returns the node's span ring, or nil when tracing was
+// disabled or replaced through Node.Tracer.
+func (ln *LiveNode) TraceRing() *trace.Ring { return ln.ring }
+
+// WebUI returns the node's web interface with the trace ring attached,
+// so /trace.json serves the recorded spans.
+func (ln *LiveNode) WebUI() *WebUI {
+	ui := NewWebUI(ln.node)
+	ui.ring = ln.ring
+	return ui
+}
 
 // Addr returns the node's listen address (with the resolved port).
 func (ln *LiveNode) Addr() string { return ln.tr.Addr() }

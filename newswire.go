@@ -37,6 +37,7 @@ import (
 	"newswire/internal/news"
 	"newswire/internal/pubsub"
 	"newswire/internal/sim"
+	"newswire/internal/trace"
 	"newswire/internal/vtime"
 	"newswire/internal/wire"
 )
@@ -116,3 +117,20 @@ type Clock = vtime.Clock
 
 // RealClock is the wall clock, for live nodes.
 var RealClock Clock = vtime.Real{}
+
+// Delivery tracing types (see internal/trace): spans explain a single
+// item's hop-by-hop journey; recorders plug into Config.Tracer.
+type (
+	// TraceSpan is one recorded delivery event.
+	TraceSpan = trace.Span
+	// TraceRecorder receives spans (nil on a Config disables tracing).
+	TraceRecorder = trace.Recorder
+	// TraceRing is the bounded span recorder live nodes use.
+	TraceRing = trace.Ring
+	// TraceCollector is the deterministic recorder simulated clusters use.
+	TraceCollector = trace.Collector
+)
+
+// NewTraceRing returns a bounded live-node span recorder (cap <= 0
+// selects the default capacity).
+func NewTraceRing(cap int) *TraceRing { return trace.NewRing(cap) }

@@ -9,8 +9,12 @@ import (
 	"time"
 
 	"newswire/internal/astrolabe"
+	"newswire/internal/cache"
 	"newswire/internal/core"
+	"newswire/internal/metrics"
+	"newswire/internal/multicast"
 	"newswire/internal/pubsub"
+	"newswire/internal/trace"
 )
 
 // WebUI serves the node-status web interface the paper promises for the
@@ -18,18 +22,23 @@ import (
 // additional web interface for access"). It exposes:
 //
 //	GET /            – human-readable status page
-//	GET /status.json – machine-readable node status
+//	GET /status.json – machine-readable node status (incl. gossip/multicast counters)
 //	GET /items.json  – recent items from the message cache
 //	GET /zones.json  – the node's replicated zone tables (summarized)
+//	GET /trace.json  – recent delivery trace spans (live trace ring)
+//	GET /metrics     – Prometheus text exposition of the node's counters
 //
 // Mount it on any http.Server; cmd/newswired wires it to -http.
 type WebUI struct {
 	node *core.Node
+	reg  *metrics.Registry
+	ring *trace.Ring // nil serves an empty /trace.json
 }
 
-// NewWebUI returns a handler set for the given node.
+// NewWebUI returns a handler set for the given node. LiveNode.WebUI wires
+// the node's trace ring in as well.
 func NewWebUI(node *Node) *WebUI {
-	return &WebUI{node: node}
+	return &WebUI{node: node, reg: metrics.NewRegistry()}
 }
 
 // Handler returns the mux serving every endpoint.
@@ -39,18 +48,23 @@ func (ui *WebUI) Handler() http.Handler {
 	mux.HandleFunc("/status.json", ui.handleStatus)
 	mux.HandleFunc("/items.json", ui.handleItems)
 	mux.HandleFunc("/zones.json", ui.handleZones)
+	mux.HandleFunc("/trace.json", ui.handleTrace)
+	mux.HandleFunc("/metrics", ui.handleMetrics)
 	return mux
 }
 
 // statusDoc is the /status.json schema.
 type statusDoc struct {
-	Name       string   `json:"name"`
-	Addr       string   `json:"addr"`
-	Zone       string   `json:"zone"`
-	Subjects   []string `json:"subjects"`
-	Delivered  int64    `json:"delivered"`
-	CacheItems int      `json:"cacheItems"`
-	Publishers []string `json:"publishers"`
+	Name       string          `json:"name"`
+	Addr       string          `json:"addr"`
+	Zone       string          `json:"zone"`
+	Subjects   []string        `json:"subjects"`
+	Delivered  int64           `json:"delivered"`
+	CacheItems int             `json:"cacheItems"`
+	Publishers []string        `json:"publishers"`
+	Gossip     astrolabe.Stats `json:"gossip"`
+	Multicast  multicast.Stats `json:"multicast"`
+	Cache      cache.Stats     `json:"cache"`
 }
 
 func (ui *WebUI) status() statusDoc {
@@ -62,11 +76,36 @@ func (ui *WebUI) status() statusDoc {
 		Delivered:  ui.node.Delivered(),
 		CacheItems: ui.node.Cache().Len(),
 		Publishers: ui.node.KnownPublishers(),
+		Gossip:     ui.node.Agent().Stats(),
+		Multicast:  ui.node.Router().Stats(),
+		Cache:      ui.node.Cache().Stats(),
 	}
 }
 
 func (ui *WebUI) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ui.status())
+}
+
+// traceDoc is the /trace.json schema.
+type traceDoc struct {
+	Recorded int64        `json:"recorded"` // spans ever recorded, incl. overwritten
+	Spans    []trace.Span `json:"spans"`    // retained spans, oldest first
+}
+
+func (ui *WebUI) handleTrace(w http.ResponseWriter, r *http.Request) {
+	doc := traceDoc{Spans: []trace.Span{}}
+	if ui.ring != nil {
+		doc.Recorded = ui.ring.Recorded()
+		doc.Spans = ui.ring.Spans()
+	}
+	writeJSON(w, doc)
+}
+
+func (ui *WebUI) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Mirror the node's cumulative counters into the registry at scrape
+	// time (SyncTo is idempotent), then render the exposition.
+	ui.node.FillMetrics(ui.reg)
+	ui.reg.Handler().ServeHTTP(w, r)
 }
 
 // itemDoc is one /items.json entry.
@@ -171,7 +210,7 @@ func (ui *WebUI) handleIndex(w http.ResponseWriter, r *http.Request) {
 			html.EscapeString(fmt.Sprint(it.Subjects)))
 	}
 	fmt.Fprint(w, "</table>")
-	fmt.Fprint(w, `<p><a href="/status.json">status.json</a> · <a href="/items.json">items.json</a> · <a href="/zones.json">zones.json</a></p>`)
+	fmt.Fprint(w, `<p><a href="/status.json">status.json</a> · <a href="/items.json">items.json</a> · <a href="/zones.json">zones.json</a> · <a href="/trace.json">trace.json</a> · <a href="/metrics">metrics</a></p>`)
 	fmt.Fprint(w, "</body></html>")
 }
 

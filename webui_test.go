@@ -56,6 +56,17 @@ func TestWebUIStatusJSON(t *testing.T) {
 		Subjects   []string `json:"subjects"`
 		Delivered  int64    `json:"delivered"`
 		Publishers []string `json:"publishers"`
+		Gossip     struct {
+			GossipsSent     int64 `json:"GossipsSent"`
+			GossipBytesSent int64 `json:"GossipBytesSent"`
+		} `json:"gossip"`
+		Multicast struct {
+			Delivered  int64 `json:"Delivered"`
+			Duplicates int64 `json:"Duplicates"`
+		} `json:"multicast"`
+		Cache struct {
+			Puts int64 `json:"Puts"`
+		} `json:"cache"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
 		t.Fatal(err)
@@ -68,6 +79,85 @@ func TestWebUIStatusJSON(t *testing.T) {
 	}
 	if len(status.Subjects) != 1 || status.Subjects[0] != "tech/linux" {
 		t.Errorf("subjects = %v", status.Subjects)
+	}
+	if status.Gossip.GossipsSent == 0 || status.Gossip.GossipBytesSent == 0 {
+		t.Errorf("gossip counters missing: %+v", status.Gossip)
+	}
+	if status.Multicast.Delivered != 1 {
+		t.Errorf("multicast delivered = %d", status.Multicast.Delivered)
+	}
+	if status.Cache.Puts == 0 {
+		t.Errorf("cache counters missing: %+v", status.Cache)
+	}
+}
+
+func TestWebUIMetricsEndpoint(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE astrolabe_gossips_sent counter",
+		"# TYPE multicast_delivered counter",
+		"multicast_delivered 1",
+		"# TYPE newswire_delivery_latency_seconds summary",
+		"newswire_delivery_latency_seconds_count 1",
+		"multicast_retries_sent",
+		"multicast_failovers_total",
+		"multicast_delivery_failures",
+		"cache_puts",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Two scrapes must not double count (SyncTo mirror semantics).
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf2 := new(strings.Builder)
+	if _, err := io.Copy(buf2, resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "multicast_delivered 1") {
+		t.Errorf("second scrape drifted:\n%s", buf2.String())
+	}
+}
+
+func TestWebUITraceJSONWithoutRing(t *testing.T) {
+	_, ui := webUICluster(t)
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Recorded int64             `json:"recorded"`
+		Spans    []json.RawMessage `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded != 0 || len(doc.Spans) != 0 {
+		t.Errorf("ring-less trace.json = recorded %d, %d spans; want empty", doc.Recorded, len(doc.Spans))
 	}
 }
 
@@ -115,6 +205,119 @@ func TestWebUIZonesJSON(t *testing.T) {
 	}
 	if len(zones) < 4 {
 		t.Fatalf("zones = %+v", zones)
+	}
+}
+
+// TestWebUILiveTraceAndMetrics drives a real two-node TCP pair and checks
+// the observability endpoints against it: the subscriber's /trace.json
+// must show the delivery spans its default ring recorded, and /metrics
+// must expose the delivery-latency summary in Prometheus text format.
+func TestWebUILiveTraceAndMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test")
+	}
+	start := func(name string, peers []string) *newswire.LiveNode {
+		t.Helper()
+		ln, err := newswire.StartLive(newswire.LiveConfig{
+			Node: newswire.Config{
+				Name:           name,
+				ZonePath:       "/live",
+				GossipInterval: 200 * time.Millisecond,
+			},
+			Peers: peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		return ln
+	}
+	sub := start("sub", nil)
+	if err := sub.Node().Subscribe("tech/linux"); err != nil {
+		t.Fatal(err)
+	}
+	pub := start("pub", []string{sub.Addr()})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rows, _ := pub.Node().Agent().Table("/live")
+		if len(rows) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never converged: %d rows", len(rows))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(time.Second) // subscription summaries aggregate
+
+	item := &newswire.Item{
+		Publisher: "slashdot", ID: "live-trace",
+		Headline: "traced over real sockets", Body: "body",
+		Subjects:  []string{"tech/linux"},
+		Published: time.Now(),
+	}
+	if err := pub.Node().PublishItem(item, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for sub.Node().Delivered() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("item never delivered to the subscriber")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	srv := httptest.NewServer(sub.WebUI().Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Recorded int64 `json:"recorded"`
+		Spans    []struct {
+			Kind string `json:"kind"`
+			Key  string `json:"key"`
+			Node string `json:"node"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded == 0 || len(doc.Spans) == 0 {
+		t.Fatalf("live trace ring empty: recorded %d, %d spans", doc.Recorded, len(doc.Spans))
+	}
+	foundDeliver := false
+	for _, s := range doc.Spans {
+		if s.Kind == "deliver" && s.Key == "slashdot/live-trace#0" {
+			foundDeliver = true
+		}
+	}
+	if !foundDeliver {
+		t.Errorf("no deliver span for the published item in %d spans", len(doc.Spans))
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"newswire_delivery_latency_seconds_count 1",
+		"multicast_delivered 1",
+		"# TYPE astrolabe_gossips_sent counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("live /metrics missing %q", want)
+		}
 	}
 }
 
