@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-compare tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -55,9 +55,28 @@ bench:
 # and the slowest deliveries' hop paths land in the JSON artifact.
 bench-smoke: bin/newswire-bench
 	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E1.json > artifacts/BENCH_E1.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E1.baseline.json
 	bin/newswire-bench -run E1 -workers -1 -verify-parallel -speedup -trace -json artifacts | tee artifacts/bench-smoke.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E1.baseline.json -current artifacts/BENCH_E1.json | tee artifacts/bytes-gate.txt
 	$(GO) test . -run TestGossipRoundTraceOverheadGuard -count=1 -v | tee artifacts/trace-guard.txt
 	bin/newswire-bench -run E6 -quick -trace -json artifacts | tee artifacts/trace-smoke.txt
+
+# Compare the gossip-round micro-benchmarks between the last commit on
+# main (origin/main when a remote exists) and the working tree. Uses
+# benchstat when installed; otherwise falls back to the dependency-free
+# comparer built into this repo (cmd/benchgate -compare).
+bench-compare:
+	mkdir -p artifacts
+	rm -rf .benchbase && git worktree prune
+	git worktree add --detach .benchbase origin/main 2>/dev/null || git worktree add --detach .benchbase main
+	cd .benchbase && $(GO) test . -run '^$$' -bench BenchmarkGossipRound -benchmem -count 3 > ../artifacts/bench-base.txt
+	$(GO) test . -run '^$$' -bench BenchmarkGossipRound -benchmem -count 3 > artifacts/bench-head.txt
+	git worktree remove --force .benchbase
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat artifacts/bench-base.txt artifacts/bench-head.txt; \
+	else \
+		$(GO) run ./cmd/benchgate -compare artifacts/bench-base.txt artifacts/bench-head.txt; \
+	fi
 
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench

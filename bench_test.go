@@ -301,9 +301,10 @@ func BenchmarkGossipRound(b *testing.B) {
 // hot path: a steady-state gossip round with a nil recorder must stay near
 // the pre-observability baseline, and attaching a recorder must not change
 // the gossip path's allocations at all — gossip emits no spans. Note the
-// ceiling is calibrated to testing.AllocsPerRun, which reads ~15% above
-// the amortized -benchmem number for the same workload (~30.3k/round here
-// vs the benchmark's 26.5k delta allocs/op).
+// ceiling is calibrated to testing.AllocsPerRun, which reads well above
+// the amortized -benchmem number for the same workload (~8.5k/round here
+// vs the benchmark's ~3.6k delta allocs/op: shared-row caches warmed in
+// early rounds amortize across a long benchmark but not across 3 runs).
 func TestGossipRoundTraceOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc measurement")
@@ -326,7 +327,7 @@ func TestGossipRoundTraceOverheadGuard(t *testing.T) {
 	nilRec := measure(false)
 	attached := measure(true)
 	t.Logf("allocs/round: recorder nil %.0f, attached %.0f", nilRec, attached)
-	const ceiling = 34000 // ~30.3k measured via AllocsPerRun + ~10% headroom
+	const ceiling = 9500 // ~8.5k measured via AllocsPerRun + ~10% headroom
 	if nilRec > ceiling {
 		t.Errorf("nil-recorder gossip round allocates %.0f/op, above the %d baseline ceiling", nilRec, ceiling)
 	}

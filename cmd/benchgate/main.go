@@ -1,0 +1,208 @@
+// Command benchgate guards the perf trajectory without external tooling.
+//
+// Gate mode (CI): compare the wire-byte usage in two BENCH_<ID>.json
+// artifacts and fail when any configuration's bytes_per_round regressed
+// beyond the allowed fraction:
+//
+//	benchgate -baseline old/BENCH_E1.json -current artifacts/BENCH_E1.json
+//	benchgate -baseline ... -current ... -max-regress 0.10
+//
+// Compare mode (benchstat fallback for `make bench-compare`): diff two
+// `go test -bench` output files metric by metric:
+//
+//	benchgate -compare baseline.txt current.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baseline   = fs.String("baseline", "", "baseline BENCH_<ID>.json")
+		current    = fs.String("current", "", "current BENCH_<ID>.json")
+		maxRegress = fs.Float64("max-regress", 0.10, "allowed fractional bytes_per_round regression")
+		compare    = fs.Bool("compare", false, "diff two `go test -bench` output files (positional args)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two bench output files, got %d", fs.NArg())
+		}
+		return compareBenchFiles(fs.Arg(0), fs.Arg(1))
+	}
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("need -baseline and -current (or -compare old.txt new.txt)")
+	}
+	return gate(*baseline, *current, *maxRegress)
+}
+
+// benchArtifact is the slice of the BENCH_<ID>.json schema the gate needs.
+type benchArtifact struct {
+	ID   string `json:"id"`
+	Wire []struct {
+		Label         string  `json:"label"`
+		BytesPerRound float64 `json:"bytes_per_round"`
+	} `json:"bytes_on_wire"`
+}
+
+func gate(baselinePath, currentPath string, maxRegress float64) error {
+	var base, cur benchArtifact
+	if err := readJSON(baselinePath, &base); err != nil {
+		return err
+	}
+	if err := readJSON(currentPath, &cur); err != nil {
+		return err
+	}
+	if len(base.Wire) == 0 {
+		// A pre-codec artifact has no wire section: nothing to gate
+		// against yet. Report and pass so the first regenerating commit
+		// can land the section.
+		fmt.Printf("benchgate: baseline %s has no bytes_on_wire section; gate skipped\n", baselinePath)
+		return nil
+	}
+	curByLabel := map[string]float64{}
+	for _, w := range cur.Wire {
+		curByLabel[w.Label] = w.BytesPerRound
+	}
+	failed := false
+	for _, b := range base.Wire {
+		got, ok := curByLabel[b.Label]
+		if !ok {
+			fmt.Printf("benchgate: %-12s baseline %.0f B/round, missing from current artifact\n", b.Label, b.BytesPerRound)
+			failed = true
+			continue
+		}
+		delta := (got - b.BytesPerRound) / b.BytesPerRound
+		status := "ok"
+		if delta > maxRegress {
+			status = fmt.Sprintf("REGRESSED beyond %.0f%%", maxRegress*100)
+			failed = true
+		}
+		fmt.Printf("benchgate: %-12s %.0f -> %.0f B/round (%+.1f%%) %s\n",
+			b.Label, b.BytesPerRound, got, delta*100, status)
+	}
+	if failed {
+		return fmt.Errorf("bytes_per_round regression gate failed (baseline %s)", baselinePath)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// benchMetrics maps "BenchmarkName/arm" -> unit -> value, averaged over
+// repeated runs of the same benchmark.
+type benchMetrics map[string]map[string]float64
+
+func parseBenchFile(path string) (benchMetrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := benchMetrics{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -<GOMAXPROCS> suffix so runs on different hosts align.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		counts[name]++
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range out {
+		for unit := range m {
+			m[unit] /= float64(counts[name])
+		}
+	}
+	return out, nil
+}
+
+func compareBenchFiles(oldPath, newPath string) error {
+	oldM, err := parseBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newM, err := parseBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		if _, ok := newM[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	fmt.Printf("%-44s %-14s %14s %14s %8s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		units := make([]string, 0, len(oldM[name]))
+		for unit := range oldM[name] {
+			if _, ok := newM[name][unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			o, n := oldM[name][unit], newM[name][unit]
+			delta := "~"
+			if o != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+			}
+			fmt.Printf("%-44s %-14s %14.1f %14.1f %8s\n", name, unit, o, n, delta)
+		}
+	}
+	return nil
+}

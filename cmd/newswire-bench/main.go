@@ -40,22 +40,67 @@ func main() {
 // jsonReport is the machine-readable result written per experiment when
 // -json is set, so the perf trajectory is tracked across changes.
 type jsonReport struct {
-	ID          string                     `json:"id"`
-	Title       string                     `json:"title"`
-	Claim       string                     `json:"claim,omitempty"`
-	Columns     []string                   `json:"columns"`
-	Rows        [][]string                 `json:"rows"`
-	Notes       []string                   `json:"notes,omitempty"`
-	Seed        int64                      `json:"seed"`
-	Quick       bool                       `json:"quick"`
-	Big         bool                       `json:"big"`
-	Workers     int                        `json:"workers"`
-	GOMAXPROCS  int                        `json:"gomaxprocs"`
-	NumCPU      int                        `json:"num_cpu"`
-	WallSeconds float64                    `json:"wall_seconds"`
-	Verified    bool                       `json:"verified_against_serial,omitempty"`
-	Bench       *experiments.SpeedupReport `json:"bench,omitempty"`
-	Traces      []*experiments.TraceReport `json:"traces,omitempty"`
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Claim       string     `json:"claim,omitempty"`
+	Columns     []string   `json:"columns"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+	Seed        int64      `json:"seed"`
+	Quick       bool       `json:"quick"`
+	Big         bool       `json:"big"`
+	Workers     int        `json:"workers"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	WallSeconds float64    `json:"wall_seconds"`
+	// PeakHeapBytes is the maximum runtime.MemStats.HeapInuse observed by
+	// a 50ms sampler while the experiment ran — the footprint figure the
+	// big-run E1 rows in EXPERIMENTS.md quote.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+	// Wire is the per-configuration wire-byte usage (bytes_on_wire,
+	// bytes_per_round) for experiments that record it; CI gates on the
+	// E1 quick-size bytes_per_round regressing against the committed
+	// artifact.
+	Wire     []experiments.WireUsage    `json:"bytes_on_wire,omitempty"`
+	Verified bool                       `json:"verified_against_serial,omitempty"`
+	Bench    *experiments.SpeedupReport `json:"bench,omitempty"`
+	Traces   []*experiments.TraceReport `json:"traces,omitempty"`
+}
+
+// heapSampler polls HeapInuse until stopped and reports the peak.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > s.peak {
+				s.peak = ms.HeapInuse
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Peak stops the sampler and returns the highest heap-in-use seen.
+func (s *heapSampler) Peak() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
 }
 
 func run(args []string) error {
@@ -144,7 +189,9 @@ func run(args []string) error {
 			continue
 		}
 		start := time.Now()
+		sampler := startHeapSampler()
 		table := r.Run(opt)
+		peakHeap := sampler.Peak()
 		wall := time.Since(start)
 		verified := false
 		if *verifyPar {
@@ -186,6 +233,7 @@ func run(args []string) error {
 				Seed: *seed, Quick: *quick, Big: *big, Workers: opt.Workers,
 				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 				WallSeconds: wall.Seconds(), Verified: verified,
+				PeakHeapBytes: peakHeap, Wire: table.Wire,
 				Traces: table.Traces,
 			}
 			if *speedup && r.ID == "E1" {

@@ -46,10 +46,12 @@ func run(args []string) error {
 		predicate = fs.String("predicate", "", "SQL selection predicate over item metadata")
 		interval  = fs.Duration("interval", 2*time.Second, "gossip interval")
 		httpAddr  = fs.String("http", "", "serve the status web interface on this address (e.g. 127.0.0.1:8080)")
+		gobWire   = fs.Bool("gob-wire", false, "encode outbound frames with the legacy gob codec (transition aid; inbound frames are auto-detected either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	wire.SetGobFallback(*gobWire)
 
 	cfg := newswire.LiveConfig{
 		ListenAddr: *listen,

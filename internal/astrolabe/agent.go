@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -77,9 +78,17 @@ type PrefixRule struct {
 }
 
 // msgOverhead mirrors the fixed per-message envelope cost wire's
-// EstimateSize charges (kind, lengths, framing), excluding the From
-// address, which the transport stamps at send time.
-const msgOverhead = 16
+// EstimateSize charges for row-bearing gossip kinds — magic, kind, the
+// From-address and zone-ref framing bytes, and the interned-table
+// allowance — excluding the From address itself, which the transport
+// stamps at send time. (Assumes addresses shorter than 128 bytes, so
+// their length prefix is one byte; the accounting parity test pins this.)
+// Digest-only frames carry a much smaller table (zone paths only, no
+// attribute names), so they get their own constant.
+const (
+	msgOverhead       = 4 + wire.GossipTableOverhead
+	digestMsgOverhead = 4 + wire.DigestTableOverhead
+)
 
 // Config configures an Agent.
 type Config struct {
@@ -132,8 +141,9 @@ type Config struct {
 	DisableDeltaGossip bool
 }
 
-// Row is a snapshot of one MIB row. Attrs is shared with the agent's
-// internal state and must be treated as read-only.
+// Row is a snapshot of one MIB row, copied out of the agent's internal
+// state for callers. Attrs is shared with the immutable stored row and
+// must be treated as read-only.
 type Row struct {
 	Name   string
 	Attrs  value.Map
@@ -141,113 +151,28 @@ type Row struct {
 	Owner  string
 	Signer string
 	Sig    []byte
-
-	// enc caches the canonical binary encoding of Attrs for the few rows
-	// that obtain it eagerly (an agent's own rows, aggregates it
-	// computes, tie-break participants). hash is the encoding's FNV-64a
-	// hash and encLen its length; both are computed on first use —
-	// through a pooled scratch buffer when enc is absent, so the great
-	// majority of rows (merged copies of other nodes' state) never
-	// retain their encoding at all. Attrs is immutable once the row is
-	// stored, so none of the caches go stale. The encoding drives the
-	// deterministic tie-break and aggregation input order; the hash
-	// rides in gossip digests; the length feeds wire-size accounting.
-	enc    []byte
-	hashed bool
-	hash   uint64
-	encLen int32
 }
 
-// encScratch pools encoding buffers for hash/size computation and cold
-// tie-break comparisons, so those paths neither allocate per call nor
-// retain an encoding per row.
-var encScratch = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
-
-// encoding returns the row's canonical attribute encoding, caching it.
-// Only paths that genuinely need the bytes retained should call this;
-// use attrsHash/encSize/encLess for digesting, sizing and ordering.
-func (r *Row) encoding() []byte {
-	if r.enc == nil {
-		r.enc = r.Attrs.AppendBinary(nil)
-		r.encLen = int32(len(r.enc))
+// snapshotRow renders a stored shared row as a public Row snapshot.
+func snapshotRow(r *wire.SharedRow) Row {
+	return Row{
+		Name:   r.Name,
+		Attrs:  r.Attrs,
+		Issued: r.Issued,
+		Owner:  r.Owner,
+		Signer: r.Signer,
+		Sig:    r.Sig,
 	}
-	return r.enc
 }
 
-// ensureDigest populates hash and encLen without retaining the encoding.
-func (r *Row) ensureDigest() {
-	if r.hashed {
-		return
-	}
-	if r.enc != nil {
-		r.hash = fnv64a(r.enc)
-		r.encLen = int32(len(r.enc))
-		r.hashed = true
-		return
-	}
-	bp := encScratch.Get().(*[]byte)
-	b := r.Attrs.AppendBinary((*bp)[:0])
-	r.hash = fnv64a(b)
-	r.encLen = int32(len(b))
-	r.hashed = true
-	*bp = b[:0]
-	encScratch.Put(bp)
-}
-
-// attrsHash returns the FNV-64a hash of the row's canonical encoding.
-func (r *Row) attrsHash() uint64 {
-	r.ensureDigest()
-	return r.hash
-}
-
-// encSize returns the length of the row's canonical encoding without
-// materializing it.
-func (r *Row) encSize() int {
-	if r.enc != nil {
-		return len(r.enc)
-	}
-	r.ensureDigest()
-	return int(r.encLen)
-}
-
-// encLess orders two rows by their canonical encodings, comparing cached
-// bytes when present and pooled scratch encodings otherwise. Callers use
-// it only to break ties between rows whose addr attributes collide, so
-// the encode-on-demand path stays cold.
-func (r *Row) encLess(o *Row) bool {
-	rb, ob := r.enc, o.enc
-	var rs, os *[]byte
-	if rb == nil {
-		rs = encScratch.Get().(*[]byte)
-		rb = r.Attrs.AppendBinary((*rs)[:0])
-	}
-	if ob == nil {
-		os = encScratch.Get().(*[]byte)
-		ob = o.Attrs.AppendBinary((*os)[:0])
-	}
-	less := bytes.Compare(rb, ob) < 0
-	if rs != nil {
-		*rs = rb[:0]
-		encScratch.Put(rs)
-	}
-	if os != nil {
-		*os = ob[:0]
-		encScratch.Put(os)
-	}
-	return less
-}
-
-// fnv64a is the 64-bit FNV-1a hash, inlined to keep digest construction
-// allocation-free.
-func fnv64a(b []byte) uint64 {
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
+// sameAttrs reports whether two attribute maps share the same backing
+// storage — the dominant steady-state merge case, where a heartbeat
+// re-issue of an unchanged row carries the very map this agent already
+// stores. It is a pure fast path for Map.Equal: identical storage implies
+// equal content.
+func sameAttrs(a, b value.Map) bool {
+	return len(a) > 0 && len(a) == len(b) &&
+		reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
 }
 
 // Stats counts agent activity, for tests and experiment tables.
@@ -272,8 +197,12 @@ type Stats struct {
 	AggEvals int64
 }
 
+// table is one replicated zone table. Rows are immutable shared values
+// (wire.SharedRow): merging a gossiped row installs the sender's pointer,
+// so the table is copy-on-write — writers never modify a stored row, they
+// replace the map entry with a freshly built one.
 type table struct {
-	rows map[string]*Row
+	rows map[string]*wire.SharedRow
 	// dirty records that the attribute *content* of this table changed
 	// (row added, removed, or attributes replaced) since the zone's
 	// aggregate was last computed. Timestamp-only refreshes — the
@@ -295,7 +224,7 @@ type Agent struct {
 
 	mu      sync.Mutex
 	tables  map[string]*table
-	ownRow  *Row
+	ownRow  *wire.SharedRow
 	stats   Stats
 	started time.Time
 }
@@ -346,11 +275,11 @@ func NewAgent(cfg Config) (*Agent, error) {
 		tables: make(map[string]*table),
 	}
 	for _, z := range a.chain {
-		a.tables[z] = &table{rows: make(map[string]*Row), dirty: true}
+		a.tables[z] = &table{rows: make(map[string]*wire.SharedRow), dirty: true}
 	}
 	now := cfg.Clock.Now()
 	a.started = now
-	a.ownRow = &Row{
+	a.ownRow = &wire.SharedRow{
 		Name: a.name,
 		Attrs: value.Map{
 			AttrAddr: value.String(a.addr),
@@ -424,13 +353,14 @@ func (a *Agent) Attr(name string) value.Value {
 	return a.ownRow.Attrs[name]
 }
 
-// reissueOwnRowLocked replaces the agent's own row with a fresh issue
-// time. contentChanged reports whether attrs differ from the current
-// row: heartbeats pass false, which both keeps the leaf table clean for
-// the incremental-aggregation fast path and carries the cached encoding
-// over to the new row.
+// reissueOwnRowLocked replaces the agent's own row with a freshly built
+// shared row (the stored one is immutable and may be referenced by every
+// peer that merged it). contentChanged reports whether attrs differ from
+// the current row: heartbeats pass false, which both keeps the leaf table
+// clean for the incremental-aggregation fast path and carries the cached
+// encoding/digest over to the new row.
 func (a *Agent) reissueOwnRowLocked(attrs value.Map, contentChanged bool) {
-	row := &Row{
+	row := &wire.SharedRow{
 		Name:   a.name,
 		Attrs:  attrs,
 		Issued: a.cfg.Clock.Now(),
@@ -439,17 +369,14 @@ func (a *Agent) reissueOwnRowLocked(attrs value.Map, contentChanged bool) {
 	if contentChanged {
 		a.tables[a.leaf].dirty = true
 	} else if old := a.ownRow; old != nil {
-		row.enc = old.enc
-		row.hashed = old.hashed
-		row.hash = old.hash
-		row.encLen = old.encLen
+		row.AdoptCache(old)
 	}
 	a.signRowLocked(row, a.leaf)
 	a.ownRow = row
 	a.tables[a.leaf].rows[a.name] = row
 }
 
-func (a *Agent) signRowLocked(r *Row, zone string) {
+func (a *Agent) signRowLocked(r *wire.SharedRow, zone string) {
 	if a.cfg.SignRow == nil {
 		return
 	}
@@ -478,7 +405,7 @@ func (a *Agent) Table(zone string) ([]Row, bool) {
 	}
 	rows := make([]Row, 0, len(t.rows))
 	for _, r := range t.rows {
-		rows = append(rows, *r)
+		rows = append(rows, snapshotRow(r))
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows, true
@@ -496,7 +423,7 @@ func (a *Agent) Row(zone, name string) (Row, bool) {
 	if !ok {
 		return Row{}, false
 	}
-	return *r, true
+	return snapshotRow(r), true
 }
 
 // IsRepresentative reports whether this agent is currently an elected
@@ -540,15 +467,7 @@ func (a *Agent) isRepresentativeLocked(zone string) bool {
 func (a *Agent) OwnRowUpdate() wire.RowUpdate {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return wire.RowUpdate{
-		Zone:   a.leaf,
-		Name:   a.ownRow.Name,
-		Attrs:  a.ownRow.Attrs,
-		Issued: a.ownRow.Issued,
-		Owner:  a.ownRow.Owner,
-		Signer: a.ownRow.Signer,
-		Sig:    a.ownRow.Sig,
-	}
+	return a.ownRow.Update(a.leaf)
 }
 
 // ChainRowUpdates returns the agent's own leaf row plus the aggregate row
@@ -560,28 +479,12 @@ func (a *Agent) OwnRowUpdate() wire.RowUpdate {
 func (a *Agent) ChainRowUpdates() []wire.RowUpdate {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := []wire.RowUpdate{{
-		Zone:   a.leaf,
-		Name:   a.ownRow.Name,
-		Attrs:  a.ownRow.Attrs,
-		Issued: a.ownRow.Issued,
-		Owner:  a.ownRow.Owner,
-		Signer: a.ownRow.Signer,
-		Sig:    a.ownRow.Sig,
-	}}
+	out := []wire.RowUpdate{a.ownRow.Update(a.leaf)}
 	for i := len(a.chain) - 1; i >= 1; i-- {
 		child := a.chain[i]
 		parent := a.chain[i-1]
 		if r, ok := a.tables[parent].rows[ZoneName(child)]; ok {
-			out = append(out, wire.RowUpdate{
-				Zone:   parent,
-				Name:   r.Name,
-				Attrs:  r.Attrs,
-				Issued: r.Issued,
-				Owner:  r.Owner,
-				Signer: r.Signer,
-				Sig:    r.Sig,
-			})
+			out = append(out, r.Update(parent))
 		}
 	}
 	return out
@@ -638,7 +541,7 @@ func (a *Agent) Tick() {
 	addrs := make([]string, 0, len(dests))
 	for _, d := range dests {
 		var m *wire.Message
-		var payload int
+		var payload, overhead int
 		if a.cfg.DisableDeltaGossip {
 			rows, size := a.sharedRowsLocked(d.level)
 			m = &wire.Message{
@@ -646,7 +549,8 @@ func (a *Agent) Tick() {
 				Gossip: &wire.Gossip{FromZone: a.leaf, Rows: rows},
 			}
 			a.stats.RowsSent += int64(len(rows))
-			payload = size
+			payload = wire.UvarintLen(uint64(len(rows))) + size
+			overhead = msgOverhead
 		} else {
 			digests, size := a.digestLocked(d.level)
 			m = &wire.Message{
@@ -654,12 +558,13 @@ func (a *Agent) Tick() {
 				GossipDigest: &wire.GossipDigest{FromZone: a.leaf, Digests: digests},
 			}
 			a.stats.DigestsSent += int64(len(digests))
-			payload = size
+			payload = wire.UvarintLen(uint64(len(digests))) + size
+			overhead = digestMsgOverhead
 		}
 		msgs = append(msgs, m)
 		addrs = append(addrs, d.addr)
 		a.stats.GossipsSent++
-		a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + payload)
+		a.stats.GossipBytesSent += int64(overhead + len(a.addr) + payload)
 	}
 	tr := a.cfg.Transport
 	a.mu.Unlock()
@@ -708,7 +613,8 @@ func (a *Agent) handleGossip(msg *wire.Message) {
 		},
 	}
 	a.stats.RowsSent += int64(len(rows))
-	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) +
+		wire.UvarintLen(uint64(len(rows))) + size)
 	tr := a.cfg.Transport
 	a.mu.Unlock()
 
@@ -740,7 +646,8 @@ func (a *Agent) handleGossipDigest(msg *wire.Message) {
 		},
 	}
 	a.stats.RowsSent += int64(len(rows))
-	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) +
+		wire.UvarintLen(uint64(len(rows))) + wire.UvarintLen(uint64(len(want))) + size)
 	tr := a.cfg.Transport
 	a.mu.Unlock()
 
@@ -772,7 +679,9 @@ func (a *Agent) handleGossipDelta(msg *wire.Message) {
 		},
 	}
 	a.stats.RowsSent += int64(len(rows))
-	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) + len(a.leaf) + size)
+	// +1: the final delta's empty Want still costs a count byte.
+	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) +
+		wire.UvarintLen(uint64(len(rows))) + 1 + size)
 	tr := a.cfg.Transport
 	a.mu.Unlock()
 
@@ -800,16 +709,8 @@ func (a *Agent) sharedRowsLocked(deepest string) ([]wire.RowUpdate, int) {
 		}
 		t := a.tables[zone]
 		for _, r := range t.rows {
-			out = append(out, wire.RowUpdate{
-				Zone:   zone,
-				Name:   r.Name,
-				Attrs:  r.Attrs,
-				Issued: r.Issued,
-				Owner:  r.Owner,
-				Signer: r.Signer,
-				Sig:    r.Sig,
-			})
-			size += wire.RowSize(&out[len(out)-1], r.encSize())
+			out = append(out, r.Update(zone))
+			size += wire.RowSize(&out[len(out)-1], r.WireAttrsSize())
 		}
 	}
 	return out, size
@@ -837,7 +738,7 @@ func (a *Agent) digestLocked(deepest string) ([]wire.RowDigest, int) {
 				Zone:   zone,
 				Name:   r.Name,
 				Issued: r.Issued,
-				Hash:   r.attrsHash(),
+				Hash:   r.AttrsHash(),
 			})
 		}
 	}
@@ -856,17 +757,13 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 	var want []wire.RowRef
 	size := 0
 
-	sendRow := func(zone string, r *Row) {
-		rows = append(rows, wire.RowUpdate{
-			Zone:   zone,
-			Name:   r.Name,
-			Attrs:  r.Attrs,
-			Issued: r.Issued,
-			Owner:  r.Owner,
-			Signer: r.Signer,
-			Sig:    r.Sig,
-		})
-		size += wire.RowSize(&rows[len(rows)-1], r.encSize())
+	sendRow := func(zone string, r *wire.SharedRow) {
+		rows = append(rows, r.Update(zone))
+		size += wire.RowSize(&rows[len(rows)-1], r.WireAttrsSize())
+	}
+	wantRow := func(zone, name string) {
+		want = append(want, wire.RowRef{Zone: zone, Name: name})
+		size += wire.RefSize(&want[len(want)-1])
 	}
 
 	// digested tracks which of our rows the initiator mentioned, so the
@@ -888,22 +785,19 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 		r, ok := t.rows[d.Name]
 		if !ok {
 			// The initiator has a row we lack: ask for it.
-			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
-			size += len(d.Zone) + len(d.Name) + 2
+			wantRow(d.Zone, d.Name)
 			continue
 		}
 		switch {
 		case r.Issued.After(d.Issued):
 			sendRow(d.Zone, r)
 		case d.Issued.After(r.Issued):
-			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
-			size += len(d.Zone) + len(d.Name) + 2
-		case r.attrsHash() != d.Hash:
+			wantRow(d.Zone, d.Name)
+		case r.AttrsHash() != d.Hash:
 			// Same issue time, different content: both sides need the
 			// full rows to run the deterministic encoded tie-break.
 			sendRow(d.Zone, r)
-			want = append(want, wire.RowRef{Zone: d.Zone, Name: d.Name})
-			size += len(d.Zone) + len(d.Name) + 2
+			wantRow(d.Zone, d.Name)
 		}
 	}
 
@@ -938,16 +832,8 @@ func (a *Agent) rowsForRefsLocked(refs []wire.RowRef) ([]wire.RowUpdate, int) {
 		if !ok {
 			continue
 		}
-		out = append(out, wire.RowUpdate{
-			Zone:   ref.Zone,
-			Name:   r.Name,
-			Attrs:  r.Attrs,
-			Issued: r.Issued,
-			Owner:  r.Owner,
-			Signer: r.Signer,
-			Sig:    r.Sig,
-		})
-		size += wire.RowSize(&out[len(out)-1], r.encSize())
+		out = append(out, r.Update(ref.Zone))
+		size += wire.RowSize(&out[len(out)-1], r.WireAttrsSize())
 	}
 	return out, size
 }
@@ -962,24 +848,26 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 		if u.Zone == a.leaf && u.Name == a.name {
 			continue // we are authoritative for our own row
 		}
-		var uenc []byte // u's canonical encoding, if the tie-break paid for it
 		existing, exists := t.rows[u.Name]
+		if exists && existing == u.Shared() {
+			continue // re-delivery of the very row we store
+		}
 		if exists && !u.Issued.After(existing.Issued) {
 			if !u.Issued.Equal(existing.Issued) {
 				continue
 			}
 			// Same timestamp. The overwhelmingly common case in steady
 			// state is an identical re-delivery — skip it cheaply before
-			// paying for the encoded tie-break.
-			if existing.Attrs.Equal(u.Attrs) {
+			// paying for the encoded tie-break. Shared-map identity makes
+			// the check O(1) when sender and receiver hold the same row.
+			if sameAttrs(existing.Attrs, u.Attrs) || existing.Attrs.Equal(u.Attrs) {
 				continue
 			}
 			// Equal timestamps with different content: deterministic
 			// tie-break on the encoded attributes so all replicas agree.
-			// The stored side's encoding comes from the row cache; only
-			// the incoming map needs encoding.
-			uenc = u.Attrs.AppendBinary(nil)
-			if !(string(existing.encoding()) < string(uenc)) {
+			// Both encodings come from (or seed) the shared rows' caches.
+			uenc := u.AsShared().Encoding()
+			if bytes.Compare(existing.Encoding(), uenc) >= 0 {
 				continue
 			}
 		}
@@ -989,31 +877,18 @@ func (a *Agent) mergeRowsLocked(rows []wire.RowUpdate) {
 				continue
 			}
 		}
-		if !exists || !existing.Attrs.Equal(u.Attrs) {
+		if !exists || !(sameAttrs(existing.Attrs, u.Attrs) || existing.Attrs.Equal(u.Attrs)) {
 			// Content changed (timestamp-only refreshes leave the zone
 			// clean, so heartbeats do not trigger re-aggregation).
 			t.dirty = true
 		}
-		t.rows[u.Name] = &Row{
-			Name:   u.Name,
-			Attrs:  u.Attrs,
-			Issued: u.Issued,
-			Owner:  u.Owner,
-			Signer: u.Signer,
-			Sig:    u.Sig,
-			enc:    uenc,
-		}
+		// Install the sender's shared row by reference: an identical
+		// foreign row replicated across the whole system stays one
+		// allocation, and its encoding/digest caches are computed once,
+		// not once per replica.
+		t.rows[u.Name] = u.AsShared()
 		a.stats.RowsMerged++
 	}
-}
-
-// attrsLess orders attribute maps by their canonical encoding. Hot paths
-// compare cached Row encodings directly; this remains for callers that
-// hold bare maps.
-func attrsLess(a, b value.Map) bool {
-	ea := a.AppendBinary(nil)
-	eb := b.AppendBinary(nil)
-	return string(ea) < string(eb)
 }
 
 func (a *Agent) expireLocked(now time.Time) {
@@ -1073,18 +948,17 @@ func (a *Agent) recomputeAggregatesLocked() {
 			switch {
 			case exists && existing.Owner == a.addr:
 				// Same content, fresher inputs: re-stamp our aggregate
-				// so peers' failure detectors see it refreshed.
+				// so peers' failure detectors see it refreshed. The Attrs
+				// map is unchanged, so the fresh row adopts the old row's
+				// caches instead of re-encoding.
 				if latest.After(existing.Issued) {
-					row := &Row{
+					row := &wire.SharedRow{
 						Name:   name,
 						Attrs:  existing.Attrs,
 						Issued: latest,
 						Owner:  a.addr,
-						enc:    existing.enc,
-						hashed: existing.hashed,
-						hash:   existing.hash,
-						encLen: existing.encLen,
 					}
+					row.AdoptCache(existing)
 					a.signRowLocked(row, parent)
 					pt.rows[name] = row
 				}
@@ -1097,7 +971,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 			// No aggregate row at all: fall through to the full path.
 		}
 
-		rows := make([]*Row, 0, len(ct.rows))
+		rows := make([]*wire.SharedRow, 0, len(ct.rows))
 		for _, r := range ct.rows {
 			rows = append(rows, r)
 		}
@@ -1109,7 +983,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 			if ax != ay {
 				return ax < ay
 			}
-			return rows[x].encLess(rows[y])
+			return rows[x].EncLess(rows[y])
 		})
 		inputs := make([]value.Map, len(rows))
 		for x, r := range rows {
@@ -1138,22 +1012,20 @@ func (a *Agent) recomputeAggregatesLocked() {
 		if exists && existing.Issued.After(latest) {
 			continue // a peer computed from fresher inputs
 		}
-		outEnc := out.AppendBinary(nil)
-		if exists && existing.Issued.Equal(latest) &&
-			!(string(existing.encoding()) < string(outEnc)) {
-			continue // lost the deterministic tie-break at this stamp
-		}
-		row := &Row{
+		candidate := &wire.SharedRow{
 			Name:   name,
 			Attrs:  out,
 			Issued: latest,
 			Owner:  a.addr,
-			enc:    outEnc,
 		}
-		a.signRowLocked(row, parent)
+		if exists && existing.Issued.Equal(latest) &&
+			bytes.Compare(existing.Encoding(), candidate.Encoding()) >= 0 {
+			continue // lost the deterministic tie-break at this stamp
+		}
+		a.signRowLocked(candidate, parent)
 		ct.dirty = false
 		pt.dirty = true
-		pt.rows[name] = row
+		pt.rows[name] = candidate
 	}
 }
 

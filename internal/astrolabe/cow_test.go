@@ -1,0 +1,138 @@
+package astrolabe
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"newswire/internal/value"
+	"newswire/internal/wire"
+)
+
+// These tests pin the copy-on-write contract behind shared rows: a row is
+// immutable once it has been gossiped, and writers must build fresh rows
+// rather than touch the version peers may still hold. They are most
+// meaningful under -race (the nightly and CI race runs), where any stray
+// mutation of a shared map or cache shows up as a data race.
+
+// TestOwnRowMutationDoesNotRacePeerReaders mutates an agent's own row in
+// a tight loop while three peers concurrently read the shared prior
+// version they merged — its attribute map, canonical encoding, digest
+// hash, and wire size. Under the COW invariant the readers touch only
+// immutable state, so the race detector stays quiet.
+func TestOwnRowMutationDoesNotRacePeerReaders(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z", "/z", "/z"}, nil)
+	writer := c.agents[0]
+	peers := c.agents[1:]
+
+	// Hand every peer the writer's current row: they now share one
+	// *wire.SharedRow by reference.
+	u := writer.OwnRowUpdate()
+	for _, p := range peers {
+		p.MergeRows([]wire.RowUpdate{u})
+	}
+	shared := u.Shared()
+	if shared == nil {
+		t.Fatal("OwnRowUpdate carries no shared row")
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The merged table row and the captured prior version are
+				// both fair game for readers at any time.
+				row, ok := p.Row("/z", "node-0")
+				if !ok {
+					t.Error("peer lost the merged row")
+					return
+				}
+				for k, v := range row.Attrs {
+					_ = k
+					_ = v.IsValid()
+				}
+				_ = shared.Encoding()
+				_ = shared.AttrsHash()
+				_ = shared.WireAttrsSize()
+			}
+		}()
+	}
+
+	clock := c.eng.Clock()
+	for i := 0; i < 200; i++ {
+		clock.Advance(time.Millisecond)
+		writer.SetAttr("load", value.Int(int64(i)))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSetAttrAfterMergeLeavesPeerRowIntact checks the user-visible half
+// of the invariant: once a peer has merged a row, the issuer calling
+// SetAttr must never change what that peer sees until the peer merges
+// the new version explicitly.
+func TestSetAttrAfterMergeLeavesPeerRowIntact(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z"}, nil)
+	issuer, peer := c.agents[0], c.agents[1]
+
+	issuer.SetAttr("color", value.String("green"))
+	peer.MergeRows([]wire.RowUpdate{issuer.OwnRowUpdate()})
+
+	before, ok := peer.Row("/z", "node-0")
+	if !ok {
+		t.Fatal("peer did not merge the row")
+	}
+	wantAttrs := before.Attrs.Clone()
+
+	c.eng.Clock().Advance(time.Second)
+	issuer.SetAttr("color", value.String("red"))
+	issuer.SetAttr("extra", value.Int(42))
+
+	after, ok := peer.Row("/z", "node-0")
+	if !ok {
+		t.Fatal("peer lost the row")
+	}
+	if !after.Attrs.Equal(wantAttrs) {
+		t.Fatalf("peer-visible row changed without a merge:\n before %v\n after  %v", wantAttrs, after.Attrs)
+	}
+	if v, ok := after.Attrs["extra"]; ok {
+		t.Fatalf("issuer's later SetAttr leaked into the peer's row: extra=%v", v)
+	}
+
+	// After an explicit merge of the new version the peer converges.
+	peer.MergeRows([]wire.RowUpdate{issuer.OwnRowUpdate()})
+	converged, _ := peer.Row("/z", "node-0")
+	if s, _ := converged.Attrs["color"].AsString(); s != "red" {
+		t.Fatalf("after merging the fresh row, color = %q, want red", s)
+	}
+}
+
+// TestMergeSharesOneRowAllocation pins the space win the COW design
+// exists for: two peers that merge the same update hold the very same
+// attribute map, not two copies.
+func TestMergeSharesOneRowAllocation(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z", "/z"}, nil)
+	issuer := c.agents[0]
+	u := issuer.OwnRowUpdate()
+	for _, p := range c.agents[1:] {
+		p.MergeRows([]wire.RowUpdate{u})
+	}
+	r1, _ := c.agents[1].Row("/z", "node-0")
+	r2, _ := c.agents[2].Row("/z", "node-0")
+	if reflect.ValueOf(r1.Attrs).Pointer() != reflect.ValueOf(r2.Attrs).Pointer() {
+		t.Fatal("peers hold distinct attribute maps for the same merged row; expected one shared allocation")
+	}
+	if reflect.ValueOf(r1.Attrs).Pointer() != reflect.ValueOf(issuer.OwnRowUpdate().Attrs).Pointer() {
+		t.Fatal("peers copied the issuer's attribute map instead of sharing it")
+	}
+}

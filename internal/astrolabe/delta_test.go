@@ -73,7 +73,7 @@ func TestDigestDiff(t *testing.T) {
 		{Zone: "/z", Name: "tied", Attrs: value.Map{"x": value.Int(3)}, Issued: now},
 	})
 
-	tiedHash := fnv64a(value.Map{"x": value.Int(3)}.AppendBinary(nil))
+	tiedHash := (&wire.SharedRow{Attrs: value.Map{"x": value.Int(3)}}).AttrsHash()
 	digests := []wire.RowDigest{
 		// We lack this row entirely → should land in Want.
 		{Zone: "/z", Name: "unknown", Issued: now},
@@ -207,10 +207,19 @@ func TestDeltaGossipByteSavings(t *testing.T) {
 		c := newTestCluster(t, zones, func(i int, cfg *Config) {
 			cfg.DisableDeltaGossip = disable
 		})
-		// Realistic row weight: every member carries a subscription
-		// Bloom filter (the paper's 1024-bit geometry).
-		for _, a := range c.agents {
-			a.SetAttr(AttrSubs, value.Bytes(make([]byte, 128)))
+		// Realistic row weight: every member carries a subscription Bloom
+		// filter (the paper's 1024-bit geometry) at its design load —
+		// roughly half the bits set, so the codec's sparse-bytes packing
+		// cannot engage. An all-zero filter would pack to a few bytes and
+		// understate full-gossip row weight.
+		for i, a := range c.agents {
+			subs := make([]byte, 128)
+			x := uint32(i + 1)
+			for j := range subs {
+				x = x*1664525 + 1013904223
+				subs[j] = byte(x >> 24)
+			}
+			a.SetAttr(AttrSubs, value.Bytes(subs))
 		}
 		c.runRounds(5)
 		var start int64

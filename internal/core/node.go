@@ -308,6 +308,7 @@ func (n *Node) FillMetrics(reg *metrics.Registry) {
 	reg.Gauge("cache_items").Set(float64(n.cache.Len()))
 	reg.Gauge("newswire_delivered_items").Set(float64(n.Delivered()))
 	reg.RegisterHistogram("newswire_delivery_latency_seconds", n.latency)
+	metrics.CollectRuntime(reg)
 }
 
 // DeliveryLatency exposes the node's publish-to-ingest latency histogram

@@ -30,10 +30,13 @@ func RunE1(opt Options) *Table {
 			"delivered"},
 	}
 	for _, n := range sizes {
-		row, rep := runE1Size(n, opt.Seed, opt.Workers, opt.Trace)
+		row, rep, wu := runE1Size(n, opt.Seed, opt.Workers, opt.Trace)
 		t.AddRow(row...)
 		if rep != nil {
 			t.Traces = append(t.Traces, rep)
+		}
+		if wu != nil {
+			t.Wire = append(t.Wire, *wu)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -41,7 +44,7 @@ func RunE1(opt Options) *Table {
 	return t
 }
 
-func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceReport) {
+func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceReport, *WireUsage) {
 	branching := 64
 	if n < 256 {
 		branching = 16
@@ -69,7 +72,7 @@ func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceRep
 		},
 	})
 	if err != nil {
-		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil, nil
 	}
 	for _, node := range cluster.Nodes {
 		_ = node.Subscribe("tech/linux")
@@ -85,7 +88,7 @@ func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceRep
 		Published: publishAt,
 	}
 	if err := cluster.Nodes[0].PublishItem(it, "", ""); err != nil {
-		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil
+		return []string{fmt.Sprint(n), "error", err.Error(), "", "", "", ""}, nil, nil
 	}
 	cluster.RunFor(60 * time.Second)
 
@@ -102,6 +105,17 @@ func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceRep
 	if traced {
 		rep = BuildTraceReport(fmt.Sprintf("E1 %d nodes", n), cluster.TraceSpans(), 3)
 	}
+	// Wire-byte usage per gossip round: warmup plus the 30 rounds (2s
+	// interval) inside the 60s delivery window.
+	sent, _ := cluster.Net.BytesTotals()
+	rounds := warmRounds + 30
+	wu := &WireUsage{
+		Label:         fmt.Sprintf("%d nodes", n),
+		Nodes:         n,
+		Rounds:        rounds,
+		BytesOnWire:   sent,
+		BytesPerRound: float64(sent) / float64(rounds),
+	}
 	return []string{
 		fmt.Sprint(n),
 		fmt.Sprint(len(zones)),
@@ -110,7 +124,7 @@ func runE1Size(n int, seed int64, workers int, traced bool) ([]string, *TraceRep
 		fmtMS(p99),
 		fmtMS(max),
 		fmtPct(float64(delivered) / float64(n)),
-	}, rep
+	}, rep, wu
 }
 
 // treeLevels returns the depth of the balanced tree the cluster builder

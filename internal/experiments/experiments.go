@@ -47,6 +47,27 @@ type Table struct {
 	// text; span-set equality is gated separately on TraceReport
 	// Fingerprint.
 	Traces []*TraceReport
+	// Wire holds per-configuration wire-byte usage for experiments that
+	// record it (E1). Render and String ignore it for the same reason as
+	// Traces; newswire-bench persists it into BENCH_<ID>.json, where CI
+	// gates on bytes-per-round regressions.
+	Wire []WireUsage
+}
+
+// WireUsage records the simulated network's byte load for one
+// experiment configuration, as charged by wire.(*Message).EstimateSize.
+type WireUsage struct {
+	// Label names the configuration, e.g. "64 nodes".
+	Label string `json:"label"`
+	// Nodes is the cluster size.
+	Nodes int `json:"nodes"`
+	// Rounds is how many gossip rounds the run spanned (warmup included).
+	Rounds int `json:"rounds"`
+	// BytesOnWire is the total bytes handed to the network (sent side).
+	BytesOnWire int64 `json:"bytes_on_wire"`
+	// BytesPerRound is BytesOnWire / Rounds — the steady-state figure the
+	// CI regression gate compares across commits.
+	BytesPerRound float64 `json:"bytes_per_round"`
 }
 
 // AddRow appends a formatted row.

@@ -167,6 +167,15 @@ func (v Value) RawBytes() ([]byte, bool) {
 	return v.by, true
 }
 
+// RawStrings returns the string-list payload without copying. The caller
+// must not mutate the result. ok is false if v is not a string list.
+func (v Value) RawStrings() ([]string, bool) {
+	if v.kind != KindStrings {
+		return nil, false
+	}
+	return v.ss, true
+}
+
 // AsTime returns the timestamp payload. ok is false if v is not a time.
 func (v Value) AsTime() (time.Time, bool) { return v.t, v.kind == KindTime }
 

@@ -1,0 +1,829 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"newswire/internal/value"
+)
+
+// Binary wire codec (DESIGN.md §8).
+//
+// Layout: every frame starts with codecMagic and the kind byte, then the
+// sender address, then — for the four gossip kinds — an interned string
+// table holding each distinct zone path and attribute name once, then the
+// kind's payload. Payload fields reference table entries by index, so a
+// 64-row gossip exchange carries "/usa/ny" and "subs" one time each
+// instead of 64. Integers travel as varints, times as Unix seconds +
+// nanoseconds, and byte-array attribute values (the dominant row weight:
+// 128-byte subscription Bloom filters that are mostly zero) switch to a
+// zero-run packing whenever that is smaller than the raw bytes.
+//
+// The first byte disambiguates against the legacy gob codec: a gob stream
+// begins with a small uvarint segment length (< 0x80) or a byte-count
+// marker (>= 0xF8), never 0xB7, so Decode can route old frames to gob for
+// the one-release fallback window (SetGobFallback).
+const (
+	codecMagic     = 0xB7
+	packedBytesTag = 0xF0 // distinct from every value.Kind byte
+	// minZeroRun is the shortest zero run worth breaking a literal for:
+	// each run pair costs two framing bytes.
+	minZeroRun = 3
+	// maxPackedLen caps the claimed decoded size of a packed byte array
+	// (mirrors the transport's frame cap) so a tiny adversarial frame
+	// cannot demand a huge allocation.
+	maxPackedLen = 16 << 20
+)
+
+// zeroTimeUnixSec is time.Time{}.Unix(); the codec maps this instant back
+// to the zero Time so IsZero survives a round trip (StateRequest.Since).
+const zeroTimeUnixSec = -62135596800
+
+// --- varint sizing helpers (shared with the EstimateSize model) ---
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// UvarintLen returns the encoded size of x as a uvarint. The gossip agent
+// uses it to account count prefixes exactly as EstimateSize will charge
+// them.
+func UvarintLen(x uint64) int { return uvarintLen(x) }
+
+func sizeStr(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+func sizeBytes(b []byte) int { return uvarintLen(uint64(len(b))) + len(b) }
+
+func sizeTime(t time.Time) int {
+	return varintLen(t.Unix()) + uvarintLen(uint64(t.Nanosecond()))
+}
+
+// valueWireSize returns the exact encoded size of one attribute value
+// under appendWireValue, without allocating.
+func valueWireSize(v value.Value) int {
+	switch v.Kind() {
+	case value.KindBool:
+		return 2
+	case value.KindInt:
+		i, _ := v.AsInt()
+		return 1 + varintLen(i)
+	case value.KindFloat:
+		return 9
+	case value.KindString:
+		s, _ := v.AsString()
+		return 1 + sizeStr(s)
+	case value.KindBytes:
+		raw, _ := v.RawBytes()
+		rawSize := 1 + sizeBytes(raw)
+		if p := packedBytesSize(raw); p < rawSize {
+			return p
+		}
+		return rawSize
+	case value.KindTime:
+		t, _ := v.AsTime()
+		return 1 + varintLen(t.UnixNano())
+	case value.KindStrings:
+		ss, _ := v.RawStrings()
+		n := 1 + uvarintLen(uint64(len(ss)))
+		for _, s := range ss {
+			n += sizeStr(s)
+		}
+		return n
+	default: // KindInvalid and future kinds: bare kind byte
+		return 1
+	}
+}
+
+// attrsWireSize returns the exact payload size of an encoded attribute
+// map: count prefix plus, per attribute, a one-byte table reference and
+// the value. (Reference indices above 127 would take two bytes; a message
+// never interns that many distinct names in practice.)
+func attrsWireSize(m value.Map) int {
+	n := uvarintLen(uint64(len(m)))
+	for _, v := range m {
+		n += 1 + valueWireSize(v)
+	}
+	return n
+}
+
+// --- primitive append helpers ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendByteSlice(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendTime(b []byte, t time.Time) []byte {
+	b = binary.AppendVarint(b, t.Unix())
+	return binary.AppendUvarint(b, uint64(t.Nanosecond()))
+}
+
+// appendWireValue encodes one attribute value: the canonical value
+// encoding, except byte arrays, which use the zero-run packing when it is
+// strictly smaller. valueWireSize must mirror this choice exactly.
+func appendWireValue(dst []byte, v value.Value) []byte {
+	if raw, ok := v.RawBytes(); ok {
+		rawSize := 1 + sizeBytes(raw)
+		if packedBytesSize(raw) < rawSize {
+			return appendPackedBytes(dst, raw)
+		}
+	}
+	return v.AppendBinary(dst)
+}
+
+// packedRuns walks raw as alternating (zero run, literal) pairs, keeping
+// literals together across zero runs shorter than minZeroRun. The loop is
+// duplicated in packedBytesSize to keep both paths allocation-free; the
+// codec tests pin their agreement.
+func appendPackedBytes(dst, raw []byte) []byte {
+	dst = append(dst, packedBytesTag)
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	i := 0
+	for i < len(raw) {
+		z := i
+		for i < len(raw) && raw[i] == 0 {
+			i++
+		}
+		zeros := i - z
+		start := i
+		j := i
+		for j < len(raw) {
+			if raw[j] != 0 {
+				j++
+				continue
+			}
+			k := j
+			for k < len(raw) && raw[k] == 0 {
+				k++
+			}
+			if k-j >= minZeroRun || k == len(raw) {
+				break
+			}
+			j = k
+		}
+		dst = binary.AppendUvarint(dst, uint64(zeros))
+		dst = binary.AppendUvarint(dst, uint64(j-start))
+		dst = append(dst, raw[start:j]...)
+		i = j
+	}
+	return dst
+}
+
+// packedBytesSize returns len(appendPackedBytes(nil, raw)) without
+// encoding.
+func packedBytesSize(raw []byte) int {
+	n := 1 + uvarintLen(uint64(len(raw)))
+	i := 0
+	for i < len(raw) {
+		z := i
+		for i < len(raw) && raw[i] == 0 {
+			i++
+		}
+		zeros := i - z
+		start := i
+		j := i
+		for j < len(raw) {
+			if raw[j] != 0 {
+				j++
+				continue
+			}
+			k := j
+			for k < len(raw) && raw[k] == 0 {
+				k++
+			}
+			if k-j >= minZeroRun || k == len(raw) {
+				break
+			}
+			j = k
+		}
+		n += uvarintLen(uint64(zeros)) + uvarintLen(uint64(j-start)) + (j - start)
+		i = j
+	}
+	return n
+}
+
+// --- encoder ---
+
+type binEncoder struct {
+	head    []byte // magic, kind, from, string table
+	body    []byte // payload, encoded against the table
+	keys    []string
+	tblList []string
+	tblIdx  map[string]uint32
+}
+
+var binEncPool = sync.Pool{
+	New: func() any { return &binEncoder{tblIdx: make(map[string]uint32, 16)} },
+}
+
+func (e *binEncoder) reset() {
+	e.head = e.head[:0]
+	e.body = e.body[:0]
+	for _, s := range e.tblList {
+		delete(e.tblIdx, s)
+	}
+	e.tblList = e.tblList[:0]
+}
+
+func (e *binEncoder) release() {
+	if cap(e.head) > maxPooledBuf {
+		e.head = nil
+	}
+	if cap(e.body) > maxPooledBuf {
+		e.body = nil
+	}
+	e.reset()
+	binEncPool.Put(e)
+}
+
+// ref interns s into the message's string table and returns its index.
+func (e *binEncoder) ref(s string) uint64 {
+	if i, ok := e.tblIdx[s]; ok {
+		return uint64(i)
+	}
+	i := uint32(len(e.tblList))
+	e.tblIdx[s] = i
+	e.tblList = append(e.tblList, s)
+	return uint64(i)
+}
+
+func encodeBinary(m *Message) ([]byte, error) {
+	e := binEncPool.Get().(*binEncoder)
+	e.reset()
+	defer e.release()
+
+	usesTable := false
+	switch m.Kind {
+	case KindGossip:
+		if g := m.Gossip; g != nil {
+			usesTable = true
+			e.body = binary.AppendUvarint(e.body, e.ref(g.FromZone))
+			e.rows(g.Rows)
+		}
+	case KindGossipReply:
+		if g := m.GossipReply; g != nil {
+			usesTable = true
+			e.body = binary.AppendUvarint(e.body, e.ref(g.FromZone))
+			e.rows(g.Rows)
+		}
+	case KindGossipDigest:
+		if g := m.GossipDigest; g != nil {
+			usesTable = true
+			e.body = binary.AppendUvarint(e.body, e.ref(g.FromZone))
+			e.body = binary.AppendUvarint(e.body, uint64(len(g.Digests)))
+			for i := range g.Digests {
+				d := &g.Digests[i]
+				e.body = binary.AppendUvarint(e.body, e.ref(d.Zone))
+				e.body = appendString(e.body, d.Name)
+				e.body = appendTime(e.body, d.Issued)
+				e.body = binary.LittleEndian.AppendUint64(e.body, d.Hash)
+			}
+		}
+	case KindGossipDelta:
+		if g := m.GossipDelta; g != nil {
+			usesTable = true
+			e.body = binary.AppendUvarint(e.body, e.ref(g.FromZone))
+			e.rows(g.Rows)
+			e.body = binary.AppendUvarint(e.body, uint64(len(g.Want)))
+			for i := range g.Want {
+				e.body = binary.AppendUvarint(e.body, e.ref(g.Want[i].Zone))
+				e.body = appendString(e.body, g.Want[i].Name)
+			}
+		}
+	case KindMulticast:
+		if mc := m.Multicast; mc != nil {
+			e.body = appendString(e.body, mc.TargetZone)
+			e.body = binary.AppendVarint(e.body, int64(mc.Hops))
+			e.body = appendBool(e.body, mc.Deliver)
+			e.body = binary.AppendUvarint(e.body, mc.AckSeq)
+			e.envelope(&mc.Envelope)
+		}
+	case KindMulticastAck:
+		if a := m.MulticastAck; a != nil {
+			e.body = binary.AppendUvarint(e.body, a.Seq)
+			e.body = appendString(e.body, a.Key)
+			e.body = appendString(e.body, a.TargetZone)
+		}
+	case KindStateRequest:
+		if r := m.StateRequest; r != nil {
+			e.body = appendTime(e.body, r.Since)
+			e.body = binary.AppendVarint(e.body, int64(r.MaxItems))
+			e.body = binary.AppendUvarint(e.body, uint64(len(r.Subjects)))
+			for _, s := range r.Subjects {
+				e.body = appendString(e.body, s)
+			}
+		}
+	case KindStateReply:
+		if r := m.StateReply; r != nil {
+			e.body = binary.AppendUvarint(e.body, uint64(len(r.Envelopes)))
+			for i := range r.Envelopes {
+				e.envelope(&r.Envelopes[i])
+			}
+			e.body = appendBool(e.body, r.Truncated)
+		}
+	default:
+		// Unknown kind: emit no payload; Decode rejects the frame.
+	}
+
+	e.head = append(e.head, codecMagic, byte(m.Kind))
+	e.head = appendString(e.head, m.From)
+	if usesTable {
+		e.head = binary.AppendUvarint(e.head, uint64(len(e.tblList)))
+		for _, s := range e.tblList {
+			e.head = appendString(e.head, s)
+		}
+	}
+	out := make([]byte, 0, len(e.head)+len(e.body))
+	out = append(out, e.head...)
+	out = append(out, e.body...)
+	return out, nil
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func (e *binEncoder) rows(rows []RowUpdate) {
+	e.body = binary.AppendUvarint(e.body, uint64(len(rows)))
+	for i := range rows {
+		r := &rows[i]
+		e.body = binary.AppendUvarint(e.body, e.ref(r.Zone))
+		e.body = appendString(e.body, r.Name)
+		e.body = appendTime(e.body, r.Issued)
+		e.body = appendString(e.body, r.Owner)
+		e.body = appendString(e.body, r.Signer)
+		e.body = appendByteSlice(e.body, r.Sig)
+		e.attrs(r.Attrs)
+	}
+}
+
+func (e *binEncoder) attrs(m value.Map) {
+	e.body = binary.AppendUvarint(e.body, uint64(len(m)))
+	e.keys = e.keys[:0]
+	for k := range m {
+		e.keys = append(e.keys, k)
+	}
+	sort.Strings(e.keys)
+	for _, k := range e.keys {
+		e.body = binary.AppendUvarint(e.body, e.ref(k))
+		e.body = appendWireValue(e.body, m[k])
+	}
+}
+
+func (e *binEncoder) envelope(env *ItemEnvelope) {
+	b := e.body
+	b = appendString(b, env.Publisher)
+	b = appendString(b, env.ItemID)
+	b = binary.AppendVarint(b, int64(env.Revision))
+	b = binary.AppendUvarint(b, uint64(len(env.Subjects)))
+	for _, s := range env.Subjects {
+		b = appendString(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(len(env.SubjectBits)))
+	for _, bit := range env.SubjectBits {
+		b = binary.AppendUvarint(b, uint64(bit))
+	}
+	b = appendString(b, env.ScopeZone)
+	b = appendString(b, env.Predicate)
+	b = binary.AppendVarint(b, int64(env.Urgency))
+	b = appendTime(b, env.Published)
+	b = appendByteSlice(b, env.Payload)
+	b = appendString(b, env.Signer)
+	b = appendByteSlice(b, env.Sig)
+	e.body = b
+}
+
+// --- decoder ---
+
+// binDecoder cursors over one frame with a sticky error: after the first
+// failure every accessor returns a zero value, so decode call sites stay
+// linear. All counts and lengths are bounds-checked against the remaining
+// input before anything is allocated.
+type binDecoder struct {
+	data []byte
+	pos  int
+	err  error
+	tbl  []string
+}
+
+func (d *binDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *binDecoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *binDecoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.fail("truncated input")
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *binDecoder) bool() bool { return d.u8() != 0 }
+
+func (d *binDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *binDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a uvarint bounded by the remaining input length, the
+// natural ceiling for any element count (every element costs at least one
+// byte), so a forged count cannot drive a huge allocation.
+func (d *binDecoder) count(what string) int {
+	c := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if c > uint64(d.remaining()) {
+		d.fail("%s count %d exceeds input", what, c)
+		return 0
+	}
+	return int(c)
+}
+
+func (d *binDecoder) str() string {
+	n := d.count("string length")
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *binDecoder) byteSlice() []byte {
+	n := d.count("bytes length")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.data[d.pos:])
+	d.pos += n
+	return out
+}
+
+func (d *binDecoder) time() time.Time {
+	sec := d.varint()
+	nsec := d.uvarint()
+	if d.err != nil {
+		return time.Time{}
+	}
+	if nsec >= uint64(time.Second) {
+		d.fail("time nanoseconds %d out of range", nsec)
+		return time.Time{}
+	}
+	if sec == zeroTimeUnixSec && nsec == 0 {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+// table reads the interned string table, canonicalizing each entry
+// through the process-wide intern table so decoded rows share one
+// instance of each attribute name and zone path.
+func (d *binDecoder) table() {
+	n := d.count("string table")
+	if d.err != nil {
+		return
+	}
+	d.tbl = d.tbl[:0]
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return
+		}
+		d.tbl = append(d.tbl, value.Intern(d.str()))
+	}
+}
+
+func (d *binDecoder) ref() string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(d.tbl)) {
+		d.fail("string table ref %d out of range (table has %d)", i, len(d.tbl))
+		return ""
+	}
+	return d.tbl[i]
+}
+
+func (d *binDecoder) value() value.Value {
+	if d.err != nil {
+		return value.Value{}
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == packedBytesTag {
+		return d.packedBytes()
+	}
+	v, n, err := value.DecodeBinary(d.data[d.pos:])
+	if err != nil {
+		d.fail("attr value: %v", err)
+		return value.Value{}
+	}
+	d.pos += n
+	return v
+}
+
+// packedBytes decodes a zero-run-packed byte array. It validates the run
+// structure in a first pass — total coverage must equal the claimed
+// length and every run pair must make progress — before allocating the
+// output, so a malformed frame cannot cost more memory than its own size
+// plus one bounded buffer.
+func (d *binDecoder) packedBytes() value.Value {
+	d.pos++ // tag
+	rawLen64 := d.uvarint()
+	if d.err != nil {
+		return value.Value{}
+	}
+	if rawLen64 > maxPackedLen {
+		d.fail("packed bytes length %d exceeds cap", rawLen64)
+		return value.Value{}
+	}
+	rawLen := int(rawLen64)
+	start := d.pos
+	covered := 0
+	for covered < rawLen {
+		z := d.uvarint()
+		l := d.uvarint()
+		if d.err != nil {
+			return value.Value{}
+		}
+		if z == 0 && l == 0 {
+			d.fail("packed bytes: zero-progress run")
+			return value.Value{}
+		}
+		if z > maxPackedLen || l > uint64(d.remaining()) {
+			d.fail("packed bytes: run exceeds input")
+			return value.Value{}
+		}
+		d.pos += int(l)
+		covered += int(z) + int(l)
+		if covered > rawLen {
+			d.fail("packed bytes: runs exceed claimed length %d", rawLen)
+			return value.Value{}
+		}
+	}
+	out := make([]byte, rawLen)
+	pos, p := 0, start
+	for pos < rawLen {
+		z, n := binary.Uvarint(d.data[p:])
+		p += n
+		l, n := binary.Uvarint(d.data[p:])
+		p += n
+		pos += int(z)
+		copy(out[pos:], d.data[p:p+int(l)])
+		p += int(l)
+		pos += int(l)
+	}
+	return value.Bytes(out)
+}
+
+func (d *binDecoder) attrs() value.Map {
+	n := d.count("attr")
+	if d.err != nil {
+		return nil
+	}
+	c := n
+	if c > 64 {
+		c = 64
+	}
+	m := make(value.Map, c)
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		k := d.ref()
+		m[k] = d.value()
+	}
+	return m
+}
+
+func (d *binDecoder) rowList() []RowUpdate {
+	n := d.count("row")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	c := n
+	if c > 1024 {
+		c = 1024
+	}
+	out := make([]RowUpdate, 0, c)
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		var r RowUpdate
+		r.Zone = d.ref()
+		r.Name = d.str()
+		r.Issued = d.time()
+		r.Owner = d.str()
+		r.Signer = d.str()
+		r.Sig = d.byteSlice()
+		r.Attrs = d.attrs()
+		out = append(out, r)
+	}
+	return out
+}
+
+func (d *binDecoder) digestList() []RowDigest {
+	n := d.count("digest")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	c := n
+	if c > 4096 {
+		c = 4096
+	}
+	out := make([]RowDigest, 0, c)
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		var g RowDigest
+		g.Zone = d.ref()
+		g.Name = d.str()
+		g.Issued = d.time()
+		if d.remaining() < 8 {
+			d.fail("truncated digest hash")
+			return nil
+		}
+		g.Hash = binary.LittleEndian.Uint64(d.data[d.pos:])
+		d.pos += 8
+		out = append(out, g)
+	}
+	return out
+}
+
+func (d *binDecoder) refList() []RowRef {
+	n := d.count("row ref")
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	c := n
+	if c > 4096 {
+		c = 4096
+	}
+	out := make([]RowRef, 0, c)
+	for i := 0; i < n; i++ {
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, RowRef{Zone: d.ref(), Name: d.str()})
+	}
+	return out
+}
+
+func (d *binDecoder) envelope(env *ItemEnvelope) {
+	env.Publisher = d.str()
+	env.ItemID = d.str()
+	env.Revision = int(d.varint())
+	n := d.count("subject")
+	for i := 0; i < n && d.err == nil; i++ {
+		env.Subjects = append(env.Subjects, d.str())
+	}
+	n = d.count("subject bit")
+	for i := 0; i < n && d.err == nil; i++ {
+		bit := d.uvarint()
+		if bit > math.MaxUint32 {
+			d.fail("subject bit %d out of range", bit)
+			return
+		}
+		env.SubjectBits = append(env.SubjectBits, uint32(bit))
+	}
+	env.ScopeZone = d.str()
+	env.Predicate = d.str()
+	env.Urgency = int(d.varint())
+	env.Published = d.time()
+	env.Payload = d.byteSlice()
+	env.Signer = d.str()
+	env.Sig = d.byteSlice()
+}
+
+func decodeBinary(data []byte) (*Message, error) {
+	d := &binDecoder{data: data, pos: 1} // pos 0 is the magic byte
+	kind := Kind(d.u8())
+	m := &Message{Kind: kind, From: d.str()}
+	switch kind {
+	case KindGossip:
+		d.table()
+		g := &Gossip{FromZone: d.ref()}
+		g.Rows = d.rowList()
+		m.Gossip = g
+	case KindGossipReply:
+		d.table()
+		g := &GossipReply{FromZone: d.ref()}
+		g.Rows = d.rowList()
+		m.GossipReply = g
+	case KindGossipDigest:
+		d.table()
+		g := &GossipDigest{FromZone: d.ref()}
+		g.Digests = d.digestList()
+		m.GossipDigest = g
+	case KindGossipDelta:
+		d.table()
+		g := &GossipDelta{FromZone: d.ref()}
+		g.Rows = d.rowList()
+		g.Want = d.refList()
+		m.GossipDelta = g
+	case KindMulticast:
+		mc := &Multicast{
+			TargetZone: d.str(),
+			Hops:       int(d.varint()),
+			Deliver:    d.bool(),
+			AckSeq:     d.uvarint(),
+		}
+		d.envelope(&mc.Envelope)
+		m.Multicast = mc
+	case KindMulticastAck:
+		m.MulticastAck = &MulticastAck{
+			Seq:        d.uvarint(),
+			Key:        d.str(),
+			TargetZone: d.str(),
+		}
+	case KindStateRequest:
+		r := &StateRequest{
+			Since:    d.time(),
+			MaxItems: int(d.varint()),
+		}
+		n := d.count("subject")
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Subjects = append(r.Subjects, d.str())
+		}
+		m.StateRequest = r
+	case KindStateReply:
+		r := &StateReply{}
+		n := d.count("envelope")
+		for i := 0; i < n && d.err == nil; i++ {
+			var env ItemEnvelope
+			d.envelope(&env)
+			r.Envelopes = append(r.Envelopes, env)
+		}
+		r.Truncated = d.bool()
+		m.StateReply = r
+	default:
+		return nil, fmt.Errorf("wire: decode: unknown message kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", kind, d.err)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("wire: decode %s: %d trailing bytes", kind, len(data)-d.pos)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

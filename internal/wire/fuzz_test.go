@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzSeeds returns one encoded frame per message kind plus a gob frame,
+// so both fuzz targets start from every decoder path.
+func fuzzSeeds(t interface{ Fatal(...any) }) [][]byte {
+	msgs := []*Message{
+		sampleGossipMessage(),
+		sampleDigestMessage(),
+		sampleDeltaMessage(),
+		{
+			Kind: KindGossipReply,
+			From: "n2:9000",
+			GossipReply: &GossipReply{
+				FromZone: "/usa/ny",
+				Rows:     sampleGossipMessage().Gossip.Rows,
+			},
+		},
+		{
+			Kind: KindMulticast,
+			From: "rep-1:9000",
+			Multicast: &Multicast{
+				TargetZone: "/asia",
+				Hops:       2,
+				Deliver:    true,
+				AckSeq:     7,
+				Envelope: ItemEnvelope{
+					Publisher:   "reuters",
+					ItemID:      "item-42",
+					Revision:    1,
+					Subjects:    []string{"world/asia"},
+					SubjectBits: []uint32{17, 403},
+					ScopeZone:   "/asia",
+					Predicate:   "premium",
+					Published:   time.Unix(1017619300, 0).UTC(),
+					Payload:     []byte("<nitf/>"),
+					Signer:      "reuters",
+					Sig:         []byte{9, 9},
+				},
+			},
+		},
+		{
+			Kind:         KindMulticastAck,
+			From:         "leaf-3:9000",
+			MulticastAck: &MulticastAck{Seq: 7, Key: "reuters/item-42#1", TargetZone: "/asia"},
+		},
+		{
+			Kind: KindStateRequest,
+			From: "n9:9000",
+			StateRequest: &StateRequest{
+				Since:    time.Unix(1017619200, 0).UTC(),
+				Subjects: []string{"tech/linux", "world"},
+				MaxItems: 64,
+			},
+		},
+		{
+			Kind: KindStateReply,
+			From: "n2:9000",
+			StateReply: &StateReply{
+				Envelopes: []ItemEnvelope{{
+					Publisher: "ap",
+					ItemID:    "it-1",
+					Subjects:  []string{"tech"},
+					Published: time.Unix(1017619200, 0).UTC(),
+					Payload:   bytes.Repeat([]byte{0, 0, 0, 1}, 8),
+				}},
+				Truncated: true,
+			},
+		},
+	}
+	var seeds [][]byte
+	for _, m := range msgs {
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+	// One gob frame so the fallback decoder is in the corpus too.
+	SetGobFallback(true)
+	data, err := Encode(sampleGossipMessage())
+	SetGobFallback(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, data)
+	return seeds
+}
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, never
+// allocate absurdly, and anything it accepts must re-encode cleanly.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecMagic})
+	f.Add([]byte{codecMagic, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := Encode(m); err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip checks the codec is canonical on everything it accepts:
+// decode → encode → decode → encode must be a fixed point, so a frame's
+// meaning never drifts as it is relayed.
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		m1, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc1, err := Encode(m1)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		m2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v\nframe: %x", err, enc1)
+		}
+		enc2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("codec not canonical:\n first  %x\n second %x", enc1, enc2)
+		}
+	})
+}

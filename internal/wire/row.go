@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"sync/atomic"
+	"time"
+
+	"newswire/internal/value"
+)
+
+// SharedRow is one immutable MIB row shared by reference. An agent that
+// merges a gossiped row installs a pointer to the sender's SharedRow
+// instead of deep-copying the attributes, so an identical foreign row
+// replicated across a hundred thousand agents costs one allocation, not
+// one per replica.
+//
+// The invariant that makes this safe: rows are immutable once shared.
+// Nobody mutates a SharedRow's fields after it becomes reachable by a
+// second goroutine; writers build a fresh SharedRow (cloning the Attrs
+// map if they change it) and swap the pointer. The derived caches below
+// are the only mutable state, and they are idempotent: every computation
+// yields the same bytes, so racing initializers are harmless.
+type SharedRow struct {
+	// Name identifies the row within its table: a leaf node name or a
+	// child zone name. (The zone is the table key, not row state.)
+	Name string
+	// Attrs is the row's attribute map. Read-only once the row is built.
+	Attrs value.Map
+	// Issued is when the row owner last wrote the row.
+	Issued time.Time
+	// Owner is the address of the issuing agent or aggregating
+	// representative.
+	Owner string
+	// Signer and Sig authenticate the row (empty when signing is off).
+	Signer string
+	Sig    []byte
+
+	// cache holds the lazily computed derived values: the canonical
+	// attribute encoding (tie-breaks, aggregation input order), its
+	// FNV-64a hash (gossip digests), and the attributes' wire-codec size
+	// (byte accounting). atomic.Pointer because the parallel simulation
+	// executor digests the same shared row from several goroutines; a
+	// losing CAS just recomputes identical bytes.
+	cache atomic.Pointer[rowCache]
+}
+
+type rowCache struct {
+	enc       []byte
+	hash      uint64
+	wireAttrs int32
+}
+
+// ensure returns the row's cache, computing it on first use.
+func (r *SharedRow) ensure() *rowCache {
+	if c := r.cache.Load(); c != nil {
+		return c
+	}
+	enc := r.Attrs.AppendBinary(nil)
+	c := &rowCache{
+		enc:       enc,
+		hash:      fnv64a(enc),
+		wireAttrs: int32(attrsWireSize(r.Attrs)),
+	}
+	if !r.cache.CompareAndSwap(nil, c) {
+		return r.cache.Load()
+	}
+	return c
+}
+
+// Encoding returns the row's canonical attribute encoding (sorted-key
+// value.Map encoding). The result is shared; callers must not mutate it.
+func (r *SharedRow) Encoding() []byte { return r.ensure().enc }
+
+// AttrsHash returns the FNV-64a hash of the canonical encoding, used in
+// gossip digests.
+func (r *SharedRow) AttrsHash() uint64 { return r.ensure().hash }
+
+// WireAttrsSize returns the attributes' size under the binary wire codec
+// (which packs sparse byte arrays, so it is usually smaller than the
+// canonical encoding).
+func (r *SharedRow) WireAttrsSize() int { return int(r.ensure().wireAttrs) }
+
+// EncLess orders two rows by their canonical encodings — the
+// deterministic tie-break every replica agrees on.
+func (r *SharedRow) EncLess(o *SharedRow) bool {
+	return bytes.Compare(r.Encoding(), o.Encoding()) < 0
+}
+
+// AdoptCache carries o's computed caches over to r. Valid only when r's
+// Attrs hold exactly the same content as o's (timestamp-only re-issues of
+// an unchanged row: the steady-state heartbeat path).
+func (r *SharedRow) AdoptCache(o *SharedRow) {
+	if c := o.cache.Load(); c != nil {
+		r.cache.CompareAndSwap(nil, c)
+	}
+}
+
+// Update renders the row as a RowUpdate for the given zone, carrying the
+// shared pointer so receivers on the in-memory transport can install it
+// without copying.
+func (r *SharedRow) Update(zone string) RowUpdate {
+	return RowUpdate{
+		Zone:   zone,
+		Name:   r.Name,
+		Attrs:  r.Attrs,
+		Issued: r.Issued,
+		Owner:  r.Owner,
+		Signer: r.Signer,
+		Sig:    r.Sig,
+		shared: r,
+	}
+}
+
+// Shared returns the SharedRow this update was rendered from, or nil for
+// updates built field-by-field (decoded messages, tests).
+func (u *RowUpdate) Shared() *SharedRow { return u.shared }
+
+// AsShared returns a SharedRow holding this update's content: the carried
+// pointer when present, otherwise a freshly built row that takes
+// ownership of u.Attrs (decode paths hand the map over; it is not
+// aliased elsewhere).
+func (u *RowUpdate) AsShared() *SharedRow {
+	if u.shared != nil {
+		return u.shared
+	}
+	return &SharedRow{
+		Name:   u.Name,
+		Attrs:  u.Attrs,
+		Issued: u.Issued,
+		Owner:  u.Owner,
+		Signer: u.Signer,
+		Sig:    u.Sig,
+	}
+}
+
+// fnv64a is the 64-bit FNV-1a hash, inlined to keep digest construction
+// allocation-free.
+func fnv64a(b []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

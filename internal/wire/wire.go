@@ -6,7 +6,9 @@
 // The same Message structs travel over both transports. The in-memory
 // simulated transport passes them by value — payload fields must therefore
 // be treated as immutable once sent. The TCP transport serializes them with
-// encoding/gob (value.Map encodes via Value's BinaryMarshaler).
+// the compact binary codec in codec.go; SetGobFallback restores the legacy
+// encoding/gob framing for one release, and Decode auto-detects either
+// format, so mixed clusters interoperate during the transition.
 package wire
 
 import (
@@ -14,6 +16,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"newswire/internal/value"
@@ -79,6 +82,14 @@ type RowUpdate struct {
 	// Signer and Sig authenticate the row (empty when signing is off).
 	Signer string
 	Sig    []byte
+
+	// shared is the immutable SharedRow this update was rendered from,
+	// when it was (see SharedRow.Update). It lets receivers on the
+	// in-memory transport install the sender's row by reference instead
+	// of copying. Unexported on purpose: it never travels over a real
+	// wire (gob and the binary codec both skip it), and decoded messages
+	// leave it nil.
+	shared *SharedRow
 }
 
 // SignedPayload renders the row fields covered by the owner's signature:
@@ -326,10 +337,29 @@ var readerPool = sync.Pool{
 // state transfer does not pin its worth of memory forever.
 const maxPooledBuf = 1 << 20
 
+// gobFallback, when set, makes Encode emit the legacy encoding/gob
+// framing instead of the binary codec. Kept for one release so a cluster
+// can be upgraded node by node: Decode always accepts both formats.
+var gobFallback atomic.Bool
+
+// SetGobFallback switches Encode between the binary codec (default) and
+// the legacy gob framing.
+func SetGobFallback(on bool) { gobFallback.Store(on) }
+
+// GobFallback reports whether the legacy gob encoder is active.
+func GobFallback() bool { return gobFallback.Load() }
+
 // Encode serializes the message for the TCP transport. The returned slice
-// is freshly allocated and owned by the caller; the scratch buffer behind
-// it is pooled.
+// is freshly allocated and owned by the caller; scratch buffers behind it
+// are pooled.
 func Encode(m *Message) ([]byte, error) {
+	if gobFallback.Load() {
+		return encodeGob(m)
+	}
+	return encodeBinary(m)
+}
+
+func encodeGob(m *Message) ([]byte, error) {
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(m); err != nil {
@@ -344,8 +374,17 @@ func Encode(m *Message) ([]byte, error) {
 	return out, nil
 }
 
-// Decode deserializes a message produced by Encode and validates it.
+// Decode deserializes a message produced by Encode and validates it. The
+// codec is detected from the first byte: binary frames start with the
+// magic byte, which no gob stream begins with.
 func Decode(data []byte) (*Message, error) {
+	if len(data) > 0 && data[0] == codecMagic {
+		return decodeBinary(data)
+	}
+	return decodeGob(data)
+}
+
+func decodeGob(data []byte) (*Message, error) {
 	r := readerPool.Get().(*bytes.Reader)
 	r.Reset(data)
 	var m Message
@@ -381,34 +420,57 @@ func internAttrs(m *Message) {
 	}
 }
 
-// EstimateSize approximates the on-the-wire size of the message in bytes
-// without serializing it. The simulated network uses it for the byte-load
-// counters behind experiments E4 and E8; it intentionally errs simple and
-// stable rather than matching gob exactly.
+// GossipTableOverhead approximates the interned string table a row-bearing
+// gossip frame carries up front (a handful of zone paths and attribute
+// names, each shipped once). A constant keeps byte accounting cheap and
+// deterministic; the true table is within a few dozen bytes of it for
+// realistic gossip exchanges.
+const GossipTableOverhead = 48
+
+// DigestTableOverhead is the same approximation for digest-only frames,
+// whose tables hold just the zone paths — no attribute names.
+const DigestTableOverhead = 8
+
+// EstimateSize returns the on-the-wire size of the message under the
+// binary codec without serializing it. It is exact except for the gossip
+// kinds' interned string table, charged as GossipTableOverhead (or
+// DigestTableOverhead for digest frames),
+// and zone names inside rows/digests/refs, which ride in that table. The
+// simulated network uses it for the byte-load counters behind experiments
+// E4 and E8; the gossip agent mirrors the same model in GossipBytesSent.
 func (m *Message) EstimateSize() int {
-	const headerOverhead = 16
-	n := headerOverhead + len(m.From)
+	n := 2 + sizeStr(m.From) // magic, kind, sender
 	switch {
 	case m.Gossip != nil:
-		n += len(m.Gossip.FromZone) + rowsSize(m.Gossip.Rows)
+		n += GossipTableOverhead + 1 + uvarintLen(uint64(len(m.Gossip.Rows))) +
+			rowsSize(m.Gossip.Rows)
 	case m.GossipReply != nil:
-		n += len(m.GossipReply.FromZone) + rowsSize(m.GossipReply.Rows)
+		n += GossipTableOverhead + 1 + uvarintLen(uint64(len(m.GossipReply.Rows))) +
+			rowsSize(m.GossipReply.Rows)
 	case m.GossipDigest != nil:
-		n += len(m.GossipDigest.FromZone) + DigestsSize(m.GossipDigest.Digests)
+		n += DigestTableOverhead + 1 + uvarintLen(uint64(len(m.GossipDigest.Digests))) +
+			DigestsSize(m.GossipDigest.Digests)
 	case m.GossipDelta != nil:
-		n += len(m.GossipDelta.FromZone) + rowsSize(m.GossipDelta.Rows) +
-			RefsSize(m.GossipDelta.Want)
+		g := m.GossipDelta
+		n += GossipTableOverhead + 1 +
+			uvarintLen(uint64(len(g.Rows))) + rowsSize(g.Rows) +
+			uvarintLen(uint64(len(g.Want))) + RefsSize(g.Want)
 	case m.Multicast != nil:
-		n += len(m.Multicast.TargetZone) + 16 + envelopeSize(&m.Multicast.Envelope)
+		mc := m.Multicast
+		n += sizeStr(mc.TargetZone) + varintLen(int64(mc.Hops)) + 1 +
+			uvarintLen(mc.AckSeq) + envelopeSize(&mc.Envelope)
 	case m.MulticastAck != nil:
-		n += len(m.MulticastAck.Key) + len(m.MulticastAck.TargetZone) + 8
+		a := m.MulticastAck
+		n += uvarintLen(a.Seq) + sizeStr(a.Key) + sizeStr(a.TargetZone)
 	case m.StateRequest != nil:
-		n += 16
-		for _, s := range m.StateRequest.Subjects {
-			n += len(s) + 2
+		r := m.StateRequest
+		n += sizeTime(r.Since) + varintLen(int64(r.MaxItems)) +
+			uvarintLen(uint64(len(r.Subjects)))
+		for _, s := range r.Subjects {
+			n += sizeStr(s)
 		}
 	case m.StateReply != nil:
-		n++
+		n += uvarintLen(uint64(len(m.StateReply.Envelopes))) + 1
 		for i := range m.StateReply.Envelopes {
 			n += envelopeSize(&m.StateReply.Envelopes[i])
 		}
@@ -416,47 +478,70 @@ func (m *Message) EstimateSize() int {
 	return n
 }
 
+// rowsSize sums RowSize over rows, reading the attribute payload size
+// from the shared row's cache when the update carries one (the gossip
+// send path always does) and computing it alloc-free otherwise.
 func rowsSize(rows []RowUpdate) int {
 	n := 0
 	for i := range rows {
 		r := &rows[i]
-		n += RowSize(&rows[i], len(r.Attrs.AppendBinary(nil)))
+		aw := 0
+		if r.shared != nil {
+			aw = r.shared.WireAttrsSize()
+		} else {
+			aw = attrsWireSize(r.Attrs)
+		}
+		n += RowSize(r, aw)
 	}
 	return n
 }
 
-// RowSize estimates one RowUpdate's wire size given the length of its
-// encoded attribute map, so callers holding a cached encoding (the
-// gossip agent) can account bytes without re-encoding.
+// RowSize returns one RowUpdate's wire size given its attribute payload
+// size (SharedRow.WireAttrsSize for cached rows), so callers can account
+// bytes without re-encoding. The zone string is charged one byte — its
+// table reference — because the string itself rides in the message's
+// interned table.
 func RowSize(r *RowUpdate, attrsLen int) int {
-	return len(r.Zone) + len(r.Name) + len(r.Owner) + len(r.Signer) + len(r.Sig) + 12 + attrsLen
+	return 1 + sizeStr(r.Name) + sizeTime(r.Issued) + sizeStr(r.Owner) +
+		sizeStr(r.Signer) + sizeBytes(r.Sig) + attrsLen
 }
 
-// DigestsSize estimates the wire size of a digest list: per entry the
-// zone and name strings plus issue time, hash and framing.
+// DigestsSize returns the wire size of a digest list: per entry a
+// zone-table reference, the name string, the issue time and the 8-byte
+// hash.
 func DigestsSize(digests []RowDigest) int {
 	n := 0
 	for i := range digests {
-		n += len(digests[i].Zone) + len(digests[i].Name) + 18
+		n += 1 + sizeStr(digests[i].Name) + sizeTime(digests[i].Issued) + 8
 	}
 	return n
 }
 
-// RefsSize estimates the wire size of a row-ref list.
+// RefSize returns the wire size of one row ref (zone-table reference plus
+// name string).
+func RefSize(r *RowRef) int { return 1 + sizeStr(r.Name) }
+
+// RefsSize returns the wire size of a row-ref list.
 func RefsSize(refs []RowRef) int {
 	n := 0
 	for i := range refs {
-		n += len(refs[i].Zone) + len(refs[i].Name) + 2
+		n += RefSize(&refs[i])
 	}
 	return n
 }
 
 func envelopeSize(e *ItemEnvelope) int {
-	n := len(e.Publisher) + len(e.ItemID) + len(e.ScopeZone) + len(e.Predicate) +
-		len(e.Signer) + len(e.Sig) + len(e.Payload) + 24
+	n := sizeStr(e.Publisher) + sizeStr(e.ItemID) + varintLen(int64(e.Revision)) +
+		uvarintLen(uint64(len(e.Subjects)))
 	for _, s := range e.Subjects {
-		n += len(s) + 2
+		n += sizeStr(s)
 	}
-	n += 4 * len(e.SubjectBits)
+	n += uvarintLen(uint64(len(e.SubjectBits)))
+	for _, b := range e.SubjectBits {
+		n += uvarintLen(uint64(b))
+	}
+	n += sizeStr(e.ScopeZone) + sizeStr(e.Predicate) + varintLen(int64(e.Urgency)) +
+		sizeTime(e.Published) + sizeBytes(e.Payload) + sizeStr(e.Signer) +
+		sizeBytes(e.Sig)
 	return n
 }

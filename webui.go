@@ -55,16 +55,17 @@ func (ui *WebUI) Handler() http.Handler {
 
 // statusDoc is the /status.json schema.
 type statusDoc struct {
-	Name       string          `json:"name"`
-	Addr       string          `json:"addr"`
-	Zone       string          `json:"zone"`
-	Subjects   []string        `json:"subjects"`
-	Delivered  int64           `json:"delivered"`
-	CacheItems int             `json:"cacheItems"`
-	Publishers []string        `json:"publishers"`
-	Gossip     astrolabe.Stats `json:"gossip"`
-	Multicast  multicast.Stats `json:"multicast"`
-	Cache      cache.Stats     `json:"cache"`
+	Name       string               `json:"name"`
+	Addr       string               `json:"addr"`
+	Zone       string               `json:"zone"`
+	Subjects   []string             `json:"subjects"`
+	Delivered  int64                `json:"delivered"`
+	CacheItems int                  `json:"cacheItems"`
+	Publishers []string             `json:"publishers"`
+	Gossip     astrolabe.Stats      `json:"gossip"`
+	Multicast  multicast.Stats      `json:"multicast"`
+	Cache      cache.Stats          `json:"cache"`
+	Runtime    metrics.RuntimeStats `json:"runtime"`
 }
 
 func (ui *WebUI) status() statusDoc {
@@ -79,6 +80,7 @@ func (ui *WebUI) status() statusDoc {
 		Gossip:     ui.node.Agent().Stats(),
 		Multicast:  ui.node.Router().Stats(),
 		Cache:      ui.node.Cache().Stats(),
+		Runtime:    metrics.ReadRuntime(),
 	}
 }
 
