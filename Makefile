@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-compare tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -60,6 +60,21 @@ bench-smoke: bin/newswire-bench
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E1.baseline.json -current artifacts/BENCH_E1.json | tee artifacts/bytes-gate.txt
 	$(GO) test . -run TestGossipRoundTraceOverheadGuard -count=1 -v | tee artifacts/trace-guard.txt
 	bin/newswire-bench -run E6 -quick -trace -json artifacts | tee artifacts/trace-smoke.txt
+
+# Memory smoke: one virtual-leaf E1 row at 65,536 nodes with the heap
+# profile snapshotted at the run's peak tick, gated on the per-node peak
+# heap (peak_heap_bytes_per_node) against the committed baseline for the
+# same size. This is the guard for the million-node memory architecture
+# (slab rows, virtual leaves, timer wheel — DESIGN.md §9): losing any of
+# it shows up as a multiple, not a percentage. The wider 25% bound
+# absorbs allocator/runner variance that the deterministic byte gate
+# does not have.
+bench-mem: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E1_N65536.json > artifacts/BENCH_E1_N65536.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E1_N65536.baseline.json
+	bin/newswire-bench -nodes 65536 -workers -1 -memprofile artifacts/heap-peak-n65536.pprof -json artifacts/memsmoke | tee artifacts/bench-mem.txt
+	cp artifacts/memsmoke/BENCH_E1.json artifacts/BENCH_E1_N65536.json
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E1_N65536.baseline.json -current artifacts/BENCH_E1_N65536.json -max-heap-regress 0.25 | tee artifacts/heap-gate.txt
 
 # Compare the gossip-round micro-benchmarks between the last commit on
 # main (origin/main when a remote exists) and the working tree. Uses

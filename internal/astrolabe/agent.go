@@ -32,6 +32,12 @@ const (
 	AttrSubs = "subs"
 	// AttrPubs is the roster of publishers known below a zone.
 	AttrPubs = "pubs"
+	// AttrVirtual marks a template row standing in for a quiescent leaf
+	// member that has no running agent behind it (a simulation's virtual
+	// leaves, core/virtual.go). Virtual rows are pinned from expiry —
+	// nothing reissues them — and are never chosen as gossip or recovery
+	// partners, since no agent would answer.
+	AttrVirtual = "virt"
 )
 
 // DefaultRepCount is how many multicast representatives the default
@@ -904,6 +910,11 @@ func (a *Agent) expireLocked(now time.Time) {
 				continue
 			}
 			if r.Issued.Before(cutoff) {
+				if _, virt := r.Attrs[AttrVirtual]; virt {
+					// Virtual leaves have no agent reissuing their row;
+					// the template is live for the whole run.
+					continue
+				}
 				delete(t.rows, name)
 				t.dirty = true
 				a.stats.RowsExpired++
@@ -1103,6 +1114,9 @@ func (a *Agent) pickLeafPartnersLocked(n int) []string {
 	for name, r := range t.rows {
 		if name == a.name {
 			continue
+		}
+		if _, virt := r.Attrs[AttrVirtual]; virt {
+			continue // no agent behind a virtual leaf to gossip with
 		}
 		if addr, ok := r.Attrs[AttrAddr].AsString(); ok {
 			candidates = append(candidates, addr)

@@ -9,6 +9,7 @@ import (
 	"newswire/internal/astrolabe"
 	"newswire/internal/sim"
 	"newswire/internal/trace"
+	"newswire/internal/value"
 	"newswire/internal/wire"
 )
 
@@ -41,6 +42,23 @@ type ClusterConfig struct {
 	// canonical span order is identical between serial and parallel
 	// execution of the same seed.
 	Trace bool
+	// VirtualLeaves packs quiescent leaf members into per-zone template
+	// rows and delivery bitsets instead of full Node instances (see
+	// virtual.go). Only the first MaterializedPerZone members of each
+	// leaf zone get real agents; Nodes holds nil for the rest until
+	// MaterializeNode is called. Requires VirtualSubjects and assumes
+	// the default ModeBloom pub/sub geometry.
+	VirtualLeaves bool
+	// VirtualSubjects is the subscription set of every member — real
+	// members are subscribed during construction, virtual members
+	// advertise the matching Bloom filter in their template rows.
+	VirtualSubjects []string
+	// MaterializedPerZone is how many leading members of each leaf zone
+	// are real agents under VirtualLeaves. Default 4: the default
+	// aggregation elects 3 representatives, which must be able to act,
+	// plus one plain member so delivery latency is sampled at a
+	// non-representative too.
+	MaterializedPerZone int
 }
 
 // Cluster is a set of simulated nodes arranged in a balanced zone tree.
@@ -53,6 +71,14 @@ type Cluster struct {
 	exec    *sim.Executor
 	tracer  *trace.Collector
 	tickers []*sim.Ticker
+
+	// ownerNode maps a parallel-executor owner index to the node index
+	// it drives, or -1 for a virtual-zone sink owner.
+	ownerNode []int
+	// Virtual-leaf bookkeeping (virtual.go); empty without VirtualLeaves.
+	vzones      []*virtualZone
+	vzoneByPath map[string]*virtualZone
+	rounds      int
 }
 
 // Tracer returns the cluster's span collector, or nil when ClusterConfig
@@ -111,6 +137,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Branching <= 0 {
 		cfg.Branching = 64
 	}
+	if cfg.Branching < 2 {
+		cfg.Branching = 2 // ZonePathFor's own floor; keep zone math aligned
+	}
+	if cfg.VirtualLeaves && len(cfg.VirtualSubjects) == 0 {
+		return nil, fmt.Errorf("core: VirtualLeaves requires VirtualSubjects")
+	}
+	if cfg.MaterializedPerZone <= 0 {
+		cfg.MaterializedPerZone = 4
+	}
 	if cfg.Link == (sim.LinkModel{}) {
 		cfg.Link = sim.DefaultWAN
 	}
@@ -127,56 +162,124 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.tracer = trace.NewCollector(cfg.N)
 	}
 
+	var subsVal, loadVal, virtVal value.Value
+	if cfg.VirtualLeaves {
+		subsVal = virtualSubsBloom(cfg.VirtualSubjects)
+		loadVal = value.Float(1)
+		virtVal = value.Bool(true)
+		c.vzoneByPath = make(map[string]*virtualZone)
+	}
+	issued := eng.Now()
 	for i := 0; i < cfg.N; i++ {
-		addr := fmt.Sprintf("n%d", i)
-		var node *Node
-		ep := net.Attach(addr, func(m *wire.Message) {
-			node.HandleMessage(m)
-		})
-		nodeCfg := Config{
-			Name:           fmt.Sprintf("node-%d", i),
-			ZonePath:       ZonePathFor(i, cfg.N, cfg.Branching),
-			Transport:      ep,
-			Clock:          eng.Clock(),
-			Rand:           rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
-			GossipInterval: cfg.GossipInterval,
-			// Retransmit deadlines run on the event engine so reliable
-			// forwarding (Config.AckTimeout) stays deterministic.
-			After: eng.After,
+		if cfg.VirtualLeaves && i%cfg.Branching >= cfg.MaterializedPerZone {
+			// Quiescent member: a template row and a sink endpoint, no
+			// agent (virtual.go). The zone's first MaterializedPerZone
+			// members took the real-node path below, so the first
+			// virtual member creates the zone's packed state.
+			zone := ZonePathFor(i, cfg.N, cfg.Branching)
+			vz := c.vzoneByPath[zone]
+			if vz == nil {
+				ordinal := i / cfg.Branching
+				first := ordinal * cfg.Branching
+				size := cfg.Branching
+				if first+size > cfg.N {
+					size = cfg.N - first
+				}
+				vz = newVirtualZone(zone, ordinal, first, size, cfg.VirtualSubjects)
+				if c.exec != nil {
+					// One sink owner per zone serializes the zone's
+					// virtual delivery events and buffers their acks,
+					// exactly like a real node's owner.
+					vz.owner = c.exec.RegisterSink()
+					c.ownerNode = append(c.ownerNode, -1)
+				}
+				c.vzoneByPath[zone] = vz
+				c.vzones = append(c.vzones, vz)
+			}
+			pos := i - vz.firstIdx
+			addr := fmt.Sprintf("n%d", i)
+			var handle func(*wire.Message)
+			ep := net.Attach(addr, func(m *wire.Message) { handle(m) })
+			handle = vz.handler(pos, ep)
+			if c.exec != nil {
+				c.exec.Adopt(ep, vz.owner)
+				c.exec.SetShard(ep, vz.ordinal)
+			}
+			vz.template(pos, fmt.Sprintf("node-%d", i), addr, subsVal, loadVal, virtVal, issued)
+			c.Nodes = append(c.Nodes, nil)
+			continue
 		}
-		if c.exec != nil {
-			// Parallel mode: the node reads time through its owned clock
-			// and registers timers through the executor, so its events
-			// can run inside parallel windows yet commit in serial order.
-			nodeCfg.Clock = c.exec.Register(ep)
-			nodeCfg.After = c.exec.AfterFunc(ep)
-		}
-		if c.tracer != nil {
-			// Per-node buffer: one writer at a time under both executors
-			// (a node's events never run on two workers at once), and the
-			// span timestamps come from nodeCfg.Clock — virtual time, or
-			// the owned clock's event time inside parallel windows.
-			nodeCfg.Tracer = c.tracer.Node(i)
-		}
-		if cfg.Customize != nil {
-			cfg.Customize(i, &nodeCfg)
-		}
-		n, err := NewNode(nodeCfg)
+		n, err := c.buildNode(i)
 		if err != nil {
-			return nil, fmt.Errorf("core: node %d: %w", i, err)
+			return nil, err
 		}
-		if c.exec != nil && nodeCfg.AckTimeout > 0 && nodeCfg.AckTimeout < c.exec.Lookahead() {
-			// A retransmit deadline shorter than the conservative
-			// lookahead window would fire inside an executed window and
-			// break serial equivalence (sim/parallel.go).
-			return nil, fmt.Errorf("core: node %d: AckTimeout %v below link lookahead %v; use Workers: 0",
-				i, nodeCfg.AckTimeout, c.exec.Lookahead())
-		}
-		node = n
 		c.Nodes = append(c.Nodes, n)
+		if cfg.VirtualLeaves {
+			if err := n.Subscribe(cfg.VirtualSubjects...); err != nil {
+				return nil, fmt.Errorf("core: node %d: %w", i, err)
+			}
+		}
 	}
 	c.bootstrap()
 	return c, nil
+}
+
+// buildNode assembles the real Node for member i: endpoint, config,
+// executor registration, tracing. Shared by the construction loop and
+// MaterializeNode so a late-built node is wired identically.
+func (c *Cluster) buildNode(i int) (*Node, error) {
+	cfg := c.cfg
+	addr := fmt.Sprintf("n%d", i)
+	var node *Node
+	ep := c.Net.Attach(addr, func(m *wire.Message) {
+		node.HandleMessage(m)
+	})
+	nodeCfg := Config{
+		Name:           fmt.Sprintf("node-%d", i),
+		ZonePath:       ZonePathFor(i, cfg.N, cfg.Branching),
+		Transport:      ep,
+		Clock:          c.Eng.Clock(),
+		Rand:           rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1)),
+		GossipInterval: cfg.GossipInterval,
+		// Retransmit deadlines run on the event engine so reliable
+		// forwarding (Config.AckTimeout) stays deterministic.
+		After: c.Eng.After,
+	}
+	if c.exec != nil {
+		// Parallel mode: the node reads time through its owned clock
+		// and registers timers through the executor, so its events
+		// can run inside parallel windows yet commit in serial order.
+		// Commit effects replay sharded by leaf zone, so same-zone
+		// endpoints share a shard and distinct zones replay in
+		// parallel.
+		nodeCfg.Clock = c.exec.Register(ep)
+		nodeCfg.After = c.exec.AfterFunc(ep)
+		c.exec.SetShard(ep, i/cfg.Branching)
+		c.ownerNode = append(c.ownerNode, i)
+	}
+	if c.tracer != nil {
+		// Per-node buffer: one writer at a time under both executors
+		// (a node's events never run on two workers at once), and the
+		// span timestamps come from nodeCfg.Clock — virtual time, or
+		// the owned clock's event time inside parallel windows.
+		nodeCfg.Tracer = c.tracer.Node(i)
+	}
+	if cfg.Customize != nil {
+		cfg.Customize(i, &nodeCfg)
+	}
+	n, err := NewNode(nodeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %d: %w", i, err)
+	}
+	if c.exec != nil && nodeCfg.AckTimeout > 0 && nodeCfg.AckTimeout < c.exec.Lookahead() {
+		// A retransmit deadline shorter than the conservative
+		// lookahead window would fire inside an executed window and
+		// break serial equivalence (sim/parallel.go).
+		return nil, fmt.Errorf("core: node %d: AckTimeout %v below link lookahead %v; use Workers: 0",
+			i, nodeCfg.AckTimeout, c.exec.Lookahead())
+	}
+	node = n
+	return n, nil
 }
 
 // bootstrap introduces nodes to each other without O(N²) work: members of
@@ -188,6 +291,9 @@ func (c *Cluster) bootstrap() {
 	// seeded tables) differ between runs with the same seed.
 	byLeaf := make(map[string][]*Node)
 	for _, n := range c.Nodes {
+		if n == nil {
+			continue // virtual leaf; its template row is merged below
+		}
 		byLeaf[n.ZonePath()] = append(byLeaf[n.ZonePath()], n)
 	}
 	leafZones := make([]string, 0, len(byLeaf))
@@ -195,12 +301,16 @@ func (c *Cluster) bootstrap() {
 		leafZones = append(leafZones, z)
 	}
 	sort.Strings(leafZones)
-	// Leaf-level introductions.
+	// Leaf-level introductions: every real member learns its real
+	// peers' own rows plus the zone's virtual templates.
 	for _, z := range leafZones {
 		members := byLeaf[z]
 		rows := make([]wire.RowUpdate, 0, len(members))
 		for _, m := range members {
 			rows = append(rows, m.agent.OwnRowUpdate())
+		}
+		if vz := c.vzoneByPath[z]; vz != nil {
+			rows = append(rows, vz.templateUpdates()...)
 		}
 		for _, m := range members {
 			m.agent.MergeRows(rows)
@@ -232,6 +342,9 @@ func (c *Cluster) bootstrap() {
 		}
 	}
 	for _, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
 		var seeds []wire.RowUpdate
 		for _, zone := range n.agent.Chain() {
 			byName := rowsByZone[zone]
@@ -252,6 +365,9 @@ func (c *Cluster) bootstrap() {
 // jitter, as a live deployment would behave.
 func (c *Cluster) StartTicking() {
 	for _, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
 		n := n
 		t := c.Eng.Every(c.cfg.GossipInterval, 0.25, n.Tick)
 		c.tickers = append(c.tickers, t)
@@ -275,19 +391,33 @@ func (c *Cluster) RunRounds(r int) {
 	for i := 0; i < r; i++ {
 		if c.exec != nil {
 			c.exec.RunOwners(func(k int) {
-				n := c.Nodes[k]
+				ni := c.ownerNode[k]
+				if ni < 0 {
+					return // virtual-zone sink owner: nothing to tick
+				}
+				n := c.Nodes[ni]
 				if !c.Net.Crashed(n.Addr()) {
 					n.Tick()
 				}
 			})
 		} else {
 			for _, n := range c.Nodes {
+				if n == nil {
+					continue
+				}
 				if !c.Net.Crashed(n.Addr()) {
 					n.Tick()
 				}
 			}
 		}
 		c.RunFor(c.cfg.GossipInterval)
+		// Seal the row arena between table generations so slabs holding
+		// mostly-expired encodings are released (wire/slab.go). Counter
+		// driven, so it is identical across serial and parallel runs.
+		c.rounds++
+		if c.rounds%32 == 0 {
+			wire.RowArena().SealEpoch()
+		}
 	}
 }
 
@@ -304,6 +434,9 @@ func (c *Cluster) RunFor(d time.Duration) {
 func (c *Cluster) NodesInZone(zone string) []*Node {
 	var out []*Node
 	for _, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
 		if astrolabe.ZoneContains(zone, n.ZonePath()) {
 			out = append(out, n)
 		}

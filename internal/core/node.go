@@ -654,6 +654,9 @@ func (n *Node) recoveryCandidates() []string {
 			if r.Name == n.agent.Name() {
 				continue
 			}
+			if _, virt := r.Attrs[astrolabe.AttrVirtual]; virt {
+				continue // virtual leaves hold no cache to recover from
+			}
 			if addr, ok := r.Attrs[astrolabe.AttrAddr].AsString(); ok {
 				add(addr)
 			}

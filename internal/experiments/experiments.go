@@ -31,6 +31,14 @@ type Options struct {
 	// Tracing never perturbs the run: tables are bit-identical with it on
 	// or off.
 	Trace bool
+	// Nodes, when positive, replaces E1's standard size sweep with a
+	// single row at exactly this size, run with virtual quiescent
+	// leaves (core.ClusterConfig.VirtualLeaves): only 4 members per
+	// leaf zone are full agents, the rest are template rows plus
+	// delivery bitsets. Delivery accounting stays exact; latency
+	// quantiles are sampled at the real members. This is what makes
+	// the 1,048,576-node row tractable.
+	Nodes int
 }
 
 // Table is one experiment's result table.
@@ -52,6 +60,11 @@ type Table struct {
 	// Traces; newswire-bench persists it into BENCH_<ID>.json, where CI
 	// gates on bytes-per-round regressions.
 	Wire []WireUsage
+	// Nodes is the largest cluster size the experiment simulated, for
+	// per-node normalization of process-level measurements (the
+	// peak_heap_bytes_per_node figure in BENCH_E1.json). 0 when the
+	// experiment doesn't report it.
+	Nodes int
 }
 
 // WireUsage records the simulated network's byte load for one

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -18,11 +17,14 @@ import (
 )
 
 // Engine is a deterministic discrete-event scheduler over virtual time.
+// Events are kept in a hierarchical timer wheel (see wheel.go) ordered by
+// (time, insertion sequence), exactly as the original binary heap ordered
+// them.
 type Engine struct {
-	clock  *vtime.Virtual
-	rng    *rand.Rand
-	events eventHeap
-	seq    uint64
+	clock *vtime.Virtual
+	rng   *rand.Rand
+	wheel timerWheel
+	seq   uint64
 }
 
 // NewEngine returns an engine whose clock starts at vtime.Epoch and whose
@@ -74,28 +76,61 @@ func (e *Engine) AfterOwned(owner int, d time.Duration, fn func()) {
 
 // AtOwned schedules fn like At with an owner tag (see AfterOwned).
 func (e *Engine) AtOwned(owner int, t time.Time, fn func()) {
+	e.schedule(owner, t, fn)
+}
+
+// schedule clamps t, assigns the next sequence number and stores the
+// event, returning it for callers that keep a cancellation handle.
+func (e *Engine) schedule(owner int, t time.Time, fn func()) *event {
 	now := e.clock.Now()
 	if t.Before(now) {
 		t = now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, owner: owner, fn: fn})
+	ev := &event{at: t, seq: e.seq, owner: owner, fn: fn}
+	e.wheel.Push(ev)
+	return ev
 }
+
+// push stores an already-constructed event whose sequence number was
+// assigned by the caller (the parallel executor's commit phase, which
+// replicates serial sequence assignment exactly).
+func (e *Engine) push(ev *event) { e.wheel.Push(ev) }
+
+// nextSeq assigns and returns the next event sequence number; only the
+// executor's commit pre-pass uses it, paired with push.
+func (e *Engine) nextSeq() uint64 { e.seq++; return e.seq }
+
+// peek returns the earliest pending event without running it, or nil.
+func (e *Engine) peek() *event { return e.wheel.Peek() }
+
+// pop removes and returns the earliest pending event, or nil.
+func (e *Engine) pop() *event { return e.wheel.Pop() }
 
 // Ticker is a recurring scheduled callback. Stop cancels future firings.
 type Ticker struct {
+	eng     *Engine
+	pending *event
 	stopped bool
 }
 
-// Stop cancels the ticker after the currently scheduled firing.
-func (t *Ticker) Stop() { t.stopped = true }
+// Stop cancels the ticker, including the already-scheduled next firing:
+// its closure is released immediately (O(1), no queue search), and the
+// queue drops the cancelled shell lazily when its slot drains.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.eng.wheel.cancel(t.pending)
+		t.pending = nil
+	}
+}
 
 // Every schedules fn to run every interval, starting one interval from
 // now, until the returned Ticker is stopped. A jitter fraction j in [0,1)
 // spreads firings by ±j·interval/2 so simulated nodes don't tick in
 // lockstep (real gossip deployments never do).
 func (e *Engine) Every(interval time.Duration, jitter float64, fn func()) *Ticker {
-	t := &Ticker{}
+	t := &Ticker{eng: e}
 	var schedule func()
 	schedule = func() {
 		d := interval
@@ -103,10 +138,14 @@ func (e *Engine) Every(interval time.Duration, jitter float64, fn func()) *Ticke
 			half := time.Duration(float64(interval) * jitter / 2)
 			d += time.Duration(e.rng.Int63n(int64(2*half+1))) - half
 		}
-		e.After(d, func() {
+		if d < 0 {
+			d = 0
+		}
+		t.pending = e.schedule(noOwner, e.clock.Now().Add(d), func() {
 			if t.stopped {
 				return
 			}
+			t.pending = nil
 			fn()
 			if !t.stopped {
 				schedule()
@@ -120,12 +159,14 @@ func (e *Engine) Every(interval time.Duration, jitter float64, fn func()) *Ticke
 // Step runs the earliest pending event, advancing the clock to its time.
 // It reports whether an event ran.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	ev := e.pop()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
 	e.clock.SetNow(ev.at)
-	ev.fn()
+	fn := ev.fn
+	ev.fn = nil // release the closure the moment it has fired
+	fn()
 	return true
 }
 
@@ -134,9 +175,9 @@ func (e *Engine) Step() bool {
 // scheduled follow-ups that also ran). It returns the number of events run.
 func (e *Engine) RunUntil(t time.Time) int {
 	n := 0
-	for e.events.Len() > 0 {
-		next := e.events[0]
-		if next.at.After(t) {
+	for {
+		next := e.peek()
+		if next == nil || next.at.After(t) {
 			break
 		}
 		e.Step()
@@ -164,36 +205,31 @@ func (e *Engine) RunUntilIdle(maxEvents int) int {
 	return n
 }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.events.Len() }
+// Pending returns the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int { return e.wheel.Len() }
+
+// EngineStats is a snapshot of the event queue's lifetime counters,
+// exposed on /status.json for live memory diagnostics.
+type EngineStats struct {
+	Pending   int    `json:"pending"`   // live events queued now
+	HighWater int    `json:"highWater"` // most live events ever queued
+	Fired     uint64 `json:"fired"`     // events executed
+	Cancelled uint64 `json:"cancelled"` // cancellations requested (Ticker.Stop)
+}
+
+// Stats returns the engine's queue counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Pending:   e.wheel.Len(),
+		HighWater: e.wheel.highWater,
+		Fired:     e.wheel.fired,
+		Cancelled: e.wheel.stopped,
+	}
+}
 
 type event struct {
 	at    time.Time
 	seq   uint64
 	owner int // executor owner id, or noOwner
 	fn    func()
-}
-
-// eventHeap orders events by (time, insertion sequence) so simultaneous
-// events run in deterministic FIFO order.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

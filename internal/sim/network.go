@@ -87,9 +87,11 @@ type Endpoint struct {
 
 	// Parallel-executor registration (see parallel.go). owner tags this
 	// endpoint's delivery events; exec carries the effect sink used to
-	// buffer sends during parallel windows. Both are set once, before
-	// the simulation runs.
+	// buffer sends during parallel windows; shard names the commit shard
+	// the endpoint's sender-side effects replay on. All are set once,
+	// before the simulation runs.
 	owner int
+	shard int32
 	exec  *execNode
 }
 
@@ -140,8 +142,26 @@ func (ep *Endpoint) Send(to string, msg *wire.Message) error {
 			if err := msg.Validate(); err != nil {
 				return fmt.Errorf("sim: send: %w", err)
 			}
+			n := ep.net
 			msg.From = ep.addr
-			*sink = append(*sink, effect{ep: ep, to: to, msg: msg})
+			// Precompute the pure parts of transmit here, on the worker:
+			// the wire-size estimate dominates commit cost, and the fault
+			// maps are frozen while a window is in flight (they are only
+			// mutated by unowned events, which never share a window), so
+			// reading them without the lock is race-free and yields the
+			// value the serial engine would have read at commit time.
+			eff := effect{
+				ep:         ep,
+				to:         to,
+				msg:        msg,
+				size:       int64(msg.EstimateSize()),
+				lossRate:   n.link.LossRate,
+				preDropped: n.crashed[ep.addr] || n.crashed[to] || n.blocked[linkKey{ep.addr, to}],
+			}
+			if ovr, ok := n.lossOvr[linkKey{ep.addr, to}]; ok {
+				eff.lossRate = ovr
+			}
+			*sink = append(*sink, eff)
 			return nil
 		}
 	}
@@ -198,23 +218,30 @@ func (ep *Endpoint) transmit(to string, msg *wire.Message) {
 	n.mu.Unlock()
 
 	n.eng.AtOwned(dstOwner, n.eng.clock.Now().Add(latency), func() {
-		n.mu.Lock()
-		dst, ok := n.endpoints[to]
-		crashed := n.crashed[to]
-		if ok && !crashed {
-			rst := n.stats[to]
-			rst.MsgsReceived++
-			rst.BytesReceived += size
-			n.totalDelivered++
-			n.totalBytesDeliv += size
-		} else {
-			n.totalDropped++
-		}
-		n.mu.Unlock()
-		if ok && !crashed {
-			dst.handler(msg)
-		}
+		n.deliver(to, msg, size)
 	})
+}
+
+// deliver is the body of a delivery event: receiver stats, then handler
+// dispatch. Shared by the serial transmit path and the parallel
+// executor's sharded commit, so both schedule byte-identical closures.
+func (n *Network) deliver(to string, msg *wire.Message, size int64) {
+	n.mu.Lock()
+	dst, ok := n.endpoints[to]
+	crashed := n.crashed[to]
+	if ok && !crashed {
+		rst := n.stats[to]
+		rst.MsgsReceived++
+		rst.BytesReceived += size
+		n.totalDelivered++
+		n.totalBytesDeliv += size
+	} else {
+		n.totalDropped++
+	}
+	n.mu.Unlock()
+	if ok && !crashed {
+		dst.handler(msg)
+	}
 }
 
 // Crash marks addr as failed: all its traffic (including messages already

@@ -20,15 +20,27 @@ package sim
 //   - Compute phase: workers run each owner's window events against that
 //     node's own state. Side effects that would touch shared simulator
 //     state — outbound sends and timer registrations — are not applied;
-//     they are buffered per event, in call order.
-//   - Commit phase: a single goroutine replays the buffered effects in
-//     canonical (time, seq) event order, with the engine clock set to
-//     each originating event's timestamp. The engine RNG (loss and
+//     they are buffered per event, in call order. The expensive pure
+//     parts of a send (wire-size estimation, crash/block/loss-override
+//     lookup against maps that are frozen for the window's duration) are
+//     precomputed here, off the serial path.
+//   - Commit, pre-pass: a single goroutine walks the buffered effects in
+//     canonical (time, seq) event order. The engine RNG (loss and
 //     latency sampling) is consumed only here, in exactly the order the
 //     serial engine would have consumed it, and new events receive
 //     exactly the sequence numbers the serial engine would have
-//     assigned. The resulting event queue — and hence the entire run —
-//     is bit-identical to serial execution.
+//     assigned. Timer effects are scheduled here too.
+//   - Commit, shard phase: the remaining send work — per-endpoint sender
+//     statistics and construction of the delivery event closure — is
+//     partitioned by the sending endpoint's shard (its leaf zone, under
+//     core.Cluster) and replayed in parallel. Two shards never touch the
+//     same endpoint's counters, and each shard applies its own effects
+//     in canonical order, so the result is independent of scheduling.
+//   - Commit, merge: a single goroutine pushes the constructed delivery
+//     events in canonical order and folds the shard-local traffic
+//     tallies into the network totals (commutative sums). The resulting
+//     event queue — and hence the entire run — is bit-identical to
+//     serial execution.
 //
 // Per-node randomness (gossip partner selection) never touches the
 // engine RNG: each node owns a private rand.Rand derived from the seed,
@@ -38,6 +50,10 @@ package sim
 // Events without an owner tag (engine tickers, fault injections,
 // test callbacks) make no isolation promise; the window collector stops
 // at the first one and runs it alone, serially, at its global position.
+// Fault state (crash/block/loss overrides) is only ever mutated by such
+// unowned events or by test code between runs, which is what makes the
+// compute-phase lookups above safe: the maps are frozen while any window
+// is in flight.
 //
 // Known restriction: a node-scheduled timer (Config.After) with a delay
 // shorter than the lookahead could fire inside a window that has already
@@ -48,7 +64,6 @@ package sim
 // orders of magnitude.
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime"
 	"sync"
@@ -84,13 +99,29 @@ func (c *OwnedClock) clear()          { c.active = false }
 // effect is one buffered side effect of an owned computation: either an
 // outbound message (msg != nil) or a timer registration (fn != nil).
 type effect struct {
-	// Send effect.
-	ep  *Endpoint
-	to  string
-	msg *wire.Message
+	// Send effect. size, preDropped and lossRate are precomputed during
+	// the compute phase (see the package comment).
+	ep         *Endpoint
+	to         string
+	msg        *wire.Message
+	size       int64
+	lossRate   float64
+	preDropped bool
 	// Timer effect.
 	d  time.Duration
 	fn func()
+}
+
+// resolvedSend is one send effect after the serial commit pre-pass: loss
+// and latency drawn, delivery sequence number assigned. The shard phase
+// fills ev; the merge phase pushes it.
+type resolvedSend struct {
+	eff      *effect
+	at       time.Time // delivery time (meaningless when dropped)
+	seq      uint64
+	dstOwner int
+	dropped  bool
+	ev       *event
 }
 
 // execNode is the executor's per-owner slot. sink is non-nil exactly
@@ -112,6 +143,7 @@ type Executor struct {
 	workers   int
 	lookahead time.Duration
 	nodes     []*execNode
+	numShards int
 
 	// Window scratch, reused across windows to keep the steady state
 	// allocation-free.
@@ -119,6 +151,11 @@ type Executor struct {
 	effects  [][]effect
 	perOwner [][]int32
 	touched  []int32
+
+	// Commit scratch.
+	resolved      []resolvedSend
+	perShard      [][]int32
+	touchedShards []int32
 
 	// Tick-phase scratch (RunOwners).
 	tickEffects [][]effect
@@ -150,15 +187,53 @@ func (x *Executor) Lookahead() time.Duration { return x.lookahead }
 // Register ties ep to a new owner slot and returns the clock its node
 // must use. Delivery events for ep, and timers created through AfterFunc,
 // are tagged with the owner and become eligible for parallel windows.
+// The endpoint's commit shard defaults to its own owner slot; SetShard
+// coarsens it (one shard per leaf zone, under core.Cluster).
 func (x *Executor) Register(ep *Endpoint) *OwnedClock {
+	owner := x.newOwner()
+	ep.exec = x.nodes[owner]
+	ep.owner = owner
+	x.setShard(ep, owner)
+	return x.nodes[owner].clock
+}
+
+// RegisterSink creates an owner slot with no endpoint of its own and
+// returns its id. The virtual-leaf layer uses one sink owner per leaf
+// zone: delivery events for all of a zone's virtual members are tagged
+// with the zone's sink owner, so they parallelize across zones while the
+// zone's packed delivery state stays single-writer.
+func (x *Executor) RegisterSink() int { return x.newOwner() }
+
+// Adopt attaches ep to an existing owner slot (a sink owner): its
+// delivery events are tagged with that owner, and sends it performs
+// inside windows (ack replies) buffer through the owner's sink, keeping
+// the engine RNG stream serial-identical.
+func (x *Executor) Adopt(ep *Endpoint, owner int) {
+	ep.exec = x.nodes[owner]
+	ep.owner = owner
+	x.setShard(ep, owner)
+}
+
+// SetShard assigns ep's commit shard. Endpoints sharing a shard have
+// their sender-side commit work replayed on one goroutine in canonical
+// order; distinct shards replay in parallel.
+func (x *Executor) SetShard(ep *Endpoint, shard int) { x.setShard(ep, shard) }
+
+func (x *Executor) newOwner() int {
 	oc := &OwnedClock{base: x.eng.clock}
 	en := &execNode{clock: oc}
-	ep.exec = en
-	ep.owner = len(x.nodes)
 	x.nodes = append(x.nodes, en)
 	x.perOwner = append(x.perOwner, nil)
 	x.tickEffects = append(x.tickEffects, nil)
-	return oc
+	return len(x.nodes) - 1
+}
+
+func (x *Executor) setShard(ep *Endpoint, shard int) {
+	ep.shard = int32(shard)
+	for x.numShards <= shard {
+		x.numShards++
+		x.perShard = append(x.perShard, nil)
+	}
 }
 
 // AfterFunc returns the After scheduler for a registered endpoint's
@@ -182,9 +257,9 @@ func (x *Executor) AfterFunc(ep *Endpoint) func(d time.Duration, fn func()) {
 func (x *Executor) RunUntil(t time.Time) int {
 	e := x.eng
 	n := 0
-	for e.events.Len() > 0 {
-		first := e.events[0]
-		if first.at.After(t) {
+	for {
+		first := e.peek()
+		if first == nil || first.at.After(t) {
 			break
 		}
 		if first.owner < 0 || x.lookahead <= 0 {
@@ -197,12 +272,12 @@ func (x *Executor) RunUntil(t time.Time) int {
 		// first unowned event (it must run at its global position).
 		end := first.at.Add(x.lookahead)
 		batch := x.batch[:0]
-		for e.events.Len() > 0 {
-			ev := e.events[0]
-			if ev.owner < 0 || ev.at.After(t) || !ev.at.Before(end) {
+		for {
+			ev := e.peek()
+			if ev == nil || ev.owner < 0 || ev.at.After(t) || !ev.at.Before(end) {
 				break
 			}
-			heap.Pop(&e.events)
+			e.pop()
 			batch = append(batch, ev)
 		}
 		x.batch = batch[:0] // retain backing array for reuse
@@ -216,7 +291,9 @@ func (x *Executor) RunUntil(t time.Time) int {
 			// Nothing to overlap; run it exactly as Engine.Step would.
 			ev := batch[0]
 			e.clock.SetNow(ev.at)
-			ev.fn()
+			fn := ev.fn
+			ev.fn = nil
+			fn()
 			n++
 			continue
 		}
@@ -234,7 +311,7 @@ func (x *Executor) RunFor(d time.Duration) int {
 
 // runWindow executes one batch of owned events: compute in parallel
 // (grouped by owner, each owner's events in order), then commit effects
-// serially in canonical (time, seq) order.
+// in canonical (time, seq) order (see commitWindow).
 func (x *Executor) runWindow(batch []*event) {
 	// Group batch indices by owner, preserving in-owner order.
 	for len(x.effects) < len(batch) {
@@ -272,7 +349,9 @@ func (x *Executor) runWindow(batch []*event) {
 					ev := batch[bi]
 					en.clock.set(ev.at)
 					en.sink = &x.effects[bi]
-					ev.fn()
+					fn := ev.fn
+					ev.fn = nil
+					fn()
 				}
 				en.sink = nil
 				en.clock.clear()
@@ -281,11 +360,14 @@ func (x *Executor) runWindow(batch []*event) {
 	}
 	wg.Wait()
 
-	// Commit phase: replay effects in (time, seq) order.
+	// Commit.
 	lastAt := batch[len(batch)-1].at
-	for i, ev := range batch {
-		x.eng.clock.SetNow(ev.at)
-		x.commit(x.effects[i], ev.owner, ev.at, lastAt)
+	x.commitWindow(func(yield func(at time.Time, owner int, effs []effect)) {
+		for i, ev := range batch {
+			yield(ev.at, ev.owner, x.effects[i])
+		}
+	}, lastAt)
+	for i := range batch {
 		x.effects[i] = x.effects[i][:0]
 	}
 
@@ -296,41 +378,167 @@ func (x *Executor) runWindow(batch []*event) {
 	x.touched = touched[:0]
 }
 
-// commit applies one event's buffered effects at the engine's current
-// time. lastAt is the latest event timestamp already executed in the
-// enclosing window; a timer effect landing at or before it would violate
-// serial equivalence (see the package comment's known restriction).
-func (x *Executor) commit(effs []effect, owner int, at, lastAt time.Time) {
-	for j := range effs {
-		eff := &effs[j]
-		if eff.msg != nil {
-			n := x.net
-			n.mu.Lock()
-			if eff.ep.closed {
-				// Serial Send would have returned errClosed without
-				// touching stats; senders treat gossip as best-effort.
-				n.mu.Unlock()
+// commitWindow applies every buffered effect of one window (or one tick
+// phase) in canonical order: a serial pre-pass that consumes the engine
+// RNG and assigns sequence numbers, a sharded parallel phase for sender
+// statistics and delivery-event construction, and a serial merge. each
+// iterates the window's (event time, owner, effects) triples in canonical
+// order; lastAt is the latest event timestamp already executed (the timer
+// short-delay guard).
+func (x *Executor) commitWindow(each func(func(at time.Time, owner int, effs []effect)), lastAt time.Time) {
+	e := x.eng
+	n := x.net
+	span := int64(n.link.LatencyMax - n.link.LatencyMin)
+
+	// Serial pre-pass.
+	resolved := x.resolved[:0]
+	touchedShards := x.touchedShards[:0]
+	n.mu.Lock()
+	each(func(at time.Time, owner int, effs []effect) {
+		e.clock.SetNow(at)
+		for j := range effs {
+			eff := &effs[j]
+			if eff.msg != nil {
+				if eff.ep.closed {
+					// Serial Send would have returned errClosed without
+					// touching stats; senders treat gossip as best-effort.
+					continue
+				}
+				rs := resolvedSend{eff: eff, dropped: eff.preDropped, dstOwner: noOwner}
+				if !rs.dropped && eff.lossRate > 0 && e.rng.Float64() < eff.lossRate {
+					rs.dropped = true
+				}
+				if !rs.dropped {
+					latency := n.link.LatencyMin
+					if span > 0 {
+						latency += time.Duration(e.rng.Int63n(span))
+					}
+					rs.at = at.Add(latency)
+					rs.seq = e.nextSeq()
+					if dst, ok := n.endpoints[eff.to]; ok {
+						rs.dstOwner = dst.owner
+					}
+				}
+				shard := int(eff.ep.shard)
+				if len(x.perShard[shard]) == 0 {
+					touchedShards = append(touchedShards, int32(shard))
+				}
+				x.perShard[shard] = append(x.perShard[shard], int32(len(resolved)))
+				resolved = append(resolved, rs)
 				continue
 			}
-			eff.ep.transmit(eff.to, eff.msg) // unlocks n.mu
-			continue
+			// A timer firing strictly before the window's last executed
+			// event would have interleaved with already-run events in
+			// serial order (firing exactly at lastAt is safe: its sequence
+			// number is necessarily later).
+			fires := at.Add(eff.d)
+			if fires.Before(at) {
+				fires = at // AfterOwned clamps negative delays the same way
+			}
+			if fires.Before(lastAt) {
+				panic(fmt.Sprintf(
+					"sim: owned timer (%v) fires inside an executed window (%v <= %v); "+
+						"timers shorter than the link lookahead require the serial engine",
+					eff.d, fires, lastAt))
+			}
+			e.push(&event{at: fires, seq: e.nextSeq(), owner: owner, fn: eff.fn})
 		}
-		// A timer firing strictly before the window's last executed
-		// event would have interleaved with already-run events in serial
-		// order (firing exactly at lastAt is safe: its sequence number
-		// is necessarily later).
-		fires := at.Add(eff.d)
-		if fires.Before(at) {
-			fires = at // AfterOwned clamps negative delays the same way
+	})
+	n.mu.Unlock()
+
+	// Shard phase: sender stats and delivery-event construction, one
+	// goroutine per shard (small windows run inline).
+	var sent, bytesSent, dropped int64
+	if len(resolved) > 0 {
+		w := x.workers
+		if w > len(touchedShards) {
+			w = len(touchedShards)
 		}
-		if fires.Before(lastAt) {
-			panic(fmt.Sprintf(
-				"sim: owned timer (%v) fires inside an executed window (%v <= %v); "+
-					"timers shorter than the link lookahead require the serial engine",
-				eff.d, fires, lastAt))
+		if w <= 1 || len(resolved) < 64 {
+			s, b, d := x.applyShards(touchedShards, resolved)
+			sent, bytesSent, dropped = s, b, d
+		} else {
+			var mu sync.Mutex
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var ls, lb, ld int64
+					for {
+						k := next.Add(1) - 1
+						if int(k) >= len(touchedShards) {
+							break
+						}
+						s, b, d := x.applyShards(touchedShards[k:k+1], resolved)
+						ls += s
+						lb += b
+						ld += d
+					}
+					mu.Lock()
+					sent += ls
+					bytesSent += lb
+					dropped += ld
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
 		}
-		x.eng.AfterOwned(owner, eff.d, eff.fn)
 	}
+
+	// Merge: network totals, then delivery events in canonical order.
+	if len(resolved) > 0 {
+		n.mu.Lock()
+		n.totalSent += sent
+		n.totalBytesSent += bytesSent
+		n.totalDropped += dropped
+		n.mu.Unlock()
+		for i := range resolved {
+			if ev := resolved[i].ev; ev != nil {
+				e.push(ev)
+			}
+		}
+	}
+
+	// Reset commit scratch (keep backing arrays).
+	for i := range resolved {
+		resolved[i] = resolvedSend{}
+	}
+	x.resolved = resolved[:0]
+	for _, s := range touchedShards {
+		x.perShard[s] = x.perShard[s][:0]
+	}
+	x.touchedShards = touchedShards[:0]
+}
+
+// applyShards replays the sender-side commit work of the given shards in
+// canonical order and returns their (sent, bytesSent, dropped) tallies.
+// Safe to run concurrently for disjoint shard sets: per-endpoint counters
+// belong to exactly one shard, and the stats map itself is frozen while a
+// window is in flight.
+func (x *Executor) applyShards(shards []int32, resolved []resolvedSend) (sent, bytesSent, dropped int64) {
+	n := x.net
+	for _, s := range shards {
+		for _, ri := range x.perShard[s] {
+			rs := &resolved[ri]
+			eff := rs.eff
+			st := n.stats[eff.ep.addr]
+			st.MsgsSent++
+			st.BytesSent += eff.size
+			sent++
+			bytesSent += eff.size
+			if rs.dropped {
+				dropped++
+				continue
+			}
+			to, msg, size := eff.to, eff.msg, eff.size
+			rs.ev = &event{at: rs.at, seq: rs.seq, owner: rs.dstOwner, fn: func() {
+				n.deliver(to, msg, size)
+			}}
+		}
+	}
+	return
 }
 
 // RunOwners runs fn(owner) for every registered owner at the current
@@ -372,7 +580,9 @@ func (x *Executor) RunOwners(fn func(owner int)) {
 		}()
 	}
 	wg.Wait()
-	for k := 0; k < nOwners; k++ {
-		x.commit(x.tickEffects[k], k, now, now)
-	}
+	x.commitWindow(func(yield func(at time.Time, owner int, effs []effect)) {
+		for k := 0; k < nOwners; k++ {
+			yield(now, k, x.tickEffects[k])
+		}
+	}, now)
 }

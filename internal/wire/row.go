@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,17 +51,33 @@ type rowCache struct {
 	wireAttrs int32
 }
 
-// ensure returns the row's cache, computing it on first use.
+// encScratchPool recycles the staging buffers ensure encodes into before
+// packing the result into the row arena (slab.go). Without it every first
+// digest of a row would allocate a transient exact-size buffer on top of
+// the slab copy.
+var encScratchPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// ensure returns the row's cache, computing it on first use. The
+// canonical encoding is packed into the shared row arena: rows are the
+// dominant live population of a large simulation, and slab-backing their
+// encodings keeps the GC scanning slabs, not rows.
 func (r *SharedRow) ensure() *rowCache {
 	if c := r.cache.Load(); c != nil {
 		return c
 	}
-	enc := r.Attrs.AppendBinary(nil)
+	scratch := encScratchPool.Get().(*[]byte)
+	tmp := r.Attrs.AppendBinary((*scratch)[:0])
 	c := &rowCache{
-		enc:       enc,
-		hash:      fnv64a(enc),
+		enc:       rowArena.Copy(tmp),
+		hash:      fnv64a(tmp),
 		wireAttrs: int32(attrsWireSize(r.Attrs)),
 	}
+	if cap(tmp) <= arenaMaxCopy {
+		*scratch = tmp[:0]
+	}
+	encScratchPool.Put(scratch)
 	if !r.cache.CompareAndSwap(nil, c) {
 		return r.cache.Load()
 	}

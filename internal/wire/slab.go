@@ -1,0 +1,110 @@
+package wire
+
+// Slab-backed allocation for row payloads.
+//
+// A million-node simulation holds millions of SharedRow cached encodings
+// — one small []byte per distinct row content. Allocated individually
+// they are millions of separate GC objects: every cycle scans every one,
+// and the mark phase cost grows O(rows). An Arena packs them into
+// megabyte slabs instead, so the collector sees thousands of large
+// objects rather than millions of small ones — O(zones), in effect,
+// since steady-state row content is shared per zone.
+//
+// The discipline mirrors the copy-on-write row rules (row.go): slab
+// bytes are written exactly once, inside Copy, before the returned slice
+// escapes; afterwards the slab region is immutable for as long as any
+// row references it. Slabs are append-only while reachable. Reclamation
+// is by epoch: SealEpoch detaches the arena from its current slab, so a
+// slab's lifetime ends with the last row pointing into it — when a zone
+// table drops its last reference to an epoch's rows, the garbage
+// collector frees the whole slab at once.
+//
+// An Arena never hands out aliased regions, so the race detector sees
+// each byte written once; concurrent Copy calls (parallel digest/encode
+// workers) serialize on one short critical section.
+
+import "sync"
+
+// arenaSlabSize is the slab granule. Big enough that slab count stays in
+// the thousands at 10^6 rows, small enough that a mostly-dead epoch pins
+// little memory.
+const arenaSlabSize = 1 << 20
+
+// arenaMaxCopy bounds payloads worth packing: anything larger than a
+// quarter slab gets its own allocation (it is its own GC object either
+// way at that size, and it would fragment slabs).
+const arenaMaxCopy = arenaSlabSize / 4
+
+// Arena packs small immutable byte payloads into shared slabs.
+// The zero value is ready to use.
+type Arena struct {
+	mu    sync.Mutex
+	cur   []byte
+	stats ArenaStats
+}
+
+// ArenaStats counts an arena's lifetime activity.
+type ArenaStats struct {
+	Slabs  int64  // slabs ever started
+	Bytes  int64  // payload bytes copied in
+	Copies int64  // payloads copied in
+	Epochs uint64 // times SealEpoch was called
+}
+
+// Copy stores a private, immutable copy of b in the arena's current slab
+// and returns it. The result must be treated as read-only, like every
+// shared row encoding.
+func (a *Arena) Copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) > arenaMaxCopy {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	a.mu.Lock()
+	if len(a.cur)+len(b) > cap(a.cur) {
+		a.cur = make([]byte, 0, arenaSlabSize)
+		a.stats.Slabs++
+	}
+	off := len(a.cur)
+	a.cur = a.cur[:off+len(b)]
+	// Full-capacity three-index slice: the region can never be grown
+	// into by a later append, even if the arena's own reference races
+	// ahead.
+	out := a.cur[off : off+len(b) : off+len(b)]
+	copy(out, b)
+	a.stats.Bytes += int64(len(b))
+	a.stats.Copies++
+	a.mu.Unlock()
+	return out
+}
+
+// SealEpoch detaches the arena from its current slab: subsequent copies
+// start a fresh slab, and the sealed slab is freed by the collector as
+// soon as the last row encoding pointing into it is dropped. Callers
+// with generational row churn (a simulation's periodic table turnover)
+// seal between generations so short-lived rows don't pin a slab that
+// mostly holds long-lived ones.
+func (a *Arena) SealEpoch() {
+	a.mu.Lock()
+	a.cur = nil
+	a.stats.Epochs++
+	a.mu.Unlock()
+}
+
+// Stats returns the arena's lifetime counters.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// rowArena is the process arena backing SharedRow cached encodings.
+var rowArena Arena
+
+// RowArena returns the arena that SharedRow encodings are packed into.
+// Simulations seal it between table generations (core.Cluster does this
+// every few gossip rounds); live nodes may ignore it entirely.
+func RowArena() *Arena { return &rowArena }

@@ -14,6 +14,7 @@ import (
 	"newswire/internal/metrics"
 	"newswire/internal/multicast"
 	"newswire/internal/pubsub"
+	"newswire/internal/sim"
 	"newswire/internal/trace"
 )
 
@@ -30,10 +31,18 @@ import (
 //
 // Mount it on any http.Server; cmd/newswired wires it to -http.
 type WebUI struct {
-	node *core.Node
-	reg  *metrics.Registry
-	ring *trace.Ring // nil serves an empty /trace.json
+	node       *core.Node
+	reg        *metrics.Registry
+	ring       *trace.Ring            // nil serves an empty /trace.json
+	engineInfo func() sim.EngineStats // nil omits the engine section
 }
+
+// SetEngineStatsFunc installs a provider for the event engine's queue
+// statistics (pending events, high-water mark, fired/cancelled totals),
+// added to /status.json as an "engine" section. Simulation harnesses
+// pass their engine's Stats method; live nodes have no event engine and
+// leave it unset.
+func (ui *WebUI) SetEngineStatsFunc(fn func() sim.EngineStats) { ui.engineInfo = fn }
 
 // NewWebUI returns a handler set for the given node. LiveNode.WebUI wires
 // the node's trace ring in as well.
@@ -66,10 +75,11 @@ type statusDoc struct {
 	Multicast  multicast.Stats      `json:"multicast"`
 	Cache      cache.Stats          `json:"cache"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
+	Engine     *sim.EngineStats     `json:"engine,omitempty"`
 }
 
 func (ui *WebUI) status() statusDoc {
-	return statusDoc{
+	doc := statusDoc{
 		Name:       ui.node.Name(),
 		Addr:       ui.node.Addr(),
 		Zone:       ui.node.ZonePath(),
@@ -82,6 +92,11 @@ func (ui *WebUI) status() statusDoc {
 		Cache:      ui.node.Cache().Stats(),
 		Runtime:    metrics.ReadRuntime(),
 	}
+	if ui.engineInfo != nil {
+		st := ui.engineInfo()
+		doc.Engine = &st
+	}
+	return doc
 }
 
 func (ui *WebUI) handleStatus(w http.ResponseWriter, r *http.Request) {

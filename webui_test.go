@@ -37,7 +37,9 @@ func webUICluster(t *testing.T) (*newswire.Cluster, *newswire.WebUI) {
 		t.Fatal(err)
 	}
 	cluster.RunFor(5 * time.Second)
-	return cluster, newswire.NewWebUI(cluster.Nodes[1])
+	ui := newswire.NewWebUI(cluster.Nodes[1])
+	ui.SetEngineStatsFunc(cluster.Eng.Stats)
+	return cluster, ui
 }
 
 func TestWebUIStatusJSON(t *testing.T) {
@@ -67,6 +69,11 @@ func TestWebUIStatusJSON(t *testing.T) {
 		Cache struct {
 			Puts int64 `json:"Puts"`
 		} `json:"cache"`
+		Engine *struct {
+			Pending   int    `json:"pending"`
+			HighWater int    `json:"highWater"`
+			Fired     uint64 `json:"fired"`
+		} `json:"engine"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
 		t.Fatal(err)
@@ -88,6 +95,12 @@ func TestWebUIStatusJSON(t *testing.T) {
 	}
 	if status.Cache.Puts == 0 {
 		t.Errorf("cache counters missing: %+v", status.Cache)
+	}
+	if status.Engine == nil {
+		t.Fatal("engine section missing from status.json")
+	}
+	if status.Engine.Fired == 0 || status.Engine.HighWater == 0 {
+		t.Errorf("engine counters missing: %+v", *status.Engine)
 	}
 }
 
