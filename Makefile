@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -92,6 +92,24 @@ bench-compare:
 	else \
 		$(GO) run ./cmd/benchgate -compare artifacts/bench-base.txt artifacts/bench-head.txt; \
 	fi
+
+# Full adversarial scenario suite (E10): every chaos scenario under the
+# parallel executor with the serial-equality check, gated against the
+# committed BENCH_E10.json baseline (per-scenario delivery floors and
+# convergence bounds travel inside the artifact rows).
+chaos: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E10.json > artifacts/BENCH_E10.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E10.baseline.json
+	bin/newswire-bench -run E10 -workers -1 -verify-parallel -json artifacts | tee artifacts/chaos.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E10.baseline.json -current artifacts/BENCH_E10.json | tee artifacts/chaos-gate.txt
+
+# PR-sized chaos gate: the two quickest scenarios (partition-heal and
+# scramble-converge) with the same serial-equality and benchgate checks.
+chaos-smoke: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E10.json > artifacts/BENCH_E10.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E10.baseline.json
+	bin/newswire-bench -scenario partition-heal,scramble-converge -workers -1 -verify-parallel -json artifacts/chaos-smoke | tee artifacts/chaos-smoke.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E10.baseline.json -current artifacts/chaos-smoke/BENCH_E10.json | tee artifacts/chaos-smoke-gate.txt
 
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench

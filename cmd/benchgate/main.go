@@ -9,6 +9,15 @@
 //	benchgate -baseline old/BENCH_E1.json -current artifacts/BENCH_E1.json
 //	benchgate -baseline ... -current ... -max-regress 0.10 -max-heap-regress 0.10
 //
+// Chaos artifacts (BENCH_E10.json) are gated on hard bounds instead of
+// deltas: every scenario's final delivery must reach -min-delivery, its
+// during-fault delivery must stay above the scenario's own floor, and it
+// must converge within -max-convergence-rounds (0 = the scenario's own
+// max_rounds bound):
+//
+//	benchgate -baseline old/BENCH_E10.json -current artifacts/BENCH_E10.json
+//	benchgate -baseline ... -current ... -min-delivery 1.0 -max-convergence-rounds 0
+//
 // Compare mode (benchstat fallback for `make bench-compare`): diff two
 // `go test -bench` output files metric by metric:
 //
@@ -40,6 +49,8 @@ func run(args []string) error {
 		current    = fs.String("current", "", "current BENCH_<ID>.json")
 		maxRegress = fs.Float64("max-regress", 0.10, "allowed fractional bytes_per_round regression")
 		maxHeap    = fs.Float64("max-heap-regress", 0.10, "allowed fractional peak_heap_bytes_per_node regression")
+		maxConv    = fs.Int("max-convergence-rounds", 0, "chaos: max rounds back to 100% delivery (0 = each scenario's own max_rounds)")
+		minDeliver = fs.Float64("min-delivery", 1.0, "chaos: required final delivery fraction per scenario")
 		compare    = fs.Bool("compare", false, "diff two `go test -bench` output files (positional args)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +65,7 @@ func run(args []string) error {
 	if *baseline == "" || *current == "" {
 		return fmt.Errorf("need -baseline and -current (or -compare old.txt new.txt)")
 	}
-	return gate(*baseline, *current, *maxRegress, *maxHeap)
+	return gate(*baseline, *current, *maxRegress, *maxHeap, *maxConv, *minDeliver)
 }
 
 // benchArtifact is the slice of the BENCH_<ID>.json schema the gate needs.
@@ -68,15 +79,31 @@ type benchArtifact struct {
 	// simulated the same cluster size.
 	PeakHeapBytesPerNode float64 `json:"peak_heap_bytes_per_node"`
 	HeapNodes            int     `json:"heap_nodes"`
+	// Chaos rows (BENCH_E10.json) carry their own bounds: the scenario's
+	// during-fault delivery floor and convergence-round budget.
+	Chaos []chaosRow `json:"chaos"`
 }
 
-func gate(baselinePath, currentPath string, maxRegress, maxHeap float64) error {
+type chaosRow struct {
+	Scenario            string  `json:"scenario"`
+	DeliveryDuringFault float64 `json:"delivery_during_fault"`
+	FinalDelivery       float64 `json:"final_delivery"`
+	ConvergenceRounds   int     `json:"convergence_rounds"`
+	SelfHealed          *bool   `json:"self_healed"`
+	DeliveryFloor       float64 `json:"delivery_floor"`
+	MaxRounds           int     `json:"max_rounds"`
+}
+
+func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver float64) error {
 	var base, cur benchArtifact
 	if err := readJSON(baselinePath, &base); err != nil {
 		return err
 	}
 	if err := readJSON(currentPath, &cur); err != nil {
 		return err
+	}
+	if len(cur.Chaos) > 0 || len(base.Chaos) > 0 {
+		return gateChaos(baselinePath, base, cur, maxConv, minDeliver)
 	}
 	if len(base.Wire) == 0 {
 		// A pre-codec artifact has no wire section: nothing to gate
@@ -131,6 +158,70 @@ func gate(baselinePath, currentPath string, maxRegress, maxHeap float64) error {
 	}
 	if failed {
 		return fmt.Errorf("regression gate failed (baseline %s)", baselinePath)
+	}
+	return nil
+}
+
+// gateChaos enforces the adversarial suite's hard bounds on the current
+// artifact: per-scenario final delivery, during-fault floor, convergence
+// budget, and the self-healing oracle. The baseline supplies the expected
+// scenario set (a scenario that vanishes from the current artifact fails
+// the gate) and convergence deltas for the report.
+func gateChaos(baselinePath string, base, cur benchArtifact, maxConv int, minDeliver float64) error {
+	baseBy := map[string]chaosRow{}
+	for _, b := range base.Chaos {
+		baseBy[b.Scenario] = b
+	}
+	failed := false
+	for _, c := range cur.Chaos {
+		bound := maxConv
+		if bound <= 0 {
+			bound = c.MaxRounds
+		}
+		var problems []string
+		if c.FinalDelivery < minDeliver {
+			problems = append(problems, fmt.Sprintf("final delivery %.4f < %.4f", c.FinalDelivery, minDeliver))
+		}
+		if c.DeliveryDuringFault < c.DeliveryFloor {
+			problems = append(problems, fmt.Sprintf("during-fault delivery %.4f < floor %.4f", c.DeliveryDuringFault, c.DeliveryFloor))
+		}
+		if c.ConvergenceRounds > bound {
+			problems = append(problems, fmt.Sprintf("convergence %d rounds > bound %d", c.ConvergenceRounds, bound))
+		}
+		if c.SelfHealed != nil && !*c.SelfHealed {
+			problems = append(problems, "did not self-heal (table fingerprint differs from clean twin)")
+		}
+		convNote := fmt.Sprintf("conv %d/%d", c.ConvergenceRounds, bound)
+		if b, ok := baseBy[c.Scenario]; ok {
+			convNote = fmt.Sprintf("conv %d -> %d (bound %d)", b.ConvergenceRounds, c.ConvergenceRounds, bound)
+		}
+		status := "ok"
+		if len(problems) > 0 {
+			status = "FAILED: " + strings.Join(problems, "; ")
+			failed = true
+		}
+		fmt.Printf("benchgate: %-18s final %.1f%% during %.1f%% (floor %.0f%%) %s %s\n",
+			c.Scenario, c.FinalDelivery*100, c.DeliveryDuringFault*100,
+			c.DeliveryFloor*100, convNote, status)
+	}
+	// Scenarios the baseline covered must still be covered — unless the
+	// current artifact is an explicit subset run (smoke jobs pass the
+	// subset's own baseline, so this only bites when the sets diverge
+	// unexpectedly).
+	curBy := map[string]bool{}
+	for _, c := range cur.Chaos {
+		curBy[c.Scenario] = true
+	}
+	for _, b := range base.Chaos {
+		if !curBy[b.Scenario] {
+			fmt.Printf("benchgate: %-18s in baseline but missing from current artifact; skipped\n", b.Scenario)
+		}
+	}
+	if len(cur.Chaos) == 0 {
+		return fmt.Errorf("current artifact has no chaos rows")
+	}
+	if failed {
+		return fmt.Errorf("chaos gate failed (baseline %s)", baselinePath)
 	}
 	return nil
 }

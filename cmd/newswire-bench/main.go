@@ -8,6 +8,8 @@
 //	newswire-bench -quick            # smaller, faster configurations
 //	newswire-bench -big              # include the largest E1/E7 points
 //	newswire-bench -nodes 1048576    # one E1 row at exactly this size (virtual leaves)
+//	newswire-bench -scenario partition-heal,scramble-converge
+//	                                 # specific chaos scenarios (implies -run E10)
 //	newswire-bench -seed 7           # change the deterministic seed
 //	newswire-bench -workers -1       # parallel executor, GOMAXPROCS workers
 //	newswire-bench -verify-parallel  # gate: parallel tables == serial tables
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"newswire/internal/experiments"
+	"newswire/internal/sim/chaos"
 )
 
 func main() {
@@ -69,7 +72,10 @@ type jsonReport struct {
 	// bytes_per_round) for experiments that record it; CI gates on the
 	// E1 quick-size bytes_per_round regressing against the committed
 	// artifact.
-	Wire     []experiments.WireUsage    `json:"bytes_on_wire,omitempty"`
+	Wire []experiments.WireUsage `json:"bytes_on_wire,omitempty"`
+	// Chaos is the per-scenario adversarial suite outcome (E10): delivery
+	// floors, convergence rounds and recovery bytes that benchgate bounds.
+	Chaos    []chaos.Result             `json:"chaos,omitempty"`
 	Verified bool                       `json:"verified_against_serial,omitempty"`
 	Bench    *experiments.SpeedupReport `json:"bench,omitempty"`
 	Traces   []*experiments.TraceReport `json:"traces,omitempty"`
@@ -128,7 +134,7 @@ func (s *heapSampler) Peak() uint64 {
 func run(args []string) error {
 	fs := flag.NewFlagSet("newswire-bench", flag.ContinueOnError)
 	var (
-		runList    = fs.String("run", "all", "comma-separated experiment IDs (E1..E8, A1..A4) or 'all'")
+		runList    = fs.String("run", "all", "comma-separated experiment IDs (E1..E8, E10, A1..A4) or 'all'")
 		quick      = fs.Bool("quick", false, "run reduced-size configurations")
 		big        = fs.Bool("big", false, "include the largest configurations (slow, memory-hungry)")
 		seed       = fs.Int64("seed", 1, "deterministic random seed")
@@ -139,6 +145,7 @@ func run(args []string) error {
 		jsonDir    = fs.String("json", "", "directory to write BENCH_<ID>.json result files into")
 		speedup    = fs.Bool("speedup", false, "measure serial-vs-parallel gossip rounds at 4096 nodes (recorded in BENCH_E1.json)")
 		nodes      = fs.Int("nodes", 0, "run E1 as one row at exactly this size with virtual quiescent leaves (implies -run E1)")
+		scenario   = fs.String("scenario", "", "comma-separated chaos scenario names for the E10 suite (implies -run E10)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write the pprof heap profile snapshotted at the run's peak tick to this file")
 	)
@@ -186,6 +193,17 @@ func run(args []string) error {
 	if *nodes > 0 {
 		*runList = "E1"
 	}
+	if *scenario != "" {
+		*runList = "E10"
+		for _, n := range strings.Split(*scenario, ",") {
+			if n = strings.TrimSpace(n); n == "" {
+				continue
+			}
+			if _, ok := chaos.ByName(n); !ok {
+				return fmt.Errorf("unknown chaos scenario %q (known: %s)", n, strings.Join(chaosNames(), ", "))
+			}
+		}
+	}
 	if *runList != "all" {
 		for _, id := range strings.Split(*runList, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
@@ -208,7 +226,7 @@ func run(args []string) error {
 		}
 	}
 
-	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed, Workers: *workers, Trace: *traced, Nodes: *nodes}
+	opt := experiments.Options{Quick: *quick, Big: *big, Seed: *seed, Workers: *workers, Trace: *traced, Nodes: *nodes, Scenario: *scenario}
 	if *verifyPar && opt.Workers == 0 {
 		opt.Workers = 4
 	}
@@ -266,6 +284,7 @@ func run(args []string) error {
 				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 				WallSeconds: wall.Seconds(), Verified: verified,
 				PeakHeapBytes: peakHeap, Wire: table.Wire,
+				Chaos:  table.Chaos,
 				Traces: table.Traces,
 			}
 			if table.Nodes > 0 && peakHeap > 0 {
@@ -293,4 +312,12 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+func chaosNames() []string {
+	var names []string
+	for _, sc := range chaos.Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
 }

@@ -216,6 +216,12 @@ type table struct {
 	// recomputeAggregatesLocked re-stamp the aggregate row without
 	// re-running the aggregation program.
 	dirty bool
+	// aggHash is the attrs hash of the aggregate row this agent last
+	// computed (or confirmed) for this zone. The re-stamp fast path only
+	// trusts a stored aggregate that still matches it: a row mutated
+	// behind the agent's back (corruption, a buggy merge) must be
+	// recomputed from inputs, never re-stamped and re-signed as-is.
+	aggHash uint64
 }
 
 // Agent is one Astrolabe participant: it owns a row in its leaf zone,
@@ -957,11 +963,14 @@ func (a *Agent) recomputeAggregatesLocked() {
 		if !ct.dirty {
 			existing, exists := pt.rows[name]
 			switch {
-			case exists && existing.Owner == a.addr:
+			case exists && existing.Owner == a.addr && existing.AttrsHash() == ct.aggHash:
 				// Same content, fresher inputs: re-stamp our aggregate
 				// so peers' failure detectors see it refreshed. The Attrs
 				// map is unchanged, so the fresh row adopts the old row's
-				// caches instead of re-encoding.
+				// caches instead of re-encoding. The hash check keeps this
+				// path honest: re-stamping is only sound for content this
+				// agent actually computed — a row mutated behind our back
+				// must not be relaunched with a fresh stamp and signature.
 				if latest.After(existing.Issued) {
 					row := &wire.SharedRow{
 						Name:   name,
@@ -974,12 +983,14 @@ func (a *Agent) recomputeAggregatesLocked() {
 					pt.rows[name] = row
 				}
 				continue
-			case exists:
+			case exists && existing.Owner != a.addr:
 				// A peer owns the current aggregate; it refreshes via
 				// gossip. Nothing to do for a clean zone.
 				continue
 			}
-			// No aggregate row at all: fall through to the full path.
+			// No aggregate row at all, or our own stored aggregate no
+			// longer matches what we computed: fall through to the full
+			// path.
 		}
 
 		rows := make([]*wire.SharedRow, 0, len(ct.rows))
@@ -1018,6 +1029,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 			// Whoever stamped the stored copy, it matches the current
 			// content: the zone is clean, and the owner keeps it fresh.
 			ct.dirty = false
+			ct.aggHash = existing.AttrsHash()
 			continue
 		}
 		if exists && existing.Issued.After(latest) {
@@ -1035,6 +1047,7 @@ func (a *Agent) recomputeAggregatesLocked() {
 		}
 		a.signRowLocked(candidate, parent)
 		ct.dirty = false
+		ct.aggHash = candidate.AttrsHash()
 		pt.dirty = true
 		pt.rows[name] = candidate
 	}
@@ -1166,6 +1179,131 @@ func (a *Agent) pickZonePartnersLocked(zone string, n int) []string {
 		}
 	}
 	return samplePartners(a.cfg.Rand, candidates, n)
+}
+
+// ScrambleRows is the chaos-injection hook: it corrupts a fraction of the
+// agent's replicated rows in place, modeling arbitrary state damage
+// (bit-rot, a buggy peer, an attacker replaying mangled gossip). Each
+// victim row is replaced by a freshly built copy (the stored row stays
+// immutable — peers may share it) whose attributes are mutated while the
+// issue stamp, owner, and any signature are carried over unchanged. The
+// stale signature makes a scrambled row fail certificate verification at
+// every peer it gossips to; without signing, the unchanged stamp means the
+// owner's next heartbeat or aggregate recomputation supersedes it, so the
+// damage self-heals within a bounded number of rounds either way.
+// Additionally the first two victims of each table have their attribute
+// maps swapped (a row permutation, the "arbitrary state" of
+// self-stabilization testing).
+//
+// The agent's own leaf row is never scrambled (it is authoritative and
+// reissued every Tick regardless) and neither are virtual-leaf template
+// rows (nothing reissues those, so damage to them could never heal).
+//
+// rng must be owned by the caller and drawn in canonical order; zones and
+// rows are visited in sorted order so identically seeded runs scramble
+// identically. Returns the number of rows scrambled.
+func (a *Agent) ScrambleRows(rng *rand.Rand, frac float64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, zone := range a.chain {
+		t := a.tables[zone]
+		names := make([]string, 0, len(t.rows))
+		for name := range t.rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var victims []*wire.SharedRow
+		for _, name := range names {
+			r := t.rows[name]
+			if zone == a.leaf && name == a.name {
+				continue
+			}
+			if _, virt := r.Attrs[AttrVirtual]; virt {
+				continue
+			}
+			if rng.Float64() >= frac {
+				continue
+			}
+			attrs := r.Attrs.Clone()
+			keys := make([]string, 0, len(attrs))
+			for k := range attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			if len(keys) > 0 {
+				k := keys[rng.Intn(len(keys))]
+				attrs[k] = value.String(fmt.Sprintf("scrambled-%d", rng.Int63()))
+			}
+			mutated := &wire.SharedRow{
+				Name:   r.Name,
+				Attrs:  attrs,
+				Issued: r.Issued, // stale stamp: the owner's next issue wins
+				Owner:  r.Owner,
+				Signer: r.Signer, // stale signature: fails verification
+				Sig:    r.Sig,
+			}
+			t.rows[name] = mutated
+			victims = append(victims, mutated)
+			total++
+		}
+		if len(victims) >= 2 {
+			// Permute: swap the attribute maps of the first two victims.
+			// Both are freshly built rows not yet shared with any peer, so
+			// mutating them here is still within the COW discipline.
+			victims[0].Attrs, victims[1].Attrs = victims[1].Attrs, victims[0].Attrs
+		}
+		if len(victims) > 0 {
+			t.dirty = true
+		}
+	}
+	if total > 0 {
+		a.recomputeAggregatesLocked()
+	}
+	return total
+}
+
+// FingerprintTables digests the attribute content of every replicated
+// table: zones in chain order, rows in sorted name order, each mixed as
+// (zone, name, canonical-attrs hash). Issue stamps, owners, and signatures
+// are deliberately excluded — two runs that converged to the same content
+// through different gossip histories must fingerprint equal. This is the
+// convergence oracle of the chaos suite: a scrambled run has self-healed
+// exactly when its fingerprint matches a never-scrambled twin's.
+func (a *Agent) FingerprintTables() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mixByte := func(b byte) { h ^= uint64(b); h *= prime64 }
+	mixString := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mixByte(s[i])
+		}
+		mixByte(0xff) // separator
+	}
+	mixUint64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mixByte(byte(v >> (8 * i)))
+		}
+	}
+	for _, zone := range a.chain {
+		t := a.tables[zone]
+		names := make([]string, 0, len(t.rows))
+		for name := range t.rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		mixString(zone)
+		for _, name := range names {
+			mixString(name)
+			mixUint64(t.rows[name].AttrsHash())
+		}
+	}
+	return h
 }
 
 // samplePartners picks up to n distinct elements of candidates, sorted

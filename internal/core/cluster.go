@@ -75,6 +75,14 @@ type Cluster struct {
 	// ownerNode maps a parallel-executor owner index to the node index
 	// it drives, or -1 for a virtual-zone sink owner.
 	ownerNode []int
+	// tickOrder lists owner slots sorted by node index — the commit order
+	// of the parallel tick phase. Construction registers owners in index
+	// order, but MaterializeNode appends its owner at the end, so without
+	// re-sorting a materialized node's tick effects would commit (and
+	// consume the engine RNG) after everyone else's instead of at its
+	// index position, breaking serial≡parallel. Rebuilt lazily when
+	// owners were added.
+	tickOrder []int
 	// Virtual-leaf bookkeeping (virtual.go); empty without VirtualLeaves.
 	vzones      []*virtualZone
 	vzoneByPath map[string]*virtualZone
@@ -390,7 +398,7 @@ func (c *Cluster) StopTicking() {
 func (c *Cluster) RunRounds(r int) {
 	for i := 0; i < r; i++ {
 		if c.exec != nil {
-			c.exec.RunOwners(func(k int) {
+			c.exec.RunOwnersOrdered(c.tickOrderSlice(), func(k int) {
 				ni := c.ownerNode[k]
 				if ni < 0 {
 					return // virtual-zone sink owner: nothing to tick
@@ -419,6 +427,23 @@ func (c *Cluster) RunRounds(r int) {
 			wire.RowArena().SealEpoch()
 		}
 	}
+}
+
+// tickOrderSlice returns the owner slots sorted by the node index they
+// drive (sink owners first — they buffer no tick effects), which is the
+// serial tick loop's order. The sort is stable, so the order is a pure
+// function of registration history and identical across runs.
+func (c *Cluster) tickOrderSlice() []int {
+	if len(c.tickOrder) != len(c.ownerNode) {
+		c.tickOrder = c.tickOrder[:0]
+		for k := range c.ownerNode {
+			c.tickOrder = append(c.tickOrder, k)
+		}
+		sort.SliceStable(c.tickOrder, func(a, b int) bool {
+			return c.ownerNode[c.tickOrder[a]] < c.ownerNode[c.tickOrder[b]]
+		})
+	}
+	return c.tickOrder
 }
 
 // RunFor advances virtual time (delivering messages and firing tickers).

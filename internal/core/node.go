@@ -121,6 +121,14 @@ type Config struct {
 	// nodes should set a cap so the histogram cannot grow without bound.
 	LatencyReservoir int
 
+	// ReshareRecovered makes the node re-offer every item it recovers via
+	// state transfer to its own leaf zone (Router.Reinject). A rejoining
+	// node is often the only real agent in front of quiescent (virtual)
+	// members; without resharing, items it recovers for itself would never
+	// reach them. Idempotent — dedup logs absorb re-offers of items the
+	// zone already handled.
+	ReshareRecovered bool
+
 	// Security enables certificates: signed rows, signed items, and
 	// verification of both. Nil runs open (trusted network / simulation).
 	Security *Security
@@ -143,9 +151,15 @@ type Node struct {
 
 	mu         sync.Mutex
 	delivered  int64
+	recovered  int64     // items obtained via state transfer, not multicast
 	lastSeen   time.Time // newest Published among delivered items
 	gcCounter  int
 	publishers map[string]bool // publishers this node announced
+	// preDelivered marks item keys already counted as delivered before
+	// this node existed as a real agent (its virtual-leaf phase, tracked
+	// by bitset — core/virtual.go). Ingesting such an item again, e.g.
+	// through post-materialization recovery, must not count it twice.
+	preDelivered map[string]bool
 }
 
 // NewNode validates cfg and assembles a node.
@@ -337,6 +351,30 @@ func (n *Node) Delivered() int64 {
 	return n.delivered
 }
 
+// Recovered returns how many items this node obtained through §9 state
+// transfer (rejoin/anti-entropy) rather than the multicast tree.
+func (n *Node) Recovered() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.recovered
+}
+
+// SeedDeliveredKeys records item keys that were already delivered to this
+// member before it had a running agent (its virtual-leaf phase). The
+// cluster calls it at materialization so a later re-ingest of the same
+// item — a recovery pass after a crash, say — does not double-count in
+// delivery accounting.
+func (n *Node) SeedDeliveredKeys(keys []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.preDelivered == nil {
+		n.preDelivered = make(map[string]bool, len(keys))
+	}
+	for _, k := range keys {
+		n.preDelivered[k] = true
+	}
+}
+
 // Subscribe adds subjects to the node's subscription set.
 func (n *Node) Subscribe(subjects ...string) error {
 	return n.sub.Subscribe(subjects...)
@@ -455,6 +493,18 @@ func (n *Node) ingest(env *wire.ItemEnvelope) bool {
 	if !n.cache.Put(*env) {
 		return false // duplicate or superseded
 	}
+	n.mu.Lock()
+	if n.preDelivered != nil && n.preDelivered[env.Key()] {
+		// Already counted during this member's virtual-leaf phase: keep
+		// the cached copy (it can serve recovery) but skip the delivery
+		// count, latency sample, and application callback.
+		if env.Published.After(n.lastSeen) {
+			n.lastSeen = env.Published
+		}
+		n.mu.Unlock()
+		return true
+	}
+	n.mu.Unlock()
 	n.latency.Observe(n.cfg.Clock.Now().Sub(env.Published).Seconds())
 	n.mu.Lock()
 	n.delivered++
@@ -617,6 +667,23 @@ func (n *Node) RequestStateTransfer(peer string, since time.Time, maxItems int) 
 // can miss an item when its only representative died, so intra-zone peers
 // are not always enough). This is the end-to-end recovery of §9.
 func (n *Node) RecoverFromZonePeer(maxItems int) error {
+	n.mu.Lock()
+	since := n.lastSeen
+	n.mu.Unlock()
+	return n.recoverSince(since, maxItems)
+}
+
+// Resync is the deep-recovery escalation: request everything, since the
+// epoch, from up to three recovery candidates. Incremental recovery keys
+// off the lastSeen watermark and therefore cannot fill a hole that is
+// older than the newest delivered item — a zone that exhausted its
+// retransmit budget on one mid-partition item but kept receiving later
+// publications is permanently stuck under RecoverFromZonePeer alone.
+func (n *Node) Resync(maxItems int) error {
+	return n.recoverSince(time.Time{}, maxItems)
+}
+
+func (n *Node) recoverSince(since time.Time, maxItems int) error {
 	peers := n.recoveryCandidates()
 	if len(peers) == 0 {
 		return fmt.Errorf("core: no peers to recover from")
@@ -625,9 +692,6 @@ func (n *Node) RecoverFromZonePeer(maxItems int) error {
 	if len(peers) > 3 {
 		peers = peers[:3]
 	}
-	n.mu.Lock()
-	since := n.lastSeen
-	n.mu.Unlock()
 	var firstErr error
 	for _, peer := range peers {
 		if err := n.RequestStateTransfer(peer, since, maxItems); err != nil && firstErr == nil {
@@ -710,7 +774,13 @@ func (n *Node) handleStateReply(msg *wire.Message) {
 		if !n.sub.ShouldDeliver(env) {
 			continue
 		}
-		if n.ingest(env) && n.cfg.Tracer != nil {
+		if !n.ingest(env) {
+			continue
+		}
+		n.mu.Lock()
+		n.recovered++
+		n.mu.Unlock()
+		if n.cfg.Tracer != nil {
 			// Recovered through anti-entropy / state transfer rather than
 			// the multicast tree — the "gossip-carry" path of §5/§9.
 			n.traceSpan(trace.Span{
@@ -718,5 +788,26 @@ func (n *Node) handleStateReply(msg *wire.Message) {
 				Zone: n.agent.ZonePath(), To: msg.From,
 			})
 		}
+		if n.cfg.ReshareRecovered {
+			n.router.Reinject(env)
+		}
 	}
+}
+
+// ScrambleReport tallies what one ScrambleState call damaged.
+type ScrambleReport struct {
+	Rows    int // zone-table rows corrupted/permuted
+	Dedup   int // dedup-log entries dropped
+	Pending int // pending reliable forwards dropped
+}
+
+// ScrambleState is the chaos hook: it corrupts a fraction frac of this
+// node's replicated zone-table rows (astrolabe.Agent.ScrambleRows) and
+// drops the same fraction of its multicast dedup and retransmit state
+// (multicast.Router.ScrambleState). rng must be owned by the caller and is
+// drawn in canonical order, keeping identically seeded runs bit-identical.
+func (n *Node) ScrambleState(rng *rand.Rand, frac float64) ScrambleReport {
+	rows := n.agent.ScrambleRows(rng, frac)
+	dedup, pending := n.router.ScrambleState(rng, frac)
+	return ScrambleReport{Rows: rows, Dedup: dedup, Pending: pending}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/ed25519"
 	"fmt"
+	"io"
 	"time"
 
 	"newswire/internal/cert"
@@ -108,17 +109,30 @@ type Realm struct {
 	Store         *cert.Store
 	Clock         vtime.Clock
 	TTL           time.Duration
+	// Entropy generates key material; nil uses crypto/rand. Simulations
+	// inject a seeded stream (ed25519 keygen just reads 32 bytes, and the
+	// signature scheme is deterministic) so security-enabled runs stay
+	// bit-identical for a given seed.
+	Entropy io.Reader
 }
 
-// NewRealm creates an authority and an empty certificate directory.
+// NewRealm creates an authority and an empty certificate directory,
+// drawing keys from crypto/rand.
 func NewRealm(clock vtime.Clock, ttl time.Duration) (*Realm, error) {
+	return NewSeededRealm(clock, ttl, nil)
+}
+
+// NewSeededRealm is NewRealm with injected key entropy, for deterministic
+// simulations. A *math/rand.Rand works as the reader (NOT for production
+// use — predictable keys).
+func NewSeededRealm(clock vtime.Clock, ttl time.Duration, entropy io.Reader) (*Realm, error) {
 	if clock == nil {
 		return nil, fmt.Errorf("core: clock required")
 	}
 	if ttl <= 0 {
 		ttl = 24 * time.Hour
 	}
-	key, err := cert.GenerateKeyPair(nil)
+	key, err := cert.GenerateKeyPair(entropy)
 	if err != nil {
 		return nil, err
 	}
@@ -128,13 +142,14 @@ func NewRealm(clock vtime.Clock, ttl time.Duration) (*Realm, error) {
 		Store:         cert.NewStore(),
 		Clock:         clock,
 		TTL:           ttl,
+		Entropy:       entropy,
 	}, nil
 }
 
 // Member mints a member identity: a key pair plus a certificate added to
 // the realm's store, and a ready-to-use Security for a node.
 func (r *Realm) Member(name string) (*Security, error) {
-	key, err := cert.GenerateKeyPair(nil)
+	key, err := cert.GenerateKeyPair(r.Entropy)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +168,7 @@ func (r *Realm) Member(name string) (*Security, error) {
 // Publisher mints a publisher identity and attaches it to an existing
 // member Security so the node can both gossip and publish.
 func (r *Realm) Publisher(sec *Security, publisherName string) error {
-	key, err := cert.GenerateKeyPair(nil)
+	key, err := cert.GenerateKeyPair(r.Entropy)
 	if err != nil {
 		return err
 	}

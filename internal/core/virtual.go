@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -133,6 +134,22 @@ func (vz *virtualZone) deliveredAt(pos int) int64 {
 		}
 	}
 	return n
+}
+
+// deliveredKeys returns (sorted) the keys of every item the member at pos
+// accepted while virtual. MaterializeNode seeds the new real node with
+// them so delivery accounting stays exact across the phase switch.
+func (vz *virtualZone) deliveredKeys(pos int) []string {
+	vz.mu.Lock()
+	defer vz.mu.Unlock()
+	var keys []string
+	for key, bits := range vz.delivered {
+		if bits[pos>>6]&(1<<uint(pos&63)) != 0 {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // templateUpdates renders the zone's live template rows for bootstrap
@@ -271,6 +288,11 @@ func (c *Cluster) MaterializeNode(i int) (*Node, error) {
 	}
 	c.Nodes[i] = node
 	vz.templates[pos] = nil
+	// Items already counted against this member's delivery bitset must not
+	// count again if the real node re-ingests them (say, a recovery pass
+	// after it later crashes). The bitset stays authoritative for the
+	// virtual phase; the node skips those keys in its own accounting.
+	node.SeedDeliveredKeys(vz.deliveredKeys(pos))
 	// Seed the new node's tables from an established zone peer (member 0
 	// of every zone is always real), then push its own row to the zone's
 	// real members so the next gossip rounds spread it outward.

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"newswire/internal/sim/chaos"
 )
 
 // Options scales experiment size.
@@ -39,6 +41,10 @@ type Options struct {
 	// quantiles are sampled at the real members. This is what makes
 	// the 1,048,576-node row tractable.
 	Nodes int
+	// Scenario restricts E10 to a comma-separated list of chaos scenario
+	// names (see internal/sim/chaos). Empty runs the quick subset under
+	// Quick and the full registry otherwise.
+	Scenario string
 }
 
 // Table is one experiment's result table.
@@ -65,6 +71,11 @@ type Table struct {
 	// peak_heap_bytes_per_node figure in BENCH_E1.json). 0 when the
 	// experiment doesn't report it.
 	Nodes int
+	// Chaos holds the raw per-scenario results when the experiment is the
+	// E10 adversarial suite. Render and String ignore it (like Traces and
+	// Wire); newswire-bench persists it into BENCH_E10.json, where
+	// benchgate bounds convergence rounds and delivery floors.
+	Chaos []chaos.Result
 }
 
 // WireUsage records the simulated network's byte load for one
@@ -167,6 +178,7 @@ func All() []Runner {
 		{ID: "A2", Name: "representative election policies", Run: RunA2},
 		{ID: "A3", Name: "publication zone scoping", Run: RunA3},
 		{ID: "A4", Name: "gossip fanout/interval trade-off", Run: RunA4},
+		{ID: "E10", Name: "adversarial chaos scenarios", Run: RunE10},
 	}
 }
 

@@ -139,6 +139,10 @@ type Stats struct {
 	RetriesSent      int64 // retransmissions after an ack deadline
 	FailoversTotal   int64 // retries that switched representative
 	DeliveryFailures int64 // forwards abandoned after MaxAttempts
+
+	// Chaos-injection counters (ScrambleState).
+	DedupScrambled   int64 // dedup-log entries dropped by state scrambling
+	PendingScrambled int64 // pending reliable forwards dropped by scrambling
 }
 
 // LogEntry records one forwarding decision (§9's forwarder log).
@@ -636,6 +640,66 @@ func (r *Router) failoverAddr(p *pendingForward) string {
 		return cand
 	}
 	return p.addr
+}
+
+// ScrambleState is the chaos-injection hook for the router's soft state:
+// it drops a fraction of the duplicate-suppression log (forwarding and
+// delivery dedup) and of the pending reliable forwards, modeling a node
+// whose in-memory bookkeeping was damaged or lost. Dropping dedup entries
+// is safe-but-wasteful (the end-system cache still dedups deliveries;
+// re-forwards burn bytes). Dropping a pending forward silently abandons
+// its retransmits — its deadline callback finds nothing to take — which is
+// exactly the hole §9 cache recovery exists to fill.
+//
+// rng must be owned by the caller; entries are visited in their canonical
+// insertion/sequence order, so identically seeded runs scramble
+// identically. Returns how many dedup entries and pending forwards were
+// dropped.
+func (r *Router) ScrambleState(rng *rand.Rand, frac float64) (dedupDropped, pendingDropped int) {
+	r.mu.Lock()
+	keepSeen := r.seenOrder[:0]
+	for _, key := range r.seenOrder {
+		if rng.Float64() < frac {
+			delete(r.seen, key)
+			dedupDropped++
+			continue
+		}
+		keepSeen = append(keepSeen, key)
+	}
+	r.seenOrder = keepSeen
+	keepDlv := r.dlvOrder[:0]
+	for _, key := range r.dlvOrder {
+		if rng.Float64() < frac {
+			delete(r.delivered, key)
+			dedupDropped++
+			continue
+		}
+		keepDlv = append(keepDlv, key)
+	}
+	r.dlvOrder = keepDlv
+	r.stats.DedupScrambled += int64(dedupDropped)
+	r.mu.Unlock()
+
+	if r.rq != nil {
+		pendingDropped = r.rq.scramble(rng, frac)
+		r.mu.Lock()
+		r.stats.PendingScrambled += int64(pendingDropped)
+		r.mu.Unlock()
+	}
+	return dedupDropped, pendingDropped
+}
+
+// Reinject re-fans env into this node's own leaf zone, as if a forward for
+// it had just arrived. The §9 rejoin path uses it: a node that recovered an
+// item from a peer's cache re-offers it to its leaf siblings, which is how
+// quiescent (virtual) members behind the rejoiner receive items they missed
+// during its downtime. It fans out directly rather than going through
+// route(), whose (item, zone) forwarding dedup would silently drop the
+// re-offer on any node that already handled the item once; receivers dedup
+// final-delivery copies themselves, which keeps repeated re-offers
+// idempotent.
+func (r *Router) Reinject(env *wire.ItemEnvelope) {
+	r.fanOutLeafZone(&wire.Multicast{TargetZone: r.view.ZonePath(), Envelope: *env})
 }
 
 // PendingAcks reports how many reliable forwards await acknowledgment.

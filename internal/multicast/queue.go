@@ -2,6 +2,8 @@ package multicast
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 
 	"newswire/internal/transport"
@@ -355,6 +357,28 @@ func (q *retransmitQueue) reinsert(p *pendingForward) {
 	q.mu.Lock()
 	q.pending[p.seq] = p
 	q.mu.Unlock()
+}
+
+// scramble drops a fraction of the pending forwards (chaos injection).
+// Entries are visited in ascending sequence order so identically seeded
+// runs drop identically; a dropped entry's deadline callback finds nothing
+// to take and becomes a no-op.
+func (q *retransmitQueue) scramble(rng *rand.Rand, frac float64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	seqs := make([]uint64, 0, len(q.pending))
+	for seq := range q.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	dropped := 0
+	for _, seq := range seqs {
+		if rng.Float64() < frac {
+			delete(q.pending, seq)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // Len returns the number of in-flight reliable forwards.

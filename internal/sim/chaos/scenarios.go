@@ -1,0 +1,135 @@
+package chaos
+
+import "time"
+
+// subjectPool is the shared 8-subject subscription universe; burst events
+// draw from it zipf-skewed, so low indices are the hot keys.
+var subjectPool = []string{
+	"tech/security", "tech/ai",
+	"world/politics", "world/markets",
+	"sci/space", "sci/bio",
+	"sport/football", "culture/film",
+}
+
+// Scenarios returns the registry of named adversarial scenarios, in
+// display order. Every scenario must converge back to 100% delivery
+// within its MaxRounds — benchgate enforces that plus the per-scenario
+// delivery floor.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// A 3-zone region is cut off mid-stream: items published both
+			// before and during the partition must reach both sides after
+			// the heal.
+			Name: "partition-heal", Nodes: 96, Branching: 16,
+			AckTimeout: time.Second, Warmup: 8,
+			Events: []Event{
+				{Kind: PublishBurst, Round: 0, Count: 6},
+				{Kind: PartitionRegions, Round: 1, Split: 3},
+				{Kind: PublishBurst, Round: 2, Count: 6},
+				{Kind: HealPartition, Round: 5},
+			},
+			MaxRounds: 8, QuietRounds: 3, DeliveryFloor: 0.45,
+			Subjects: subjectPool, SeedOffset: 101,
+		},
+		{
+			// Poisson crash/rejoin storm over a mostly-virtual cluster:
+			// victims materialize, crash, and rejoin via §9 recovery.
+			Name: "churn-storm", Nodes: 256, Branching: 16,
+			VirtualLeaves: true, AckTimeout: time.Second,
+			MaxForwardAttempts: 6, Warmup: 8,
+			Events: []Event{
+				{Kind: ChurnStorm, Round: 0, Rounds: 6, Rate: 1.5, DownRounds: 3},
+				{Kind: PublishBurst, Round: 1, Count: 8},
+				{Kind: PublishBurst, Round: 4, Count: 8},
+			},
+			MaxRounds: 10, QuietRounds: 3, DeliveryFloor: 0.55,
+			Subjects: subjectPool, SeedOffset: 202,
+		},
+		{
+			// Mid-run state scramble in open (unsigned) mode: corrupted
+			// rows carry stale stamps, so owner heartbeats supersede them
+			// and the tables must converge back to the clean twin's.
+			Name: "scramble-converge", Nodes: 96, Branching: 16,
+			AckTimeout: time.Second, Warmup: 8,
+			Events: []Event{
+				{Kind: PublishBurst, Round: 0, Count: 8},
+				{Kind: ScrambleState, Round: 1, Frac: 0.35},
+			},
+			MaxRounds: 6, QuietRounds: 5, DeliveryFloor: 0.55,
+			Subjects: subjectPool, SeedOffset: 303,
+		},
+		{
+			// The same scramble under certificates: corrupted rows keep a
+			// signature that no longer matches their payload, so peers
+			// must reject them outright (RowsRejected > 0).
+			Name: "corrupt-reject", Nodes: 64, Branching: 16,
+			Security: true, AckTimeout: time.Second, Warmup: 8,
+			Events: []Event{
+				{Kind: PublishBurst, Round: 0, Count: 8},
+				{Kind: ScrambleState, Round: 1, Frac: 0.3},
+			},
+			MaxRounds: 6, QuietRounds: 5, DeliveryFloor: 0.55,
+			Subjects: subjectPool, SeedOffset: 404,
+		},
+		{
+			// Linearly ramping global link loss with publishes at the
+			// ramp's shoulder and peak; ack/retry forwarding rides it out.
+			Name: "loss-ramp", Nodes: 96, Branching: 16,
+			AckTimeout: time.Second, MaxForwardAttempts: 6, Warmup: 8,
+			Events: []Event{
+				{Kind: LinkLossRamp, Round: 0, Rounds: 6, Rate: 0.30},
+				{Kind: PublishBurst, Round: 1, Count: 6},
+				{Kind: PublishBurst, Round: 3, Count: 6},
+			},
+			MaxRounds: 8, QuietRounds: 3, DeliveryFloor: 0.50,
+			Subjects: subjectPool, SeedOffset: 505,
+		},
+		{
+			// Zipf hot-key bursts, no faults: the baseline that pins the
+			// floor near 1 and catches regressions in plain fan-out.
+			Name: "hot-keys", Nodes: 96, Branching: 16,
+			AckTimeout: time.Second, Warmup: 8,
+			Events: []Event{
+				{Kind: PublishBurst, Round: 0, Rounds: 3, Count: 20, ZipfS: 1.3},
+			},
+			MaxRounds: 4, QuietRounds: 3, DeliveryFloor: 0.80,
+			Subjects: subjectPool, SeedOffset: 606,
+		},
+		{
+			// Everything at once: partition + churn + loss ramp + bursts,
+			// then a scramble after the dust settles.
+			Name: "kitchen-sink", Nodes: 256, Branching: 16,
+			VirtualLeaves: true, AckTimeout: time.Second,
+			MaxForwardAttempts: 8, Warmup: 8,
+			Events: []Event{
+				{Kind: PublishBurst, Round: 0, Count: 6},
+				{Kind: PartitionRegions, Round: 1, Split: 8},
+				{Kind: ChurnStorm, Round: 2, Rounds: 4, Rate: 1.0, DownRounds: 3},
+				{Kind: PublishBurst, Round: 3, Count: 6},
+				{Kind: LinkLossRamp, Round: 4, Rounds: 4, Rate: 0.20},
+				{Kind: HealPartition, Round: 6},
+				{Kind: PublishBurst, Round: 8, Count: 6},
+				{Kind: ScrambleState, Round: 10, Frac: 0.25},
+			},
+			MaxRounds: 14, QuietRounds: 5, DeliveryFloor: 0.30,
+			Subjects: subjectPool, SeedOffset: 707,
+		},
+	}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// QuickNames is the PR-gate subset: one partition scenario and one
+// scramble scenario, small enough for a smoke job.
+func QuickNames() []string {
+	return []string{"partition-heal", "scramble-converge"}
+}

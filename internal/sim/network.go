@@ -326,6 +326,25 @@ func (n *Network) HealOneWay(a, b []string) {
 	n.mu.Unlock()
 }
 
+// SetLossRate replaces the global LinkModel loss rate for every link at
+// once — the knob behind loss-ramp chaos scenarios. Per-link overrides
+// installed with SetLinkLoss keep taking precedence. Like the other
+// fault mutators it must only be called between executor windows (or
+// from unowned engine events): the parallel send fast path reads the
+// link model without the lock while a window is in flight.
+func (n *Network) SetLossRate(rate float64) {
+	n.mu.Lock()
+	n.link.LossRate = rate
+	n.mu.Unlock()
+}
+
+// LossRate returns the current global per-message loss probability.
+func (n *Network) LossRate() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.link.LossRate
+}
+
 // SetLinkLoss overrides the loss rate of the directed link from -> to,
 // replacing the global LinkModel rate for that link only. Rate 0 makes
 // the link lossless; use ClearLinkLoss to return to the model default.

@@ -545,11 +545,27 @@ func (x *Executor) applyShards(shards []int32, resolved []resolvedSend) (sent, b
 // virtual time — the parallel equivalent of a serial for-loop over
 // nodes, as used by a cluster's per-round tick phase. Each owner's sends
 // and timer registrations are buffered and committed in ascending owner
-// order, which is exactly the order the serial loop produces.
+// order, which matches a serial loop as long as owners were registered
+// in loop order. A caller whose loop order diverges from registration
+// order (a node materialized mid-run registers late but ticks at its
+// index position) must use RunOwnersOrdered instead.
 func (x *Executor) RunOwners(fn func(owner int)) {
+	x.RunOwnersOrdered(nil, fn)
+}
+
+// RunOwnersOrdered is RunOwners with an explicit commit order: effects
+// are committed — and the engine RNG consumed — following order, which
+// must list every registered owner exactly once. It exists so a caller
+// can keep the commit sequence identical to its serial loop even when
+// owners were registered out of loop order. A nil order means ascending
+// owner order.
+func (x *Executor) RunOwnersOrdered(order []int, fn func(owner int)) {
 	nOwners := len(x.nodes)
 	if nOwners == 0 {
 		return
+	}
+	if order != nil && len(order) != nOwners {
+		panic(fmt.Sprintf("sim: RunOwnersOrdered: order lists %d of %d owners", len(order), nOwners))
 	}
 	now := x.eng.clock.Now()
 	for i := range x.tickEffects {
@@ -582,7 +598,11 @@ func (x *Executor) RunOwners(fn func(owner int)) {
 	wg.Wait()
 	x.commitWindow(func(yield func(at time.Time, owner int, effs []effect)) {
 		for k := 0; k < nOwners; k++ {
-			yield(now, k, x.tickEffects[k])
+			o := k
+			if order != nil {
+				o = order[k]
+			}
+			yield(now, o, x.tickEffects[o])
 		}
 	}, now)
 }
