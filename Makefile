@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke e11 e11-smoke tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -111,6 +111,29 @@ chaos-smoke: bin/newswire-bench
 	bin/newswire-bench -scenario partition-heal,scramble-converge -workers -1 -verify-parallel -json artifacts/chaos-smoke | tee artifacts/chaos-smoke.txt
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E10.baseline.json -current artifacts/chaos-smoke/BENCH_E10.json | tee artifacts/chaos-smoke-gate.txt
 
+# Live-transport fan-out benchmark (E11): 10,000 loopback subscriber
+# connections against one hub over real sockets, the asynchronous writer
+# path against the legacy synchronous ablation, plus a both-codec
+# full-decode verification phase. Hard gates: zero frame corruption, a
+# sustained-throughput floor and clean-p99 ceiling on the async arm, and
+# the async/sync speedup the tentpole claims. Baseline deltas are
+# informational (wall-clock socket numbers vary per machine).
+e11: bin/newswire-loadgen
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E11.json > artifacts/BENCH_E11.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E11.baseline.json
+	bin/newswire-loadgen -subs 10000 -json artifacts | tee artifacts/e11.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E11.baseline.json -current artifacts/BENCH_E11.json -min-msgs-per-sec 100000 -max-p99-ms 1500 -min-speedup 5 | tee artifacts/e11-gate.txt
+
+# PR-sized live-transport gate: 2,000 subscriber connections with short
+# steps. Floors are sized for noisy shared CI runners; corruption stays a
+# hard zero. The speedup ratio is informational at this size — the sync
+# arm only separates cleanly near full scale.
+e11-smoke: bin/newswire-loadgen
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E11.json > artifacts/BENCH_E11.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E11.baseline.json
+	bin/newswire-loadgen -subs 2000 -pub-rates 5,20,100 -step 2s -verify-items 64 -json artifacts/e11-smoke | tee artifacts/e11-smoke.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E11.baseline.json -current artifacts/e11-smoke/BENCH_E11.json -min-msgs-per-sec 30000 -max-p99-ms 2000 | tee artifacts/e11-smoke-gate.txt
+
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench
 	bin/newswire-bench
@@ -126,6 +149,9 @@ tables-big: bin/newswire-bench
 
 bin/newswire-bench:
 	$(GO) build -o bin/newswire-bench ./cmd/newswire-bench
+
+bin/newswire-loadgen:
+	$(GO) build -o bin/newswire-loadgen ./cmd/newswire-loadgen
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -51,6 +51,9 @@ func run(args []string) error {
 		maxHeap    = fs.Float64("max-heap-regress", 0.10, "allowed fractional peak_heap_bytes_per_node regression")
 		maxConv    = fs.Int("max-convergence-rounds", 0, "chaos: max rounds back to 100% delivery (0 = each scenario's own max_rounds)")
 		minDeliver = fs.Float64("min-delivery", 1.0, "chaos: required final delivery fraction per scenario")
+		minMsgsSec = fs.Float64("min-msgs-per-sec", 0, "live transport: sustained msgs/sec floor for the async arm (0 = off)")
+		maxP99     = fs.Float64("max-p99-ms", 0, "live transport: clean-p99 latency ceiling in ms for the async arm (0 = off)")
+		minSpeedup = fs.Float64("min-speedup", 0, "live transport: required async/sync sustained-throughput ratio (0 = off)")
 		compare    = fs.Bool("compare", false, "diff two `go test -bench` output files (positional args)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +68,8 @@ func run(args []string) error {
 	if *baseline == "" || *current == "" {
 		return fmt.Errorf("need -baseline and -current (or -compare old.txt new.txt)")
 	}
-	return gate(*baseline, *current, *maxRegress, *maxHeap, *maxConv, *minDeliver)
+	return gate(*baseline, *current, *maxRegress, *maxHeap, *maxConv, *minDeliver,
+		*minMsgsSec, *maxP99, *minSpeedup)
 }
 
 // benchArtifact is the slice of the BENCH_<ID>.json schema the gate needs.
@@ -82,6 +86,28 @@ type benchArtifact struct {
 	// Chaos rows (BENCH_E10.json) carry their own bounds: the scenario's
 	// during-fault delivery floor and convergence-round budget.
 	Chaos []chaosRow `json:"chaos"`
+	// Live-transport arms (BENCH_E11.json) are gated on hard bounds:
+	// sustained throughput floor, clean-p99 ceiling, zero corruption, and
+	// optionally the async/sync speedup.
+	Arms    []e11Arm    `json:"arms"`
+	Verify  []e11Verify `json:"verify"`
+	Speedup float64     `json:"speedup_async_over_sync"`
+}
+
+type e11Arm struct {
+	Label               string  `json:"label"`
+	SyncWrites          bool    `json:"sync_writes"`
+	SustainedMsgsPerSec float64 `json:"sustained_msgs_per_sec"`
+	CleanP99Ms          float64 `json:"clean_p99_ms"`
+	TotalDrops          int64   `json:"total_drops"`
+	TotalCorrupt        int64   `json:"total_corrupt"`
+}
+
+type e11Verify struct {
+	Codec   string `json:"codec"`
+	Frames  int64  `json:"frames"`
+	Decoded int64  `json:"decoded"`
+	Corrupt int64  `json:"corrupt"`
 }
 
 type chaosRow struct {
@@ -94,7 +120,7 @@ type chaosRow struct {
 	MaxRounds           int     `json:"max_rounds"`
 }
 
-func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver float64) error {
+func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver, minMsgsSec, maxP99, minSpeedup float64) error {
 	var base, cur benchArtifact
 	if err := readJSON(baselinePath, &base); err != nil {
 		return err
@@ -104,6 +130,9 @@ func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv
 	}
 	if len(cur.Chaos) > 0 || len(base.Chaos) > 0 {
 		return gateChaos(baselinePath, base, cur, maxConv, minDeliver)
+	}
+	if len(cur.Arms) > 0 || len(base.Arms) > 0 {
+		return gateE11(baselinePath, base, cur, minMsgsSec, maxP99, minSpeedup)
 	}
 	if len(base.Wire) == 0 {
 		// A pre-codec artifact has no wire section: nothing to gate
@@ -222,6 +251,69 @@ func gateChaos(baselinePath string, base, cur benchArtifact, maxConv int, minDel
 	}
 	if failed {
 		return fmt.Errorf("chaos gate failed (baseline %s)", baselinePath)
+	}
+	return nil
+}
+
+// gateE11 enforces the live-transport hard bounds on the current
+// artifact: zero frame corruption everywhere (load arms and the
+// both-codec verification phase), a sustained-throughput floor and a
+// clean-p99 ceiling on the asynchronous arm, and optionally the
+// async/sync speedup ratio. Throughput deltas against the baseline are
+// reported but never gated — wall-clock socket numbers are too
+// machine-dependent for a fractional regression bound; the floor is the
+// contract.
+func gateE11(baselinePath string, base, cur benchArtifact, minMsgsSec, maxP99, minSpeedup float64) error {
+	if len(cur.Arms) == 0 {
+		return fmt.Errorf("current artifact has no live-transport arms")
+	}
+	baseBy := map[string]e11Arm{}
+	for _, a := range base.Arms {
+		baseBy[a.Label] = a
+	}
+	var problems []string
+	for _, a := range cur.Arms {
+		delta := ""
+		if b, ok := baseBy[a.Label]; ok && b.SustainedMsgsPerSec > 0 {
+			delta = fmt.Sprintf(" (%+.1f%% vs baseline)",
+				(a.SustainedMsgsPerSec-b.SustainedMsgsPerSec)/b.SustainedMsgsPerSec*100)
+		}
+		fmt.Printf("benchgate: arm %-6s sustained %.0f msgs/sec%s, clean p99 %.1fms, drops %d, corrupt %d\n",
+			a.Label, a.SustainedMsgsPerSec, delta, a.CleanP99Ms, a.TotalDrops, a.TotalCorrupt)
+		if a.TotalCorrupt != 0 {
+			problems = append(problems, fmt.Sprintf("arm %s saw %d corrupt frames", a.Label, a.TotalCorrupt))
+		}
+		if a.SyncWrites {
+			continue // floors apply to the default path, not the ablation
+		}
+		if minMsgsSec > 0 && a.SustainedMsgsPerSec < minMsgsSec {
+			problems = append(problems, fmt.Sprintf("arm %s sustained %.0f msgs/sec < floor %.0f",
+				a.Label, a.SustainedMsgsPerSec, minMsgsSec))
+		}
+		if maxP99 > 0 && a.CleanP99Ms > maxP99 {
+			problems = append(problems, fmt.Sprintf("arm %s clean p99 %.1fms > ceiling %.0fms",
+				a.Label, a.CleanP99Ms, maxP99))
+		}
+	}
+	for _, v := range cur.Verify {
+		fmt.Printf("benchgate: verify %-6s %d frames, %d decoded, %d corrupt\n",
+			v.Codec, v.Frames, v.Decoded, v.Corrupt)
+		if v.Corrupt != 0 {
+			problems = append(problems, fmt.Sprintf("codec %s saw %d corrupt frames", v.Codec, v.Corrupt))
+		}
+		if v.Decoded != v.Frames {
+			problems = append(problems, fmt.Sprintf("codec %s decoded %d of %d frames", v.Codec, v.Decoded, v.Frames))
+		}
+	}
+	if cur.Speedup > 0 {
+		fmt.Printf("benchgate: speedup async/sync %.2fx\n", cur.Speedup)
+	}
+	if minSpeedup > 0 && cur.Speedup < minSpeedup {
+		problems = append(problems, fmt.Sprintf("async/sync speedup %.2fx < required %.2fx", cur.Speedup, minSpeedup))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("live-transport gate failed: %s (baseline %s)",
+			strings.Join(problems, "; "), baselinePath)
 	}
 	return nil
 }

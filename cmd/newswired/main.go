@@ -25,6 +25,7 @@ import (
 
 	"newswire"
 	"newswire/internal/news"
+	"newswire/internal/transport"
 	"newswire/internal/wire"
 )
 
@@ -47,6 +48,8 @@ func run(args []string) error {
 		interval  = fs.Duration("interval", 2*time.Second, "gossip interval")
 		httpAddr  = fs.String("http", "", "serve the status web interface on this address (e.g. 127.0.0.1:8080)")
 		gobWire   = fs.Bool("gob-wire", false, "encode outbound frames with the legacy gob codec (transition aid; inbound frames are auto-detected either way)")
+		syncWr    = fs.Bool("sync-transport", false, "use the legacy synchronous transport writes (ablation; one mutex serializes all peers)")
+		queueLen  = fs.Int("send-queue", 0, "per-peer outbound queue length in frames (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +58,10 @@ func run(args []string) error {
 
 	cfg := newswire.LiveConfig{
 		ListenAddr: *listen,
+		Transport: transport.TCPOptions{
+			SyncWrites: *syncWr,
+			QueueLen:   *queueLen,
+		},
 		Node: newswire.Config{
 			Name:           *name,
 			ZonePath:       *zone,

@@ -322,7 +322,20 @@ func (n *Node) FillMetrics(reg *metrics.Registry) {
 	reg.Gauge("cache_items").Set(float64(n.cache.Len()))
 	reg.Gauge("newswire_delivered_items").Set(float64(n.Delivered()))
 	reg.RegisterHistogram("newswire_delivery_latency_seconds", n.latency)
+	if mf, ok := n.cfg.Transport.(transport.MetricsFiller); ok {
+		mf.FillMetrics(reg)
+	}
 	metrics.CollectRuntime(reg)
+}
+
+// TransportStats returns the transport's data-path counters when the
+// node runs on a transport that keeps them (the TCP transport does; the
+// simulated transport does not).
+func (n *Node) TransportStats() (transport.Stats, bool) {
+	if src, ok := n.cfg.Transport.(transport.StatsSource); ok {
+		return src.TransportStats(), true
+	}
+	return transport.Stats{}, false
 }
 
 // DeliveryLatency exposes the node's publish-to-ingest latency histogram

@@ -1,0 +1,191 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/transport"
+	"newswire/internal/value"
+	"newswire/internal/wire"
+)
+
+// frameView is a minimal static View: one leaf zone with this node and a
+// few members, enough to drive the leaf fan-out path.
+type frameView struct {
+	zone    string
+	name    string
+	addr    string
+	members map[string]string // row name -> transport addr
+}
+
+func (v *frameView) Addr() string     { return v.addr }
+func (v *frameView) Name() string     { return v.name }
+func (v *frameView) ZonePath() string { return v.zone }
+func (v *frameView) Chain() []string  { return []string{astrolabe.RootZone, v.zone} }
+
+func (v *frameView) Table(zone string) ([]astrolabe.Row, bool) {
+	if zone != v.zone {
+		return nil, false
+	}
+	rows := []astrolabe.Row{{Name: v.name, Attrs: value.Map{astrolabe.AttrAddr: value.String(v.addr)}}}
+	for name, addr := range v.members {
+		rows = append(rows, astrolabe.Row{Name: name, Attrs: value.Map{astrolabe.AttrAddr: value.String(addr)}})
+	}
+	return rows, true
+}
+
+func (v *frameView) Row(zone, name string) (astrolabe.Row, bool) {
+	rows, ok := v.Table(zone)
+	if !ok {
+		return astrolabe.Row{}, false
+	}
+	for _, r := range rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return astrolabe.Row{}, false
+}
+
+// frameTransport records the frame-path and message-path sends so tests
+// can assert which one the router took and how often it encoded.
+type frameTransport struct {
+	addr      string
+	newFrames int
+	sent      []struct {
+		addr  string
+		frame wire.Frame
+	}
+	msgSends []string // addrs that went through plain Send
+}
+
+func (tr *frameTransport) Addr() string { return tr.addr }
+func (tr *frameTransport) Close() error { return nil }
+
+func (tr *frameTransport) Send(to string, msg *wire.Message) error {
+	tr.msgSends = append(tr.msgSends, to)
+	return nil
+}
+
+func (tr *frameTransport) NewFrame(msg *wire.Message) (wire.Frame, error) {
+	tr.newFrames++
+	return wire.NewFrame(msg, tr.addr)
+}
+
+func (tr *frameTransport) SendFrame(to string, f wire.Frame) error {
+	tr.sent = append(tr.sent, struct {
+		addr  string
+		frame wire.Frame
+	}{to, f})
+	return nil
+}
+
+var _ transport.FrameSender = (*frameTransport)(nil)
+
+func frameRouterConfig(v *frameView, tr transport.Transport) Config {
+	return Config{
+		View:      v,
+		Transport: tr,
+		Rand:      rand.New(rand.NewSource(1)),
+		Deliver:   func(*wire.ItemEnvelope) {},
+	}
+}
+
+// TestLeafFanOutEncodesOnce checks the encode-once path: with a
+// frame-capable transport and default fire-and-forget forwarding, a
+// leaf-zone fan-out must serialize the deliver-copy exactly once and
+// enqueue the same frame to every member.
+func TestLeafFanOutEncodesOnce(t *testing.T) {
+	v := &frameView{
+		zone: "/z", name: "self", addr: "self:0",
+		members: map[string]string{"m1": "m1:0", "m2": "m2:0", "m3": "m3:0", "m4": "m4:0"},
+	}
+	tr := &frameTransport{addr: "self:0"}
+	r, err := NewRouter(frameRouterConfig(v, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(envelope("it-1"), "/z"); err != nil {
+		t.Fatal(err)
+	}
+
+	if tr.newFrames != 1 {
+		t.Errorf("fan-out encoded %d times, want exactly once", tr.newFrames)
+	}
+	if len(tr.msgSends) != 0 {
+		t.Errorf("fan-out used the per-recipient Send path for %v", tr.msgSends)
+	}
+	if len(tr.sent) != len(v.members) {
+		t.Fatalf("sent %d frames, want one per member (%d)", len(tr.sent), len(v.members))
+	}
+	first := tr.sent[0].frame.Bytes()
+	seen := map[string]bool{}
+	for _, s := range tr.sent {
+		seen[s.addr] = true
+		// Same frame by reference, not a re-encoded copy.
+		if b := s.frame.Bytes(); &b[0] != &first[0] {
+			t.Errorf("frame to %s is a different allocation; fan-out should share one frame", s.addr)
+		}
+		msg, err := wire.Decode(s.frame.Payload())
+		if err != nil {
+			t.Fatalf("frame to %s does not decode: %v", s.addr, err)
+		}
+		if msg.From != "self:0" {
+			t.Errorf("frame to %s: From = %q, want %q", s.addr, msg.From, "self:0")
+		}
+		mc := msg.Multicast
+		if mc == nil || !mc.Deliver || mc.Envelope.Key() != "test/it-1#0" {
+			t.Errorf("frame to %s carries wrong payload: %+v", s.addr, mc)
+		}
+	}
+	for _, addr := range v.members {
+		if !seen[addr] {
+			t.Errorf("member %s got no frame", addr)
+		}
+	}
+	if st := r.Stats(); st.Forwarded != int64(len(v.members)) {
+		t.Errorf("stats.Forwarded = %d, want %d", st.Forwarded, len(v.members))
+	}
+}
+
+// TestFramePathDisabledForOverridesAndAcks: a custom Sender or reliable
+// (acked) forwarding must bypass the shared-frame path — overridden
+// senders expect to see every per-destination Send, and acked forwards
+// differ per destination (AckSeq), so they cannot share bytes.
+func TestFramePathDisabledForOverridesAndAcks(t *testing.T) {
+	v := &frameView{zone: "/z", name: "self", addr: "self:0",
+		members: map[string]string{"m1": "m1:0"}}
+
+	var viaSender []string
+	cfg := frameRouterConfig(v, &frameTransport{addr: "self:0"})
+	cfg.Sender = func(to string, msg *wire.Message) error {
+		viaSender = append(viaSender, to)
+		return nil
+	}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.frames != nil {
+		t.Error("router with an overridden Sender must not take the frame path")
+	}
+	if err := r.Publish(envelope("it-2"), "/z"); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaSender) != 1 {
+		t.Errorf("overridden sender saw %v, want the one member send", viaSender)
+	}
+
+	acked := frameRouterConfig(v, &frameTransport{addr: "self:0"})
+	acked.AckTimeout = time.Second
+	acked.After = func(time.Duration, func()) {}
+	ar, err := NewRouter(acked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.frames != nil {
+		t.Error("router with reliable forwarding must not take the frame path")
+	}
+}

@@ -157,6 +157,13 @@ type Router struct {
 	cfg  Config
 	view View
 	rq   *retransmitQueue // nil when AckTimeout is off
+	// frames, when non-nil, is the transport's encode-once fan-out path:
+	// one wire.Frame shared by reference across every recipient of a
+	// fan-out. Set only when the caller did not override Sender (the
+	// override must see every message) and forwarding is fire-and-forget
+	// (acked forwards carry per-destination AckSeqs, so they cannot share
+	// an encoding).
+	frames transport.FrameSender
 
 	mu        sync.Mutex
 	seen      map[string]map[string]bool // item key -> zones handled
@@ -192,7 +199,8 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.LogSize <= 0 {
 		cfg.LogSize = 1024
 	}
-	if cfg.Sender == nil {
+	defaultSender := cfg.Sender == nil
+	if defaultSender {
 		tr := cfg.Transport
 		cfg.Sender = func(to string, msg *wire.Message) error { return tr.Send(to, msg) }
 	}
@@ -223,6 +231,14 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.AckTimeout > 0 {
 		r.rq = newRetransmitQueue(cfg.MaxPendingAcks)
+	}
+	if defaultSender && r.rq == nil {
+		// The simulated transport passes messages by reference and does
+		// not implement FrameSender, so this stays nil there and the
+		// deterministic scheduler sees the exact same Send sequence.
+		if fs, ok := cfg.Transport.(transport.FrameSender); ok {
+			r.frames = fs
+		}
 	}
 	return r, nil
 }
@@ -462,6 +478,9 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 	if !ok {
 		return
 	}
+	// With a frame-capable transport the deliver-copies are identical for
+	// every member, so collect the recipients and encode once.
+	var fanAddrs []string
 	for _, row := range rows {
 		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
 			r.mu.Lock()
@@ -477,13 +496,25 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 		if !ok {
 			continue
 		}
-		r.sendTracked(m.TargetZone, row.Name, addr, &wire.Multicast{
+		if r.frames != nil {
+			fanAddrs = append(fanAddrs, addr)
+		} else {
+			r.sendTracked(m.TargetZone, row.Name, addr, &wire.Multicast{
+				TargetZone: m.TargetZone,
+				Hops:       m.Hops + 1,
+				Deliver:    true,
+				Envelope:   m.Envelope,
+			})
+		}
+		r.logForward(m.Envelope.Key(), m.TargetZone, []string{addr})
+	}
+	if len(fanAddrs) > 0 {
+		r.sendShared(fanAddrs, &wire.Multicast{
 			TargetZone: m.TargetZone,
 			Hops:       m.Hops + 1,
 			Deliver:    true,
 			Envelope:   m.Envelope,
 		})
-		r.logForward(m.Envelope.Key(), m.TargetZone, []string{addr})
 	}
 }
 
@@ -506,6 +537,7 @@ func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast,
 	// criteria", §5).
 	r.cfg.Rand.Shuffle(len(reps), func(i, j int) { reps[i], reps[j] = reps[j], reps[i] })
 	chosen := reps[:k]
+	var fanAddrs []string
 	for _, addr := range chosen {
 		if addr == r.view.Addr() {
 			// We happen to be a representative of the child: recurse
@@ -513,7 +545,18 @@ func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast,
 			r.route(&wire.Multicast{TargetZone: nextTarget, Hops: m.Hops, Envelope: m.Envelope})
 			continue
 		}
-		r.sendTracked(zone, row.Name, addr, &wire.Multicast{
+		if r.frames != nil {
+			fanAddrs = append(fanAddrs, addr)
+		} else {
+			r.sendTracked(zone, row.Name, addr, &wire.Multicast{
+				TargetZone: nextTarget,
+				Hops:       m.Hops + 1,
+				Envelope:   m.Envelope,
+			})
+		}
+	}
+	if len(fanAddrs) > 0 {
+		r.sendShared(fanAddrs, &wire.Multicast{
 			TargetZone: nextTarget,
 			Hops:       m.Hops + 1,
 			Envelope:   m.Envelope,
@@ -784,6 +827,34 @@ func (r *Router) send(addr string, m *wire.Multicast) {
 		})
 	}
 	_ = r.cfg.Sender(addr, &wire.Message{Kind: wire.KindMulticast, Multicast: m})
+}
+
+// sendShared transmits one message to every addr via the transport's
+// frame path: the message is encoded once and the same immutable bytes
+// are enqueued to every peer, instead of re-serializing per recipient.
+// Per-destination stats and trace spans match send exactly. Only called
+// when r.frames is set (fire-and-forget forwarding, default sender).
+func (r *Router) sendShared(addrs []string, m *wire.Multicast) {
+	f, err := r.frames.NewFrame(&wire.Message{Kind: wire.KindMulticast, Multicast: m})
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.stats.Forwarded += int64(len(addrs))
+	r.mu.Unlock()
+	note := ""
+	if m.Deliver {
+		note = "deliver-copy"
+	}
+	for _, addr := range addrs {
+		if r.cfg.Tracer != nil {
+			r.traceSpan(trace.Span{
+				Kind: trace.KindForward, Key: m.Envelope.Key(),
+				Zone: m.TargetZone, To: addr, Hop: m.Hops, Note: note,
+			})
+		}
+		_ = r.frames.SendFrame(addr, f)
+	}
 }
 
 func (r *Router) logForward(key, zone string, dests []string) {

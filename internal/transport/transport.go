@@ -8,7 +8,10 @@
 // worlds.
 package transport
 
-import "newswire/internal/wire"
+import (
+	"newswire/internal/metrics"
+	"newswire/internal/wire"
+)
 
 // Handler consumes an inbound message. Transports guarantee the message
 // passed Validate. Handlers must not block for long: the simulated
@@ -29,4 +32,35 @@ type Transport interface {
 	Send(to string, msg *wire.Message) error
 	// Close releases the endpoint. Further Sends fail.
 	Close() error
+}
+
+// FrameSender is implemented by transports that can ship a pre-encoded
+// wire.Frame, letting fan-out paths encode a message once and enqueue the
+// same immutable bytes to N peers instead of re-serializing per
+// recipient. The simulated transport deliberately does not implement it:
+// it passes Message values by reference, so there is nothing to encode
+// and the deterministic scheduler stays untouched.
+type FrameSender interface {
+	// NewFrame encodes msg with this endpoint's own address stamped as
+	// the sender. msg is only read, never written, so one message can be
+	// framed and fanned out concurrently.
+	NewFrame(msg *wire.Message) (wire.Frame, error)
+	// SendFrame enqueues an encoded frame for delivery to the peer at to,
+	// with Send's best-effort semantics.
+	SendFrame(to string, f wire.Frame) error
+}
+
+// StatsSource is implemented by transports that keep data-path counters
+// and can snapshot them (the TCP transport; the simulated transport has
+// its own byte-accounting instead).
+type StatsSource interface {
+	TransportStats() Stats
+}
+
+// MetricsFiller is implemented by transports that keep data-path counters
+// and can mirror them into a metrics registry (under transport_* names).
+// Mirroring must be idempotent — counters synced, not added — matching
+// the node's FillMetrics contract.
+type MetricsFiller interface {
+	FillMetrics(reg *metrics.Registry)
 }

@@ -269,7 +269,12 @@ func (e *binEncoder) ref(s string) uint64 {
 	return uint64(i)
 }
 
-func encodeBinary(m *Message) ([]byte, error) {
+// encodeBinary serializes m with the sender address stamped as from (the
+// Message itself is never written to, so one message can be encoded
+// concurrently from many goroutines). The returned slice carries prefix
+// unwritten bytes up front — NewFrame reserves the transport's length
+// prefix there so frame assembly costs no second copy.
+func encodeBinary(m *Message, from string, prefix int) ([]byte, error) {
 	e := binEncPool.Get().(*binEncoder)
 	e.reset()
 	defer e.release()
@@ -348,14 +353,14 @@ func encodeBinary(m *Message) ([]byte, error) {
 	}
 
 	e.head = append(e.head, codecMagic, byte(m.Kind))
-	e.head = appendString(e.head, m.From)
+	e.head = appendString(e.head, from)
 	if usesTable {
 		e.head = binary.AppendUvarint(e.head, uint64(len(e.tblList)))
 		for _, s := range e.tblList {
 			e.head = appendString(e.head, s)
 		}
 	}
-	out := make([]byte, 0, len(e.head)+len(e.body))
+	out := make([]byte, prefix, prefix+len(e.head)+len(e.body))
 	out = append(out, e.head...)
 	out = append(out, e.body...)
 	return out, nil

@@ -354,20 +354,30 @@ func GobFallback() bool { return gobFallback.Load() }
 // are pooled.
 func Encode(m *Message) ([]byte, error) {
 	if gobFallback.Load() {
-		return encodeGob(m)
+		return encodeGob(m, m.From, 0)
 	}
-	return encodeBinary(m)
+	return encodeBinary(m, m.From, 0)
 }
 
-func encodeGob(m *Message) ([]byte, error) {
+// encodeGob serializes m under the legacy gob framing with the sender
+// address stamped as from. Gob has no way to substitute a single field
+// mid-stream, so a differing from encodes a stack-local shallow copy — the
+// shared Message is never written to. prefix unwritten bytes are reserved
+// up front, mirroring encodeBinary.
+func encodeGob(m *Message, from string, prefix int) ([]byte, error) {
+	if m.From != from {
+		mm := *m
+		mm.From = from
+		m = &mm
+	}
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(m); err != nil {
 		encBufPool.Put(buf)
 		return nil, fmt.Errorf("wire: encode: %w", err)
 	}
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
+	out := make([]byte, prefix+buf.Len())
+	copy(out[prefix:], buf.Bytes())
 	if buf.Cap() <= maxPooledBuf {
 		encBufPool.Put(buf)
 	}

@@ -37,6 +37,10 @@ type LiveConfig struct {
 	// web interface's /trace.json); set Node.Tracer to override the
 	// recorder instead.
 	DisableTrace bool
+	// Transport tunes the TCP data path (per-peer queue length, write
+	// timeout, the legacy synchronous-writes ablation). The zero value is
+	// the recommended default.
+	Transport transport.TCPOptions
 }
 
 // LiveNode is a running NewsWire node over TCP.
@@ -56,11 +60,11 @@ func StartLive(cfg LiveConfig) (*LiveNode, error) {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
 	var node *core.Node
-	tr, err := transport.ListenTCP(cfg.ListenAddr, func(m *wire.Message) {
+	tr, err := transport.ListenTCPWith(cfg.ListenAddr, func(m *wire.Message) {
 		if node != nil {
 			node.HandleMessage(m)
 		}
-	})
+	}, cfg.Transport)
 	if err != nil {
 		return nil, err
 	}

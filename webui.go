@@ -16,6 +16,7 @@ import (
 	"newswire/internal/pubsub"
 	"newswire/internal/sim"
 	"newswire/internal/trace"
+	"newswire/internal/transport"
 )
 
 // WebUI serves the node-status web interface the paper promises for the
@@ -76,6 +77,9 @@ type statusDoc struct {
 	Cache      cache.Stats          `json:"cache"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
 	Engine     *sim.EngineStats     `json:"engine,omitempty"`
+	// Transport carries the live TCP data-path counters; omitted on the
+	// simulated transport, which has no sockets to count.
+	Transport *transport.Stats `json:"transport,omitempty"`
 }
 
 func (ui *WebUI) status() statusDoc {
@@ -95,6 +99,9 @@ func (ui *WebUI) status() statusDoc {
 	if ui.engineInfo != nil {
 		st := ui.engineInfo()
 		doc.Engine = &st
+	}
+	if ts, ok := ui.node.TransportStats(); ok {
+		doc.Transport = &ts
 	}
 	return doc
 }
