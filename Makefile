@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke e11 e11-smoke tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke e11 e11-smoke e12 obs-smoke tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -133,6 +133,24 @@ e11-smoke: bin/newswire-loadgen
 	git show HEAD:artifacts/BENCH_E11.json > artifacts/BENCH_E11.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E11.baseline.json
 	bin/newswire-loadgen -subs 2000 -pub-rates 5,20,100 -step 2s -verify-items 64 -json artifacts/e11-smoke | tee artifacts/e11-smoke.txt
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E11.baseline.json -current artifacts/e11-smoke/BENCH_E11.json -min-msgs-per-sec 30000 -max-p99-ms 2000 | tee artifacts/e11-smoke-gate.txt
+
+# Observability overhead (E12): the BenchmarkGossipRound shape with the
+# self-monitoring plane off / health-only / health+trace, gated on the
+# enabled-vs-disabled overhead: <= 5% gossip bytes/round and <= 5%
+# ns/round (drift-cancelling paired-ratio timing; see experiments.ObsArm).
+e12: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E12.json > artifacts/BENCH_E12.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E12.baseline.json
+	bin/newswire-bench -run E12 -quick -json artifacts | tee artifacts/e12.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E12.baseline.json -current artifacts/BENCH_E12.json | tee artifacts/e12-gate.txt
+
+# Live observability smoke: 3-process mini-cluster, gossip-aggregated
+# /cluster-health.json convergence on every node, one published item's
+# cross-process trace joined by the loadgen collector with clock-offset
+# corrected timestamps (scripts/obs_smoke.sh).
+obs-smoke:
+	mkdir -p artifacts
+	./scripts/obs_smoke.sh
 
 # Full-size experiment tables (EXPERIMENTS.md).
 tables: bin/newswire-bench

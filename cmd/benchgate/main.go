@@ -18,6 +18,12 @@
 //	benchgate -baseline old/BENCH_E10.json -current artifacts/BENCH_E10.json
 //	benchgate -baseline ... -current ... -min-delivery 1.0 -max-convergence-rounds 0
 //
+// Observability artifacts (BENCH_E12.json) are gated intra-artifact: the
+// health+trace arm may cost at most -max-obs-overhead (default 5%) more
+// gossip bytes/round and ns/round than the off arm:
+//
+//	benchgate -baseline old/BENCH_E12.json -current artifacts/BENCH_E12.json
+//
 // Compare mode (benchstat fallback for `make bench-compare`): diff two
 // `go test -bench` output files metric by metric:
 //
@@ -54,6 +60,7 @@ func run(args []string) error {
 		minMsgsSec = fs.Float64("min-msgs-per-sec", 0, "live transport: sustained msgs/sec floor for the async arm (0 = off)")
 		maxP99     = fs.Float64("max-p99-ms", 0, "live transport: clean-p99 latency ceiling in ms for the async arm (0 = off)")
 		minSpeedup = fs.Float64("min-speedup", 0, "live transport: required async/sync sustained-throughput ratio (0 = off)")
+		maxObs     = fs.Float64("max-obs-overhead", 0.05, "observability: allowed fractional bytes/round and ns/round overhead of the health+trace arm over off (E12)")
 		compare    = fs.Bool("compare", false, "diff two `go test -bench` output files (positional args)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +76,7 @@ func run(args []string) error {
 		return fmt.Errorf("need -baseline and -current (or -compare old.txt new.txt)")
 	}
 	return gate(*baseline, *current, *maxRegress, *maxHeap, *maxConv, *minDeliver,
-		*minMsgsSec, *maxP99, *minSpeedup)
+		*minMsgsSec, *maxP99, *minSpeedup, *maxObs)
 }
 
 // benchArtifact is the slice of the BENCH_<ID>.json schema the gate needs.
@@ -92,6 +99,23 @@ type benchArtifact struct {
 	Arms    []e11Arm    `json:"arms"`
 	Verify  []e11Verify `json:"verify"`
 	Speedup float64     `json:"speedup_async_over_sync"`
+	// Observability arms (BENCH_E12.json) are gated on the overhead
+	// ratio of the fully-enabled arm over the disabled one.
+	Obs []obsArm `json:"obs"`
+}
+
+type obsArm struct {
+	Label          string  `json:"label"`
+	Health         bool    `json:"health"`
+	Traced         bool    `json:"traced"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	HealthNodes    int64   `json:"health_nodes"`
+	// NsOverheadVsOff is the drift-cancelling paired-ratio measurement
+	// (see experiments.ObsArm); it, not NsPerRound quotients, is what the
+	// ns budget bounds.
+	NsOverheadVsOff float64 `json:"ns_overhead_vs_off"`
 }
 
 type e11Arm struct {
@@ -120,7 +144,7 @@ type chaosRow struct {
 	MaxRounds           int     `json:"max_rounds"`
 }
 
-func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver, minMsgsSec, maxP99, minSpeedup float64) error {
+func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver, minMsgsSec, maxP99, minSpeedup, maxObs float64) error {
 	var base, cur benchArtifact
 	if err := readJSON(baselinePath, &base); err != nil {
 		return err
@@ -133,6 +157,9 @@ func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv
 	}
 	if len(cur.Arms) > 0 || len(base.Arms) > 0 {
 		return gateE11(baselinePath, base, cur, minMsgsSec, maxP99, minSpeedup)
+	}
+	if len(cur.Obs) > 0 || len(base.Obs) > 0 {
+		return gateObs(baselinePath, base, cur, maxObs)
 	}
 	if len(base.Wire) == 0 {
 		// A pre-codec artifact has no wire section: nothing to gate
@@ -251,6 +278,68 @@ func gateChaos(baselinePath string, base, cur benchArtifact, maxConv int, minDel
 	}
 	if failed {
 		return fmt.Errorf("chaos gate failed (baseline %s)", baselinePath)
+	}
+	return nil
+}
+
+// gateObs enforces the observability-overhead budget on the current
+// artifact: the fully-enabled arm (health telemetry plus tracing) may
+// cost at most maxObs fractional overhead over the disabled arm, in both
+// gossip bytes per round and wall-clock ns per round. The comparison is
+// intra-artifact — both arms ran on the same machine in the same process,
+// so the ratio is stable even though the absolute ns figures are not.
+// The baseline supplies context for the report only.
+func gateObs(baselinePath string, base, cur benchArtifact, maxObs float64) error {
+	if len(cur.Obs) == 0 {
+		return fmt.Errorf("current artifact has no observability arms")
+	}
+	find := func(arms []obsArm, label string) *obsArm {
+		for i := range arms {
+			if arms[i].Label == label {
+				return &arms[i]
+			}
+		}
+		return nil
+	}
+	off := find(cur.Obs, "off")
+	full := find(cur.Obs, "health+trace")
+	if off == nil || full == nil {
+		return fmt.Errorf("current artifact is missing the off and/or health+trace arm")
+	}
+	var problems []string
+	for _, a := range cur.Obs {
+		note := ""
+		if b := find(base.Obs, a.Label); b != nil && b.BytesPerRound > 0 {
+			note = fmt.Sprintf(" (bytes %+.1f%% vs baseline)",
+				(a.BytesPerRound-b.BytesPerRound)/b.BytesPerRound*100)
+		}
+		fmt.Printf("benchgate: obs %-13s %.0f B/round, %.0f ns/round, %.0f allocs/round, health nodes %d%s\n",
+			a.Label, a.BytesPerRound, a.NsPerRound, a.AllocsPerRound, a.HealthNodes, note)
+	}
+	check := func(name string, over float64) {
+		status := "ok"
+		if over > maxObs {
+			status = fmt.Sprintf("EXCEEDS budget %.0f%%", maxObs*100)
+			problems = append(problems, fmt.Sprintf("%s overhead %+.1f%% > %.0f%%", name, over*100, maxObs*100))
+		}
+		fmt.Printf("benchgate: obs overhead %-10s %+.1f%% (budget %.0f%%) %s\n", name, over*100, maxObs*100, status)
+	}
+	if off.BytesPerRound <= 0 {
+		problems = append(problems, "off arm has no bytes/round figure")
+	} else {
+		check("bytes/round", full.BytesPerRound/off.BytesPerRound-1)
+	}
+	// The ns budget bounds the paired-ratio field, not the quotient of
+	// the two arms' median round times: on a shared CI machine the wall
+	// clock drifts more than the 5% budget, and only the within-rep
+	// ratio divides that drift out.
+	check("ns/round", full.NsOverheadVsOff)
+	if full.HealthNodes <= 0 {
+		problems = append(problems, "health+trace arm reports no converged health rollup (health_nodes == 0)")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("observability gate failed: %s (baseline %s)",
+			strings.Join(problems, "; "), baselinePath)
 	}
 	return nil
 }

@@ -75,7 +75,11 @@ type jsonReport struct {
 	Wire []experiments.WireUsage `json:"bytes_on_wire,omitempty"`
 	// Chaos is the per-scenario adversarial suite outcome (E10): delivery
 	// floors, convergence rounds and recovery bytes that benchgate bounds.
-	Chaos    []chaos.Result             `json:"chaos,omitempty"`
+	Chaos []chaos.Result `json:"chaos,omitempty"`
+	// Obs is the per-arm observability-overhead outcome (E12): bytes,
+	// time and allocs per gossip round with the self-monitoring plane
+	// off/on, gated by benchgate's enabled-vs-disabled ratio bounds.
+	Obs      []experiments.ObsArm       `json:"obs,omitempty"`
 	Verified bool                       `json:"verified_against_serial,omitempty"`
 	Bench    *experiments.SpeedupReport `json:"bench,omitempty"`
 	Traces   []*experiments.TraceReport `json:"traces,omitempty"`
@@ -285,6 +289,7 @@ func run(args []string) error {
 				WallSeconds: wall.Seconds(), Verified: verified,
 				PeakHeapBytes: peakHeap, Wire: table.Wire,
 				Chaos:  table.Chaos,
+				Obs:    table.Obs,
 				Traces: table.Traces,
 			}
 			if table.Nodes > 0 && peakHeap > 0 {

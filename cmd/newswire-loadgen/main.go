@@ -23,6 +23,20 @@
 // every -decode-every'th one (checksum + delivery latency); a separate
 // moderate-rate verification phase decodes every frame under both wire
 // codecs, which is where the zero-corruption figure comes from.
+//
+// Latency percentiles are clock-offset corrected: before each arm the
+// sink runs the transport's NTP-style ping/pong handshake against the
+// hub and adds the estimated offset to every delivery-latency sample, so
+// the reported p50/p99 survive publisher/subscriber clock skew (the two
+// processes share a host here, so the correction is near zero — the
+// mechanism is what E11 exercises).
+//
+// A second mode, -collect, turns the tool into the cluster observability
+// client: it polls /cluster-health.json on a set of live newswired nodes
+// until the gossip-aggregated health rollup converges, then joins the
+// nodes' /trace.json spans by trace ID into cross-process delivery
+// traces and reports the slowest paths with clock-offset-corrected
+// timestamps (from /status.json's clockOffsets).
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/exec"
@@ -40,6 +55,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -68,6 +84,24 @@ type options struct {
 	verifyItems int
 	jsonDir     string
 	syncOnly    bool
+	log         *slog.Logger
+}
+
+// newLogger builds the process logger: text for humans, JSON for log
+// shippers, leveled by -log-level.
+func newLogger(jsonOut bool, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
 }
 
 func run(args []string) error {
@@ -83,12 +117,32 @@ func run(args []string) error {
 		jsonDir     = fs.String("json", "", "directory to write BENCH_E11.json into")
 		syncOnly    = fs.Bool("sync-transport", false, "measure only the legacy synchronous-writes arm (ablation)")
 		sink        = fs.Bool("sink", false, "internal: run as the subscriber sink child process")
+		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		collect   = fs.Bool("collect", false, "observability-client mode: poll live nodes' health and join their traces instead of generating load")
+		nodes     = fs.String("nodes", "", "collect: comma-separated base URLs of newswired -http endpoints")
+		expect    = fs.Int("expect-nodes", 0, "collect: health digests the rollup must reach (0 = number of -nodes)")
+		colWait   = fs.Duration("collect-timeout", 60*time.Second, "collect: how long to wait for health convergence and a joined trace")
+		traceKey  = fs.String("key", "", "collect: item envelope key to trace (default: the trace spanning the most processes)")
+		slowPaths = fs.Int("top", 3, "collect: slowest delivery paths to report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sink {
 		return sinkMain(*decodeEvery)
+	}
+	logger, err := newLogger(*logJSON, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *collect {
+		return collectMain(collectOptions{
+			nodes: strings.Split(*nodes, ","), expect: *expect,
+			timeout: *colWait, key: *traceKey, top: *slowPaths,
+			log: logger,
+		})
 	}
 	if *subs < 1 || *payload < 16 {
 		return fmt.Errorf("need -subs >= 1 and -payload >= 16")
@@ -104,7 +158,7 @@ func run(args []string) error {
 	return loadgen(options{
 		subs: *subs, payload: *payload, pubRates: pubRates, step: *step,
 		queue: *queue, decodeEvery: *decodeEvery, verifyItems: *verifyItems,
-		jsonDir: *jsonDir, syncOnly: *syncOnly,
+		jsonDir: *jsonDir, syncOnly: *syncOnly, log: logger,
 	})
 }
 
@@ -143,11 +197,19 @@ type armResult struct {
 	SustainedBytesPerSec float64 `json:"sustained_bytes_per_sec"`
 	// Clean percentiles come from the highest step that delivered >= 95%
 	// of its offered frames with zero drops — latency before the queues
-	// saturate, which is what a subscriber actually experiences.
+	// saturate, which is what a subscriber actually experiences. They are
+	// clock-offset corrected: the sink adds ClockOffset (its measured
+	// hub-minus-sink skew) to every sample before the quantile, so the
+	// figures survive publisher/subscriber clock drift.
 	CleanP50Ms   float64 `json:"clean_p50_ms"`
 	CleanP99Ms   float64 `json:"clean_p99_ms"`
 	TotalDrops   int64   `json:"total_drops"`
 	TotalCorrupt int64   `json:"total_corrupt"`
+	// ClockOffsetMs is the sink's NTP-style offset estimate against the
+	// hub (positive = hub clock ahead) and ClockRTTMs the handshake round
+	// trip it was taken from (best of several probes).
+	ClockOffsetMs float64 `json:"clock_offset_ms"`
+	ClockRTTMs    float64 `json:"clock_rtt_ms"`
 	// Hub-side syscall accounting: frames per writev under the heaviest
 	// step (async arm only; the sync arm always writes one frame per two
 	// syscalls).
@@ -181,6 +243,9 @@ type report struct {
 // --- parent: hub + orchestration ---
 
 func loadgen(o options) error {
+	if o.log == nil {
+		o.log = slog.Default()
+	}
 	raiseFDLimit()
 	start := time.Now()
 
@@ -208,7 +273,7 @@ func loadgen(o options) error {
 		arms = arms[1:]
 	}
 	for _, arm := range arms {
-		fmt.Printf("== arm %s: %d subscribers, %dB payload ==\n", arm.label, o.subs, o.payload)
+		o.log.Info("arm start", "arm", arm.label, "subs", o.subs, "payload_bytes", o.payload)
 		res, err := runArm(o, sink, addrs, arm.label, arm.sync)
 		if err != nil {
 			return fmt.Errorf("arm %s: %w", arm.label, err)
@@ -225,8 +290,9 @@ func loadgen(o options) error {
 	}
 	if asyncSust > 0 && syncSust > 0 {
 		rep.SpeedupAsyncOverSync = asyncSust / syncSust
-		fmt.Printf("speedup async/sync: %.2fx (%.0f vs %.0f msgs/sec)\n",
-			rep.SpeedupAsyncOverSync, asyncSust, syncSust)
+		o.log.Info("speedup async over sync",
+			"speedup", fmt.Sprintf("%.2fx", rep.SpeedupAsyncOverSync),
+			"async_msgs_per_sec", int64(asyncSust), "sync_msgs_per_sec", int64(syncSust))
 	}
 
 	if o.verifyItems > 0 {
@@ -238,8 +304,8 @@ func loadgen(o options) error {
 			if err != nil {
 				return fmt.Errorf("verify %s: %w", codec.name, err)
 			}
-			fmt.Printf("verify %-6s: %d frames, %d decoded, %d corrupt\n",
-				vr.Codec, vr.Frames, vr.Decoded, vr.Corrupt)
+			o.log.Info("verify", "codec", vr.Codec,
+				"frames", vr.Frames, "decoded", vr.Decoded, "corrupt", vr.Corrupt)
 			rep.Verify = append(rep.Verify, vr)
 		}
 	}
@@ -257,7 +323,7 @@ func loadgen(o options) error {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		o.log.Info("report written", "path", path)
 	}
 	return nil
 }
@@ -278,6 +344,10 @@ func runArm(o options, sink *sinkProc, addrs []string, label string, syncWrites 
 	tr, err := transport.ListenTCPWith("127.0.0.1:0", func(*wire.Message) {}, transport.TCPOptions{
 		SyncWrites: syncWrites,
 		QueueLen:   o.queue,
+		// The periodic re-probe must not fire mid-step: its frames would
+		// pollute the delivered-frame accounting. Dial-time probes land in
+		// the warm-up window; the sink runs its own handshake below.
+		ClockSyncInterval: time.Hour,
 	})
 	if err != nil {
 		return res, err
@@ -298,6 +368,16 @@ func runArm(o options, sink *sinkProc, addrs []string, label string, syncWrites 
 	}
 	if err := sink.waitConns(len(addrs), 60*time.Second); err != nil {
 		return res, err
+	}
+	// Clock-offset handshake before anything is timed: the sink probes the
+	// hub and corrects every latency sample it takes this arm.
+	if off, rtt, err := sink.clockSync(tr.Addr()); err != nil {
+		o.log.Warn("clock sync failed; latencies uncorrected", "arm", label, "err", err)
+	} else {
+		res.ClockOffsetMs = float64(off) / 1e6
+		res.ClockRTTMs = float64(rtt) / 1e6
+		o.log.Info("clock offset estimated", "arm", label,
+			"offset_ms", res.ClockOffsetMs, "rtt_ms", res.ClockRTTMs)
 	}
 
 	seq := int64(1)
@@ -363,8 +443,12 @@ func runArm(o options, sink *sinkProc, addrs []string, label string, syncWrites 
 		res.Steps = append(res.Steps, st)
 		res.TotalDrops += st.Drops
 		res.TotalCorrupt += st.Corrupt
-		fmt.Printf("  rate %4d items/s: %9.0f msgs/s  %7.2f MB/s  p50 %6.1fms  p99 %6.1fms  drops %d\n",
-			rate, st.MsgsPerSec, st.BytesPerSec/1e6, st.P50Ms, st.P99Ms, st.Drops)
+		o.log.Info("step", "rate_items_per_sec", rate,
+			"msgs_per_sec", int64(st.MsgsPerSec),
+			"mb_per_sec", fmt.Sprintf("%.2f", st.BytesPerSec/1e6),
+			"p50_ms", fmt.Sprintf("%.1f", st.P50Ms),
+			"p99_ms", fmt.Sprintf("%.1f", st.P99Ms),
+			"drops", st.Drops)
 
 		if st.MsgsPerSec > res.SustainedMsgsPerSec {
 			res.SustainedMsgsPerSec = st.MsgsPerSec
@@ -412,7 +496,10 @@ func runVerify(o options, sink *sinkProc, addrs []string, codec string, gob bool
 	if len(addrs) > 64 {
 		addrs = addrs[:64]
 	}
-	tr, err := transport.ListenTCPWith("127.0.0.1:0", func(*wire.Message) {}, transport.TCPOptions{QueueLen: o.queue})
+	tr, err := transport.ListenTCPWith("127.0.0.1:0", func(*wire.Message) {}, transport.TCPOptions{
+		QueueLen:          o.queue,
+		ClockSyncInterval: time.Hour, // keep re-probes out of the frame counts
+	})
 	if err != nil {
 		return res, err
 	}
@@ -556,6 +643,23 @@ func (s *sinkProc) mode(m string) error {
 	return nil
 }
 
+// clockSync asks the sink to run the clock-offset handshake against the
+// hub at addr; it returns the estimated offset (hub minus sink, in
+// nanoseconds) and the round trip of the winning probe.
+func (s *sinkProc) clockSync(addr string) (offsetNs, rttNs int64, err error) {
+	if _, err = fmt.Fprintln(s.in, "CLOCK "+addr); err != nil {
+		return 0, 0, err
+	}
+	if !s.out.Scan() {
+		return 0, 0, fmt.Errorf("sink died mid-handshake")
+	}
+	line := s.out.Text()
+	if _, err = fmt.Sscanf(line, "CLOCK %d %d", &offsetNs, &rttNs); err != nil {
+		return 0, 0, fmt.Errorf("clock handshake failed: %q", line)
+	}
+	return offsetNs, rttNs, nil
+}
+
 func (s *sinkProc) waitConns(want int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -593,6 +697,80 @@ type sinkState struct {
 	fullDecode                             atomic.Bool
 	decodeEvery                            int64
 	lat                                    metrics.Histogram
+
+	// Clock-offset handshake state: offsetNs (hub clock minus sink clock)
+	// is added to every latency sample; clockBest holds the lowest-RTT
+	// probe of the current CLOCK round.
+	offsetNs   atomic.Int64
+	listenAddr string
+	clockMu    struct {
+		sync.Mutex
+		offset, rtt time.Duration
+		samples     int
+	}
+}
+
+// handleClockPong folds one pong into the current handshake round,
+// keeping the sample with the lowest round trip (the NTP rule: less time
+// in flight, less room for asymmetry error).
+func (s *sinkState) handleClockPong(cs *wire.ClockSync) {
+	if cs == nil || cs.T1 == 0 || cs.T2 == 0 {
+		return
+	}
+	t1, t2, t3 := time.Unix(0, cs.T1), time.Unix(0, cs.T2), time.Now()
+	rtt := t3.Sub(t1)
+	if rtt <= 0 || rtt > 5*time.Second {
+		return
+	}
+	offset := t2.Sub(t1) - rtt/2
+	s.clockMu.Lock()
+	if s.clockMu.samples == 0 || rtt < s.clockMu.rtt {
+		s.clockMu.offset, s.clockMu.rtt = offset, rtt
+	}
+	s.clockMu.samples++
+	s.clockMu.Unlock()
+}
+
+// clockHandshake probes the hub with a burst of clock pings (stamped with
+// this sink's listener as the reply address) and waits for the pongs the
+// hub sends back, returning the lowest-RTT offset estimate.
+func (s *sinkState) clockHandshake(hub string) (offsetNs, rttNs int64, err error) {
+	s.clockMu.Lock()
+	s.clockMu.offset, s.clockMu.rtt, s.clockMu.samples = 0, 0, 0
+	s.clockMu.Unlock()
+
+	c, err := net.DialTimeout("tcp", hub, 5*time.Second)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	const probes = 5
+	for i := 0; i < probes; i++ {
+		f, err := wire.NewFrame(&wire.Message{
+			Kind:      wire.KindClockPing,
+			ClockSync: &wire.ClockSync{Seq: uint64(i + 1), T1: time.Now().UnixNano()},
+		}, s.listenAddr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := c.Write(f.Bytes()); err != nil {
+			return 0, 0, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		s.clockMu.Lock()
+		off, rtt, n := s.clockMu.offset, s.clockMu.rtt, s.clockMu.samples
+		s.clockMu.Unlock()
+		if n >= probes || (n > 0 && time.Now().After(deadline)) {
+			return off.Nanoseconds(), rtt.Nanoseconds(), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("no pong from %s within deadline", hub)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func sinkMain(decodeEvery int) error {
@@ -608,6 +786,7 @@ func sinkMain(decodeEvery int) error {
 		return err
 	}
 	defer ln.Close()
+	s.listenAddr = fmt.Sprintf("127.0.0.1:%d", ln.Addr().(*net.TCPAddr).Port)
 	go func() {
 		for {
 			c, err := ln.Accept()
@@ -649,6 +828,15 @@ func sinkMain(decodeEvery int) error {
 			s.fullDecode.Store(line == "MODE full")
 			fmt.Fprintln(out, "OK")
 			out.Flush()
+		case strings.HasPrefix(line, "CLOCK "):
+			off, rtt, err := s.clockHandshake(strings.TrimPrefix(line, "CLOCK "))
+			if err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				s.offsetNs.Store(off)
+				fmt.Fprintf(out, "CLOCK %d %d\n", off, rtt)
+			}
+			out.Flush()
 		case line == "QUIT":
 			return nil
 		}
@@ -679,6 +867,17 @@ func (s *sinkState) readConn(c net.Conn) {
 		if _, err := io.ReadFull(br, b); err != nil {
 			return
 		}
+		// Transport-internal clock-sync frames ride the same sockets; keep
+		// them out of the delivery accounting. (The sniff covers the binary
+		// codec; gob-fallback clock frames are caught in verify instead.)
+		if k, ok := wire.SniffKind(b); ok && (k == wire.KindClockPing || k == wire.KindClockPong) {
+			if k == wire.KindClockPong {
+				if msg, err := wire.Decode(b); err == nil {
+					s.handleClockPong(msg.ClockSync)
+				}
+			}
+			continue
+		}
 		n := s.frames.Add(1)
 		s.bytes.Add(int64(size) + wire.FramePrefixLen)
 		if s.fullDecode.Load() || n%s.decodeEvery == 0 {
@@ -688,11 +887,26 @@ func (s *sinkState) readConn(c net.Conn) {
 }
 
 // verify fully decodes one frame: codec round-trip, payload checksum,
-// and wall-clock delivery latency from the publisher's timestamp (same
-// host, same clock).
+// and delivery latency from the publisher's timestamp, corrected by the
+// handshake-estimated clock offset (near zero on one host; the mechanism
+// is what matters for skewed deployments).
 func (s *sinkState) verify(b []byte) {
 	msg, err := wire.Decode(b)
-	if err != nil || msg.Kind != wire.KindMulticast || msg.Multicast == nil {
+	if err != nil {
+		s.corrupt.Add(1)
+		return
+	}
+	switch msg.Kind {
+	case wire.KindClockPing, wire.KindClockPong:
+		// A gob-encoded clock frame slipped past the binary-codec sniff:
+		// uncount it rather than calling it corruption.
+		if msg.Kind == wire.KindClockPong {
+			s.handleClockPong(msg.ClockSync)
+		}
+		s.frames.Add(-1)
+		return
+	}
+	if msg.Kind != wire.KindMulticast || msg.Multicast == nil {
 		s.corrupt.Add(1)
 		return
 	}
@@ -709,6 +923,8 @@ func (s *sinkState) verify(b []byte) {
 	}
 	s.decoded.Add(1)
 	if !env.Published.IsZero() {
-		s.lat.Observe(time.Since(env.Published).Seconds())
+		// Published is the hub's clock; adding the measured hub-minus-sink
+		// offset moves the sample onto the hub's timeline.
+		s.lat.Observe(time.Since(env.Published).Seconds() + float64(s.offsetNs.Load())/1e9)
 	}
 }

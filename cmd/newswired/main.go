@@ -11,11 +11,18 @@
 //
 //	newswired -listen 127.0.0.1:9002 -zone /usa/ny -peers 127.0.0.1:9001 \
 //	    -subscribe tech/linux,tech/security
+//
+// Observability: -http serves the status interface (status.json,
+// metrics, trace.json, cluster-health.json); -log-json switches the
+// structured log to one-JSON-object-per-line for log shippers; -pprof
+// adds the net/http/pprof profiling endpoints to the same mux (see
+// DESIGN.md §12 for the profiling workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +43,23 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger: text for humans, JSON for log
+// shippers, leveled by -log-level.
+func newLogger(jsonOut bool, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("newswired", flag.ContinueOnError)
 	var (
@@ -50,11 +74,20 @@ func run(args []string) error {
 		gobWire   = fs.Bool("gob-wire", false, "encode outbound frames with the legacy gob codec (transition aid; inbound frames are auto-detected either way)")
 		syncWr    = fs.Bool("sync-transport", false, "use the legacy synchronous transport writes (ablation; one mutex serializes all peers)")
 		queueLen  = fs.Int("send-queue", 0, "per-peer outbound queue length in frames (0 = default)")
+		logJSON   = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof on the -http mux (operator opt-in; see DESIGN.md §12)")
+		healthEv  = fs.Int("health-every", 0, "publish the health digest every N gossip ticks (0 = default cadence, negative = disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	wire.SetGobFallback(*gobWire)
+
+	logger, err := newLogger(*logJSON, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	cfg := newswire.LiveConfig{
 		ListenAddr: *listen,
@@ -67,11 +100,30 @@ func run(args []string) error {
 			ZonePath:       *zone,
 			GossipInterval: *interval,
 			OnItem: func(it *news.Item, env *wire.ItemEnvelope) {
-				fmt.Printf("[%s] %s (rev %d, %s) %s\n",
-					it.Published.Format("15:04:05"), it.Key(), it.Revision,
-					strings.Join(it.Subjects, ","), it.Headline)
+				logger.Info("item delivered",
+					"key", it.Key(),
+					"revision", it.Revision,
+					"subjects", strings.Join(it.Subjects, ","),
+					"headline", it.Headline,
+					"published", it.Published.Format(time.RFC3339))
+			},
+			// Every delivery failure is logged with the item's trace ID, so
+			// the operator can pull the matching hop-by-hop spans from
+			// /trace.json?trace=<id> across the whole cluster.
+			OnDeliveryFailure: func(key string, traceID uint64, zone, to string, attempts int) {
+				logger.Error("delivery failure",
+					"key", key,
+					"trace", fmt.Sprintf("%#x", traceID),
+					"zone", zone,
+					"to", to,
+					"attempts", attempts)
 			},
 		},
+	}
+	if *healthEv > 0 {
+		cfg.Node.HealthEvery = *healthEv
+	} else if *healthEv < 0 {
+		cfg.DisableHealth = true
 	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
@@ -82,37 +134,42 @@ func run(args []string) error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("newswired listening on %s, zone %s\n", ln.Addr(), *zone)
+	logger.Info("listening", "addr", ln.Addr(), "zone", *zone)
 
 	if *subscribe != "" {
 		subjects := strings.Split(*subscribe, ",")
 		if err := ln.Node().Subscribe(subjects...); err != nil {
 			return err
 		}
-		fmt.Printf("subscribed to %s\n", *subscribe)
+		logger.Info("subscribed", "subjects", *subscribe)
 	}
 	if *predicate != "" {
 		if err := ln.Node().SetPredicate(*predicate); err != nil {
 			return err
 		}
-		fmt.Printf("predicate installed: %s\n", *predicate)
+		logger.Info("predicate installed", "predicate", *predicate)
 	}
 
 	if *httpAddr != "" {
 		ui := ln.WebUI()
+		if *pprofOn {
+			ui.EnablePprof()
+		}
 		srv := &http.Server{Addr: *httpAddr, Handler: ui.Handler()}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "newswired: web interface:", err)
+				logger.Error("web interface", "err", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("web interface on http://%s/ (status.json, items.json, zones.json, trace.json, metrics)\n", *httpAddr)
+		logger.Info("web interface up", "url", "http://"+*httpAddr+"/",
+			"endpoints", "status.json items.json zones.json trace.json cluster-health.json metrics",
+			"pprof", *pprofOn)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	logger.Info("shutting down")
 	return nil
 }

@@ -19,6 +19,9 @@ func ExampleNewCluster() {
 		Branching: 4,
 		Seed:      7,
 		Customize: func(i int, cfg *newswire.Config) {
+			// Reliable forwarding: the default link model loses 1% of
+			// frames, so exact delivery counts need ack/retry.
+			cfg.AckTimeout = time.Second
 			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
 				delivered++
 			}

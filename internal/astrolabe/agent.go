@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"newswire/internal/metrics"
 	"newswire/internal/sqlagg"
 	"newswire/internal/transport"
 	"newswire/internal/value"
@@ -40,6 +42,48 @@ const (
 	AttrVirtual = "virt"
 )
 
+// Health attribute namespace (DESIGN.md §12). Each node folds a compact
+// digest of its own runtime metrics into its leaf row under these
+// reserved prefixes, and the prefix rules from HealthRules roll them up
+// per zone — so any node answers cluster-wide health questions (total
+// drops, merged delivery p99, worst node) from its own replicated root
+// table, the paper's aggregation machinery pointed at the system itself.
+// The segment after sys$health$ selects the merge operator, so one rule
+// per operator covers an open-ended attribute set.
+const (
+	// HealthPrefix is the reserved namespace for self-monitoring
+	// attributes. FingerprintTables excludes everything under it: health
+	// counters (retries, drops) legitimately diverge between runs whose
+	// delivery content converged — a chaos run and its clean twin — and
+	// must not fail the convergence oracle.
+	HealthPrefix = "sys$health$"
+	// HealthSumPrefix attributes aggregate by numeric sum (counters:
+	// drops, retries, failures, member counts).
+	HealthSumPrefix = "sys$health$s$"
+	// HealthMaxPrefix attributes aggregate by max under value.Compare
+	// (high-water marks; lexical max for worst-node election strings).
+	HealthMaxPrefix = "sys$health$x$"
+	// HealthMinPrefix attributes aggregate by min (stalest refresh time).
+	HealthMinPrefix = "sys$health$m$"
+	// HealthSketchPrefix attributes hold encoded metrics.Sketch values
+	// and aggregate by sketch merge (latency distributions, so quantiles
+	// survive aggregation — a plain MAX of per-node p99s would not).
+	HealthSketchPrefix = "sys$health$q$"
+)
+
+// HealthRules returns the prefix rules that aggregate the sys$health
+// namespace up the zone hierarchy. They are installed only on clusters
+// that publish health attributes: an agent without them does zero extra
+// work, which is what keeps disabled-mode overhead at zero.
+func HealthRules() []PrefixRule {
+	return []PrefixRule{
+		{Prefix: HealthSumPrefix, Op: PrefixSum},
+		{Prefix: HealthMaxPrefix, Op: PrefixMax},
+		{Prefix: HealthMinPrefix, Op: PrefixMin},
+		{Prefix: HealthSketchPrefix, Op: PrefixSketch},
+	}
+}
+
 // DefaultRepCount is how many multicast representatives the default
 // aggregation program elects per zone.
 const DefaultRepCount = 3
@@ -69,6 +113,15 @@ const (
 	PrefixBitOr PrefixOp = iota + 1
 	PrefixBoolOr
 	PrefixSum
+	// PrefixMin and PrefixMax keep the smallest/largest value under
+	// value.Compare semantics: numeric across Int/Float, lexical within
+	// strings, chronological within times. Incomparable values keep the
+	// accumulator.
+	PrefixMin
+	PrefixMax
+	// PrefixSketch merges encoded metrics.Sketch byte values bucket-wise,
+	// so latency distributions aggregate losslessly up the hierarchy.
+	PrefixSketch
 )
 
 // PrefixRule aggregates every attribute whose name starts with Prefix,
@@ -197,6 +250,15 @@ type Stats struct {
 	RowsSent int64
 	// DigestsSent counts digest entries shipped in GossipDigest messages.
 	DigestsSent int64
+	// StampsSent counts re-issue stamps shipped in delta replies in place
+	// of full rows (identical content on both sides, only the issue time
+	// lagged, row unsigned).
+	StampsSent int64
+	// StampsApplied counts stored rows re-stamped to a newer issue time
+	// without their attribute bytes crossing the wire — from a peer's
+	// stamp, or locally when a digest proves the peer holds the very
+	// bytes this agent stores.
+	StampsApplied int64
 	// AggEvals counts aggregation program evaluations. Dirty-zone
 	// tracking exists to keep this from growing when no input changed;
 	// tests assert a quiescent Tick adds zero.
@@ -233,6 +295,13 @@ type Agent struct {
 	addr  string
 	leaf  string
 	chain []string // root-first, ending at leaf zone
+
+	// stampLag is how stale a hash-equal replica must be before a
+	// heartbeat stamp (or local re-stamp) refreshes it. Propagating
+	// freshness in stampLag jumps rather than every round keeps
+	// steady-state anti-entropy traffic near zero; FailTimeout is 5×
+	// this, so the margin before spurious expiry stays wide.
+	stampLag time.Duration
 
 	mu      sync.Mutex
 	tables  map[string]*table
@@ -279,12 +348,13 @@ func NewAgent(cfg Config) (*Agent, error) {
 	}
 
 	a := &Agent{
-		cfg:    cfg,
-		name:   cfg.Name,
-		addr:   cfg.Transport.Addr(),
-		leaf:   cfg.ZonePath,
-		chain:  AncestorChain(cfg.ZonePath),
-		tables: make(map[string]*table),
+		cfg:      cfg,
+		name:     cfg.Name,
+		addr:     cfg.Transport.Addr(),
+		leaf:     cfg.ZonePath,
+		chain:    AncestorChain(cfg.ZonePath),
+		tables:   make(map[string]*table),
+		stampLag: cfg.FailTimeout / 5,
 	}
 	for _, z := range a.chain {
 		a.tables[z] = &table{rows: make(map[string]*wire.SharedRow), dirty: true}
@@ -648,18 +718,21 @@ func (a *Agent) handleGossipDigest(msg *wire.Message) {
 	g := msg.GossipDigest
 	a.mu.Lock()
 	a.stats.GossipsReceived++
-	rows, want, size := a.diffDigestLocked(g.FromZone, g.Digests)
+	rows, want, stamps, size := a.diffDigestLocked(g.FromZone, g.Digests)
 	reply := &wire.Message{
 		Kind: wire.KindGossipDelta,
 		GossipDelta: &wire.GossipDelta{
 			FromZone: a.leaf,
 			Rows:     rows,
 			Want:     want,
+			Stamps:   stamps,
 		},
 	}
 	a.stats.RowsSent += int64(len(rows))
+	a.stats.StampsSent += int64(len(stamps))
 	a.stats.GossipBytesSent += int64(msgOverhead + len(a.addr) +
-		wire.UvarintLen(uint64(len(rows))) + wire.UvarintLen(uint64(len(want))) + size)
+		wire.UvarintLen(uint64(len(rows))) + wire.UvarintLen(uint64(len(want))) +
+		size + wire.StampsSize(stamps))
 	tr := a.cfg.Transport
 	a.mu.Unlock()
 
@@ -674,6 +747,7 @@ func (a *Agent) handleGossipDelta(msg *wire.Message) {
 	a.mu.Lock()
 	a.stats.RepliesReceived++
 	a.mergeRowsLocked(g.Rows)
+	a.applyStampsLocked(g.Stamps)
 	if len(g.Want) == 0 {
 		a.mu.Unlock()
 		return
@@ -759,14 +833,27 @@ func (a *Agent) digestLocked(deepest string) ([]wire.RowDigest, int) {
 
 // diffDigestLocked compares an initiator's digest against local state.
 // It returns the rows the initiator needs (missing rows, rows we hold
-// fresher, and the same-timestamp hash-mismatch case, where both sides
-// exchange full rows so the encoded tie-break converges them), the refs
-// of rows the initiator advertised fresher copies of, and the estimated
-// wire size of both.
-func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]wire.RowUpdate, []wire.RowRef, int) {
+// fresher with changed content, and the same-timestamp hash-mismatch
+// case, where both sides exchange full rows so the encoded tie-break
+// converges them), the refs of rows the initiator advertised fresher
+// changed copies of, re-issue stamps for rows we hold fresher whose
+// bytes the initiator already stores, and the estimated wire size of the
+// rows and refs (stamps are sized separately via wire.StampsSize).
+//
+// The stamp paths are the steady-state optimization: once a cluster
+// converges, nearly every row differs between peers only by its
+// heartbeat issue time while the attribute bytes — provably identical
+// when the digest hashes match — are already on both sides. Shipping a
+// ~25-byte stamp (or, when the initiator is the fresher side, re-issuing
+// the stored copy locally with no wire traffic at all) instead of the
+// full row removes the dominant share of anti-entropy bytes. Signed rows
+// are excluded: a re-stamped row carries an issue time its owner never
+// signed, so they always travel whole.
+func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]wire.RowUpdate, []wire.RowRef, []wire.RowDigest, int) {
 	common := CommonAncestor(a.leaf, fromZone)
 	var rows []wire.RowUpdate
 	var want []wire.RowRef
+	var stamps []wire.RowDigest
 	size := 0
 
 	sendRow := func(zone string, r *wire.SharedRow) {
@@ -776,6 +863,11 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 	wantRow := func(zone, name string) {
 		want = append(want, wire.RowRef{Zone: zone, Name: name})
 		size += wire.RefSize(&want[len(want)-1])
+	}
+	stampRow := func(zone string, r *wire.SharedRow) {
+		stamps = append(stamps, wire.RowDigest{
+			Zone: zone, Name: r.Name, Issued: r.Issued, Hash: r.AttrsHash(),
+		})
 	}
 
 	// digested tracks which of our rows the initiator mentioned, so the
@@ -800,11 +892,49 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 			wantRow(d.Zone, d.Name)
 			continue
 		}
+		// Leaf member rows take the full stampLag: their owners re-issue
+		// every Tick, so replicas may run a couple of rounds stale with
+		// no consequence beyond failure-detection slack. Aggregate rows
+		// (every non-leaf table) are exempt: their stamps advance with
+		// the freshest child heartbeat, so a transiently-wrong aggregate
+		// always carries a fresher stamp than lagging replicas of the
+		// corrected content and would keep winning exchanges for a full
+		// stampLag — stretching chaos-suite self-healing past its round
+		// budget. There are only a handful of aggregate rows per table,
+		// so stamping them every exchange costs a few dozen bytes.
+		lag := a.stampLag
+		if d.Zone != a.leaf {
+			lag = 0
+		}
 		switch {
 		case r.Issued.After(d.Issued):
-			sendRow(d.Zone, r)
+			if len(r.Sig) == 0 && r.AttrsHash() == d.Hash {
+				// Same bytes both sides, ours fresher. Below the stamp
+				// lag the initiator's copy is fresh enough to need
+				// nothing at all; past it, a ~25-byte stamp refreshes
+				// the replica without shipping the row. Propagating
+				// freshness in stampLag-sized jumps instead of every
+				// round is what keeps steady-state heartbeat traffic —
+				// bytes and allocations both — near zero.
+				if r.Issued.Sub(d.Issued) >= lag {
+					stampRow(d.Zone, r)
+				}
+			} else {
+				sendRow(d.Zone, r)
+			}
 		case d.Issued.After(r.Issued):
-			wantRow(d.Zone, d.Name)
+			if len(r.Sig) == 0 && r.AttrsHash() == d.Hash &&
+				!(d.Zone == a.leaf && d.Name == a.name) {
+				// The initiator is fresher but holds the very bytes we
+				// store: re-issue our copy locally at its stamp. No want
+				// ref, no reply bytes, no final-leg row. Below the stamp
+				// lag our copy is fresh enough as-is.
+				if d.Issued.Sub(r.Issued) >= lag {
+					a.restampLocked(t, r, d.Issued)
+				}
+			} else {
+				wantRow(d.Zone, d.Name)
+			}
 		case r.AttrsHash() != d.Hash:
 			// Same issue time, different content: both sides need the
 			// full rows to run the deterministic encoded tie-break.
@@ -825,7 +955,49 @@ func (a *Agent) diffDigestLocked(fromZone string, digests []wire.RowDigest) ([]w
 			}
 		}
 	}
-	return rows, want, size
+	return rows, want, stamps, size
+}
+
+// restampLocked replaces a stored row with a copy re-issued at `at`,
+// carrying the attribute map and the encoding/digest caches over. The
+// caller has proven the content identical on both sides (equal attrs
+// hash) and the row unsigned; re-stamping never marks a zone dirty —
+// it is the wire-free equivalent of a heartbeat re-delivery.
+func (a *Agent) restampLocked(t *table, r *wire.SharedRow, at time.Time) {
+	row := &wire.SharedRow{
+		Name:   r.Name,
+		Attrs:  r.Attrs,
+		Issued: at,
+		Owner:  r.Owner,
+	}
+	row.AdoptCache(r)
+	t.rows[r.Name] = row
+	a.stats.StampsApplied++
+}
+
+// applyStampsLocked re-issues stored rows from a peer's stamps. Rows
+// that expired, drifted (hash mismatch), went stale-side, or are signed
+// are skipped — the epidemic's full-row path repairs those on a later
+// exchange.
+func (a *Agent) applyStampsLocked(stamps []wire.RowDigest) {
+	for i := range stamps {
+		s := &stamps[i]
+		t, ok := a.tables[s.Zone]
+		if !ok {
+			continue
+		}
+		if s.Zone == a.leaf && s.Name == a.name {
+			continue // authoritative for our own row
+		}
+		r, ok := t.rows[s.Name]
+		if !ok || !s.Issued.After(r.Issued) {
+			continue
+		}
+		if len(r.Sig) != 0 || r.AttrsHash() != s.Hash {
+			continue
+		}
+		a.restampLocked(t, r, s.Issued)
+	}
 }
 
 // rowsForRefsLocked resolves Want refs to full row updates for the final
@@ -1110,6 +1282,30 @@ func mergePrefixValue(op PrefixOp, acc, v value.Value) value.Value {
 			return acc
 		}
 		return value.Float(a + b)
+	case PrefixMin:
+		if c, err := acc.Compare(v); err == nil && c > 0 {
+			return v
+		}
+		return acc
+	case PrefixMax:
+		if c, err := acc.Compare(v); err == nil && c < 0 {
+			return v
+		}
+		return acc
+	case PrefixSketch:
+		ab, ok1 := acc.RawBytes()
+		vb, ok2 := v.RawBytes()
+		if !ok1 {
+			return v
+		}
+		if !ok2 {
+			return acc
+		}
+		merged, err := metrics.MergeEncoded(ab, vb)
+		if err != nil {
+			return acc
+		}
+		return value.Bytes(merged)
 	default:
 		return acc
 	}
@@ -1300,8 +1496,48 @@ func (a *Agent) FingerprintTables() uint64 {
 		mixString(zone)
 		for _, name := range names {
 			mixString(name)
-			mixUint64(t.rows[name].AttrsHash())
+			mixUint64(fingerprintAttrsHash(t.rows[name]))
 		}
+	}
+	return h
+}
+
+// fingerprintAttrsHash returns the row's attrs hash with sys$health
+// attributes excluded. Health telemetry (retry counters, latency
+// sketches) legitimately diverges between runs whose delivery content
+// converged — a chaos run and its clean twin — so it must not feed the
+// convergence oracle. Rows without health attrs (the overwhelming
+// majority, and every row when health telemetry is off) use the row's
+// cached hash unchanged, so the exclusion costs nothing where it does
+// not apply.
+func fingerprintAttrsHash(r *wire.SharedRow) uint64 {
+	clean := true
+	for k := range r.Attrs {
+		if strings.HasPrefix(k, HealthPrefix) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return r.AttrsHash()
+	}
+	filtered := make(value.Map, len(r.Attrs))
+	for k, v := range r.Attrs {
+		if !strings.HasPrefix(k, HealthPrefix) {
+			filtered[k] = v
+		}
+	}
+	// FNV-64a over the canonical encoding, mirroring SharedRow.AttrsHash
+	// so a row that merely lacks health attrs hashes identically through
+	// either path.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range filtered.AppendBinary(nil) {
+		h ^= uint64(b)
+		h *= prime64
 	}
 	return h
 }

@@ -1,6 +1,7 @@
 package astrolabe
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -88,7 +89,7 @@ func TestDigestDiff(t *testing.T) {
 	}
 
 	a.mu.Lock()
-	rows, want, size := a.diffDigestLocked("/z", digests)
+	rows, want, _, size := a.diffDigestLocked("/z", digests)
 	a.mu.Unlock()
 	if size <= 0 {
 		t.Fatalf("size = %d", size)
@@ -126,7 +127,7 @@ func TestDigestDiff(t *testing.T) {
 	// Same stamp + different hash → both directions, so the encoded
 	// tie-break can run on both sides.
 	a.mu.Lock()
-	rows, want, _ = a.diffDigestLocked("/z", []wire.RowDigest{
+	rows, want, _, _ = a.diffDigestLocked("/z", []wire.RowDigest{
 		{Zone: "/z", Name: "tied", Issued: now, Hash: tiedHash + 1},
 	})
 	a.mu.Unlock()
@@ -343,6 +344,208 @@ func BenchmarkDigestBuild(b *testing.B) {
 		a.mu.Unlock()
 		if len(digests) == 0 {
 			b.Fatal("empty digest")
+		}
+	}
+}
+
+// TestDigestDiffStamps pins the stamp rules: a fresher local row whose
+// bytes the initiator already holds travels as a stamp, not a full row;
+// an initiator-fresher hash-equal digest re-stamps the stored row
+// locally with no wire traffic; signed rows always use the full path.
+func TestDigestDiffStamps(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z"}, nil)
+	a := c.agents[0]
+	now := c.eng.Now()
+
+	attrs := value.Map{"x": value.Int(9)}
+	hash := (&wire.SharedRow{Attrs: attrs}).AttrsHash()
+	a.MergeRows([]wire.RowUpdate{
+		{Zone: "/z", Name: "peer", Attrs: attrs, Issued: now},
+		{Zone: "/z", Name: "signed", Attrs: attrs, Issued: now,
+			Signer: "ca", Sig: []byte{1, 2, 3}},
+	})
+
+	// Initiator lags by a minute but already holds the bytes → stamp.
+	a.mu.Lock()
+	rows, want, stamps, _ := a.diffDigestLocked("/z", []wire.RowDigest{
+		{Zone: "/z", Name: "peer", Issued: now.Add(-time.Minute), Hash: hash},
+		{Zone: "/z", Name: "signed", Issued: now.Add(-time.Minute), Hash: hash},
+		// Cover the rest of the table so nothing is "undigested".
+		{Zone: "/z", Name: "node-0", Issued: now.Add(time.Hour)},
+		{Zone: "/z", Name: "node-1", Issued: now.Add(time.Hour)},
+		{Zone: "/", Name: "z", Issued: now.Add(time.Hour)},
+	})
+	a.mu.Unlock()
+	if len(stamps) != 1 || stamps[0].Name != "peer" || !stamps[0].Issued.Equal(now) || stamps[0].Hash != hash {
+		t.Fatalf("expected one stamp for peer, got %+v", stamps)
+	}
+	for i := range rows {
+		if rows[i].Name == "peer" {
+			t.Fatalf("hash-equal unsigned row travelled whole: %+v", rows[i])
+		}
+	}
+	foundSigned := false
+	for i := range rows {
+		if rows[i].Name == "signed" {
+			foundSigned = true
+		}
+	}
+	if !foundSigned {
+		t.Fatalf("signed row must travel whole, rows=%v want=%v", rows, want)
+	}
+
+	// Initiator fresher + hash equal → local re-stamp, no want ref.
+	fresher := now.Add(time.Minute)
+	a.mu.Lock()
+	_, want, stamps, _ = a.diffDigestLocked("/z", []wire.RowDigest{
+		{Zone: "/z", Name: "peer", Issued: fresher, Hash: hash},
+	})
+	a.mu.Unlock()
+	for _, w := range want {
+		if w.Name == "peer" {
+			t.Fatalf("hash-equal fresher digest should re-stamp locally, not want: %+v", want)
+		}
+	}
+	if len(stamps) != 0 {
+		t.Fatalf("unexpected stamps: %+v", stamps)
+	}
+	got, ok := a.Row("/z", "peer")
+	if !ok || !got.Issued.Equal(fresher) {
+		t.Fatalf("row not re-stamped locally: %+v", got)
+	}
+	if !got.Attrs.Equal(attrs) {
+		t.Fatalf("re-stamp changed content: %+v", got.Attrs)
+	}
+	if st := a.Stats(); st.StampsApplied == 0 {
+		t.Fatal("StampsApplied not counted")
+	}
+
+	// Signed row with a fresher digest must produce a want, never a
+	// local re-stamp.
+	a.mu.Lock()
+	_, want, _, _ = a.diffDigestLocked("/z", []wire.RowDigest{
+		{Zone: "/z", Name: "signed", Issued: fresher, Hash: hash},
+	})
+	a.mu.Unlock()
+	foundWant := false
+	for _, w := range want {
+		if w.Name == "signed" {
+			foundWant = true
+		}
+	}
+	if !foundWant {
+		t.Fatal("fresher signed digest must be wanted as a full row")
+	}
+}
+
+// TestApplyStamps pins receiver-side stamp application rules.
+func TestApplyStamps(t *testing.T) {
+	c := newTestCluster(t, []string{"/z", "/z"}, nil)
+	a := c.agents[0]
+	now := c.eng.Now()
+
+	attrs := value.Map{"x": value.Int(5)}
+	hash := (&wire.SharedRow{Attrs: attrs}).AttrsHash()
+	a.MergeRows([]wire.RowUpdate{
+		{Zone: "/z", Name: "peer", Attrs: attrs, Issued: now},
+	})
+	ownIssued, _ := a.Row("/z", "node-0")
+
+	later := now.Add(30 * time.Second)
+	a.mu.Lock()
+	a.applyStampsLocked([]wire.RowDigest{
+		{Zone: "/z", Name: "peer", Issued: later, Hash: hash},                      // applies
+		{Zone: "/z", Name: "peer", Issued: now, Hash: hash},                        // stale: no-op
+		{Zone: "/z", Name: "gone", Issued: later, Hash: hash},                      // unknown row
+		{Zone: "/z", Name: "node-0", Issued: later.Add(time.Hour)},                 // own row: never
+		{Zone: "/nope", Name: "peer", Issued: later, Hash: hash},                   // unreplicated zone
+		{Zone: "/z", Name: "peer", Issued: later.Add(time.Second), Hash: hash + 1}, // drifted hash
+	})
+	a.mu.Unlock()
+
+	got, _ := a.Row("/z", "peer")
+	if !got.Issued.Equal(later) {
+		t.Fatalf("peer row Issued = %v, want %v", got.Issued, later)
+	}
+	own, _ := a.Row("/z", "node-0")
+	if !own.Issued.Equal(ownIssued.Issued) {
+		t.Fatal("own row must never be re-stamped from a peer's stamp")
+	}
+	if _, ok := a.Row("/z", "gone"); ok {
+		t.Fatal("stamp materialized a row out of nothing")
+	}
+}
+
+// TestSteadyStateGossipsStampsNotRows is the end-to-end guarantee the
+// byte optimization rests on: once a cluster converges, anti-entropy
+// stops shipping full rows at all — heartbeat refreshes travel as
+// stamps or re-stamp locally from digests.
+func TestSteadyStateGossipsStampsNotRows(t *testing.T) {
+	zones := []string{"/z", "/z", "/z", "/z"}
+	c := newTestCluster(t, zones, nil)
+	c.runRounds(10)
+
+	var rowsBefore, stampsBefore int64
+	for _, a := range c.agents {
+		st := a.Stats()
+		rowsBefore += st.RowsSent
+		stampsBefore += st.StampsSent
+	}
+	c.runRounds(10)
+	var rowsAfter, stampsAfter, applied int64
+	for _, a := range c.agents {
+		st := a.Stats()
+		rowsAfter += st.RowsSent
+		stampsAfter += st.StampsSent
+		applied += st.StampsApplied
+	}
+	if rowsAfter != rowsBefore {
+		t.Fatalf("steady-state rounds shipped %d full rows, want 0", rowsAfter-rowsBefore)
+	}
+	if stampsAfter == stampsBefore && applied == 0 {
+		t.Fatal("no stamps sent or applied in steady state — heartbeats are not propagating")
+	}
+	// And heartbeats must still propagate: no agent may see another's
+	// leaf row go stale enough to expire.
+	c.runRounds(15)
+	for i, a := range c.agents {
+		rows, _ := a.Table("/z")
+		if len(rows) != len(zones) {
+			t.Fatalf("agent %d leaf table shrank to %d rows — stamps broke failure detection", i, len(rows))
+		}
+	}
+}
+
+// TestSignedClusterNeverStamps: with row signing on, every refresh must
+// travel as a full signed row (a stamp would fabricate an issue time the
+// owner never signed).
+func TestSignedClusterNeverStamps(t *testing.T) {
+	sign := func(r *wire.RowUpdate) {
+		r.Signer = "test-ca"
+		r.Sig = append([]byte("sig:"), r.SignedPayload()...)
+	}
+	verify := func(r *wire.RowUpdate) error {
+		want := append([]byte("sig:"), r.SignedPayload()...)
+		if r.Signer != "test-ca" || !bytes.Equal(r.Sig, want) {
+			return fmt.Errorf("bad signature")
+		}
+		return nil
+	}
+	zones := []string{"/z", "/z", "/z"}
+	c := newTestCluster(t, zones, func(i int, cfg *Config) {
+		cfg.SignRow = sign
+		cfg.VerifyRow = verify
+	})
+	c.runRounds(12)
+	for i, a := range c.agents {
+		st := a.Stats()
+		if st.StampsSent != 0 || st.StampsApplied != 0 {
+			t.Fatalf("agent %d used stamps on signed rows (sent=%d applied=%d)",
+				i, st.StampsSent, st.StampsApplied)
+		}
+		rows, _ := a.Table("/z")
+		if len(rows) != len(zones) {
+			t.Fatalf("signed cluster agent %d sees %d rows", i, len(rows))
 		}
 	}
 }

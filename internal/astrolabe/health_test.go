@@ -1,0 +1,103 @@
+package astrolabe
+
+import (
+	"testing"
+
+	"newswire/internal/metrics"
+	"newswire/internal/value"
+)
+
+// TestHealthAggregation drives every sys$health merge operator through a
+// real two-zone cluster and checks any node's root table carries the
+// correct per-zone rollups.
+func TestHealthAggregation(t *testing.T) {
+	zones := []string{"/usa/ny", "/usa/ny", "/usa/sf"}
+	c := newTestCluster(t, zones, func(i int, cfg *Config) {
+		cfg.PrefixRules = append(cfg.PrefixRules, HealthRules()...)
+	})
+
+	sketches := make([]*metrics.Sketch, len(zones))
+	for i, a := range c.agents {
+		s := &metrics.Sketch{}
+		for j := 0; j <= i; j++ {
+			s.Observe(0.001 * float64(i+1)) // 1ms, 2ms, 3ms per node
+		}
+		sketches[i] = s
+		a.SetAttrs(value.Map{
+			HealthSumPrefix + "drops":   value.Int(int64(i + 1)),
+			HealthMaxPrefix + "queue":   value.Int(int64(10 * (i + 1))),
+			HealthMinPrefix + "refresh": value.Int(int64(100 - i)),
+			HealthSketchPrefix + "lat":  value.Bytes(s.Encode()),
+		})
+	}
+	c.runRounds(10)
+
+	for i, a := range c.agents {
+		usa, ok := a.Row("/", "usa")
+		if !ok {
+			t.Fatalf("agent %d missing /usa root row", i)
+		}
+		if n, _ := usa.Attrs[HealthSumPrefix+"drops"].AsInt(); n != 1+2+3 {
+			t.Errorf("agent %d usa drops sum = %v, want 6", i, usa.Attrs[HealthSumPrefix+"drops"])
+		}
+		if n, _ := usa.Attrs[HealthMaxPrefix+"queue"].AsInt(); n != 30 {
+			t.Errorf("agent %d usa queue max = %v, want 30", i, usa.Attrs[HealthMaxPrefix+"queue"])
+		}
+		if n, _ := usa.Attrs[HealthMinPrefix+"refresh"].AsInt(); n != 98 {
+			t.Errorf("agent %d usa refresh min = %v, want 98", i, usa.Attrs[HealthMinPrefix+"refresh"])
+		}
+		raw, ok := usa.Attrs[HealthSketchPrefix+"lat"].RawBytes()
+		if !ok {
+			t.Fatalf("agent %d usa latency sketch missing", i)
+		}
+		merged, err := metrics.DecodeSketch(raw)
+		if err != nil {
+			t.Fatalf("agent %d merged sketch undecodable: %v", i, err)
+		}
+		var want uint64
+		for _, s := range sketches {
+			want += s.Count()
+		}
+		if merged.Count() != want {
+			t.Errorf("agent %d merged sketch count = %d, want %d", i, merged.Count(), want)
+		}
+		// The intermediate /usa/ny zone row must aggregate only its own
+		// members (nodes 0 and 1).
+		ny, ok := a.Row("/usa", "ny")
+		if !ok {
+			t.Fatalf("agent %d missing /usa/ny row", i)
+		}
+		if n, _ := ny.Attrs[HealthSumPrefix+"drops"].AsInt(); n != 1+2 {
+			t.Errorf("agent %d ny drops sum = %v, want 3", i, ny.Attrs[HealthSumPrefix+"drops"])
+		}
+	}
+}
+
+// TestFingerprintExcludesHealth: two clusters that converge to the same
+// delivery state but different health telemetry must fingerprint
+// identically — the chaos clean-twin oracle depends on it. A non-health
+// divergence must still be caught.
+func TestFingerprintExcludesHealth(t *testing.T) {
+	build := func(drops int64, load float64) *Agent {
+		c := newTestCluster(t, []string{"/z", "/z"}, func(i int, cfg *Config) {
+			cfg.PrefixRules = append(cfg.PrefixRules, HealthRules()...)
+		})
+		c.agents[0].SetAttrs(value.Map{
+			HealthSumPrefix + "drops": value.Int(drops),
+			"load":                    value.Float(load),
+		})
+		c.runRounds(8)
+		return c.agents[0]
+	}
+
+	base := build(1, 0.25)
+	healthOnly := build(999, 0.25)
+	realDiff := build(1, 0.75)
+
+	if base.FingerprintTables() != healthOnly.FingerprintTables() {
+		t.Fatal("health-attr divergence changed the table fingerprint")
+	}
+	if base.FingerprintTables() == realDiff.FingerprintTables() {
+		t.Fatal("non-health divergence not reflected in the fingerprint")
+	}
+}

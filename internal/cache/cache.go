@@ -133,8 +133,8 @@ func (c *Cache) traceDropLocked(key, note string) {
 		return
 	}
 	c.cfg.Tracer.Record(trace.Span{
-		Kind: trace.KindDedupDrop, Key: key, Node: c.cfg.TraceNode,
-		At: c.cfg.Clock.Now(), Note: note,
+		Kind: trace.KindDedupDrop, Key: key, TraceID: trace.DeriveTraceID(key),
+		Node: c.cfg.TraceNode, At: c.cfg.Clock.Now(), Note: note,
 	})
 }
 

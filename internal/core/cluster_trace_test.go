@@ -113,3 +113,38 @@ func TestTraceSpansExplainDelivery(t *testing.T) {
 		t.Errorf("path does not end at the delivery: %+v", last)
 	}
 }
+
+// TestTraceIDJoinsSpans asserts every span an item's delivery produced
+// carries the trace ID derived from its envelope key — the join handle
+// that stitches spans from different processes into one trace.
+func TestTraceIDJoinsSpans(t *testing.T) {
+	_, spans := runTracedScenario(t, 64, 3, 0)
+	var key string
+	for i := range spans {
+		if spans[i].Kind == trace.KindPublish {
+			key = spans[i].Key
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no publish span recorded")
+	}
+	want := trace.DeriveTraceID(key)
+	joined := trace.ByTrace(spans, want)
+	if len(joined) == 0 {
+		t.Fatalf("no spans carry trace ID %x", want)
+	}
+	kinds := map[trace.Kind]bool{}
+	for _, s := range spans {
+		if s.Key != key {
+			continue
+		}
+		if s.TraceID != want {
+			t.Fatalf("span %+v: trace ID %x, want %x", s, s.TraceID, want)
+		}
+		kinds[s.Kind] = true
+	}
+	if !kinds[trace.KindPublish] || !kinds[trace.KindForward] || !kinds[trace.KindDeliver] {
+		t.Fatalf("joined trace misses lifecycle kinds: %v", kinds)
+	}
+}

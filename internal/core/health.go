@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/metrics"
+	"newswire/internal/transport"
+)
+
+// HealthSummary is the cluster-wide (or per-subtree) rollup of the
+// sys$health$ telemetry attributes: what /cluster-health.json serves.
+// Every field is computed purely from replicated zone-table rows, so any
+// node can produce it locally — no polling, no coordinator.
+type HealthSummary struct {
+	// Nodes counts members that have published a health digest.
+	Nodes int64 `json:"nodes"`
+	// Retries and DeliveryFailures sum the multicast reliability
+	// counters across the subtree.
+	Retries          int64 `json:"retries"`
+	DeliveryFailures int64 `json:"deliveryFailures"`
+	// CachePuts and CacheDups sum message-cache ingest counters; the
+	// cluster's dedup hit rate is CacheDups/(CachePuts+CacheDups).
+	CachePuts int64 `json:"cachePuts"`
+	CacheDups int64 `json:"cacheDups"`
+	// QueueDrops sums transport frames dropped at full queues or dead
+	// connections; QueueHighWater is the deepest outbound queue anywhere.
+	QueueDrops     int64 `json:"queueDrops"`
+	QueueHighWater int64 `json:"queueHighWater"`
+	// HeapBytesMax is the largest heap-in-use sample of any member (zero
+	// when no node samples its heap, e.g. in simulation).
+	HeapBytesMax int64 `json:"heapBytesMax,omitempty"`
+	// WorstNode is the MAX-elected "badness|/zone/name" string: the most
+	// troubled node and its position in the hierarchy.
+	WorstNode string `json:"worstNode,omitempty"`
+	// OldestRefresh is the stalest health digest in the subtree.
+	OldestRefresh time.Time `json:"oldestRefresh,omitempty"`
+	// Delivery-latency distribution from the merged quantile sketch
+	// (seconds). Quantiles are sketch-accurate (γ=1.6 log buckets), which
+	// is what makes p99 survive aggregation where a max-of-p99s cannot.
+	LatencyCount uint64  `json:"latencyCount"`
+	LatencyP50   float64 `json:"latencyP50"`
+	LatencyP99   float64 `json:"latencyP99"`
+	LatencyMean  float64 `json:"latencyMean"`
+}
+
+// SummarizeHealth folds the health attributes of a set of zone-table rows
+// into one summary. Passing a node's root table yields the cluster-wide
+// view; passing a single row yields that subtree's.
+func SummarizeHealth(rows []astrolabe.Row) HealthSummary {
+	var s HealthSummary
+	var sketch *metrics.Sketch
+	sumInto := func(dst *int64, r astrolabe.Row, attr string) {
+		if v, ok := r.Attrs[attr].AsInt(); ok {
+			*dst += v
+		}
+	}
+	maxInto := func(dst *int64, r astrolabe.Row, attr string) {
+		if v, ok := r.Attrs[attr].AsInt(); ok && v > *dst {
+			*dst = v
+		}
+	}
+	for _, r := range rows {
+		sumInto(&s.Nodes, r, astrolabe.HealthSumPrefix+"nodes")
+		sumInto(&s.Retries, r, astrolabe.HealthSumPrefix+"retries")
+		sumInto(&s.DeliveryFailures, r, astrolabe.HealthSumPrefix+"dlvfail")
+		sumInto(&s.CachePuts, r, astrolabe.HealthSumPrefix+"cacheput")
+		sumInto(&s.CacheDups, r, astrolabe.HealthSumPrefix+"cachedup")
+		sumInto(&s.QueueDrops, r, astrolabe.HealthSumPrefix+"qdrops")
+		maxInto(&s.QueueHighWater, r, astrolabe.HealthMaxPrefix+"qhiwat")
+		maxInto(&s.HeapBytesMax, r, astrolabe.HealthMaxPrefix+"heap")
+		if w, ok := r.Attrs[astrolabe.HealthMaxPrefix+"worst"].AsString(); ok && w > s.WorstNode {
+			s.WorstNode = w
+		}
+		if t, ok := r.Attrs[astrolabe.HealthMinPrefix+"refresh"].AsTime(); ok {
+			if s.OldestRefresh.IsZero() || t.Before(s.OldestRefresh) {
+				s.OldestRefresh = t
+			}
+		}
+		if raw, ok := r.Attrs[astrolabe.HealthSketchPrefix+"dlvlat"].AsBytes(); ok {
+			if sk, err := metrics.DecodeSketch(raw); err == nil {
+				if sketch == nil {
+					sketch = sk
+				} else {
+					sketch.Merge(sk)
+				}
+			}
+		}
+	}
+	if sketch != nil {
+		s.LatencyCount = sketch.Count()
+		if s.LatencyCount > 0 {
+			s.LatencyP50 = sketch.Quantile(0.5)
+			s.LatencyP99 = sketch.Quantile(0.99)
+			s.LatencyMean = sketch.Sum() / float64(s.LatencyCount)
+		}
+	}
+	return s
+}
+
+// ClusterHealth summarizes the whole cluster from this node's root table.
+// ok is false when the root table is not replicated yet (a node that has
+// not finished joining).
+func (n *Node) ClusterHealth() (HealthSummary, bool) {
+	rows, ok := n.agent.Table(astrolabe.RootZone)
+	if !ok {
+		return HealthSummary{}, false
+	}
+	return SummarizeHealth(rows), true
+}
+
+// ZoneHealth summarizes each top-level subtree separately, keyed by zone
+// path, from this node's root table.
+func (n *Node) ZoneHealth() map[string]HealthSummary {
+	rows, ok := n.agent.Table(astrolabe.RootZone)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]HealthSummary, len(rows))
+	for _, r := range rows {
+		out[astrolabe.JoinZone(astrolabe.RootZone, r.Name)] = SummarizeHealth([]astrolabe.Row{r})
+	}
+	return out
+}
+
+// ClockOffsets returns the transport's per-peer clock-offset estimates
+// when the node runs on a transport that measures them (the TCP transport
+// does; the simulated transport shares one virtual clock and does not).
+func (n *Node) ClockOffsets() map[string]transport.ClockOffset {
+	if src, ok := n.cfg.Transport.(interface {
+		ClockOffsets() map[string]transport.ClockOffset
+	}); ok {
+		return src.ClockOffsets()
+	}
+	return nil
+}

@@ -133,8 +133,31 @@ type Config struct {
 	// verification of both. Nil runs open (trusted network / simulation).
 	Security *Security
 
+	// HealthEvery, when positive, folds a digest of this node's own
+	// telemetry — delivery-latency sketch, multicast retries and
+	// failures, transport queue high-water and drops, cache hit counters,
+	// optionally heap-in-use — into its astrolabe row every that-many
+	// Ticks, under the reserved sys$health$ namespace. HealthRules then
+	// aggregate the digests up the zone hierarchy, so any node can answer
+	// cluster-wide health queries from its local table. 0 (the default)
+	// disables health publication and installs no health aggregation
+	// rules, keeping disabled-mode overhead at zero.
+	HealthEvery int
+	// HealthHeapBytes, when set alongside HealthEvery, samples the
+	// process's heap-in-use for the sys$health$x$heap attribute. Live
+	// nodes wire runtime.ReadMemStats here; simulations leave it nil —
+	// real heap readings depend on the host scheduler and would make
+	// otherwise-identical runs publish different bytes.
+	HealthHeapBytes func() uint64
+
 	// OnItem receives delivered items. Optional.
 	OnItem ItemHandler
+	// OnDeliveryFailure is called when a reliable forward is abandoned
+	// after MaxForwardAttempts: the item's envelope key and trace ID, the
+	// target zone, the last address tried, and the attempt count. Live
+	// nodes hang structured logging here so operators can grep the trace
+	// ID straight from the failure log into /trace.json. Optional.
+	OnDeliveryFailure func(key string, traceID uint64, zone, to string, attempts int)
 }
 
 // Node is one NewsWire participant. It is safe for concurrent use: the
@@ -148,6 +171,15 @@ type Node struct {
 	cache   *cache.Cache
 	limit   *flow.Limiter
 	latency *metrics.Histogram // publish-to-ingest delivery latency, seconds
+	// hsketch mirrors latency into a mergeable quantile sketch when
+	// HealthEvery is on; its encoding rides the sys$health$q$dlvlat
+	// attribute so per-node latency distributions aggregate up the tree.
+	hsketch metrics.Sketch
+	// lastHealth is the previously published health digest (refresh
+	// timestamp excluded): publishHealth re-issues the row only when the
+	// digest changed, so an idle node's health attributes go quiet
+	// instead of re-dirtying its zone every interval.
+	lastHealth value.Map
 
 	mu         sync.Mutex
 	delivered  int64
@@ -191,6 +223,9 @@ func NewNode(cfg Config) (*Node, error) {
 	case pubsub.ModeCategoryMask:
 		prefixRules = append(prefixRules,
 			astrolabe.PrefixRule{Prefix: pubsub.AttrPubPrefix, Op: astrolabe.PrefixBitOr})
+	}
+	if cfg.HealthEvery > 0 {
+		prefixRules = append(prefixRules, astrolabe.HealthRules()...)
 	}
 
 	agentCfg := astrolabe.Config{
@@ -253,6 +288,8 @@ func NewNode(cfg Config) (*Node, error) {
 		MaxAttempts: cfg.MaxForwardAttempts,
 		Tracer:      cfg.Tracer,
 		Clock:       cfg.Clock,
+
+		OnDeliveryFailure: cfg.OnDeliveryFailure,
 	}
 	if cfg.Security != nil {
 		routerCfg.VerifyEnvelope = cfg.Security.verifyEnvelope
@@ -425,6 +462,7 @@ func (n *Node) Tick() {
 	n.gcCounter++
 	runGC := n.gcCounter%10 == 0
 	runAE := n.cfg.AntiEntropyEvery > 0 && n.gcCounter%n.cfg.AntiEntropyEvery == 0
+	runHealth := n.cfg.HealthEvery > 0 && n.gcCounter%n.cfg.HealthEvery == 0
 	n.mu.Unlock()
 	if runGC {
 		n.cache.GC()
@@ -432,6 +470,55 @@ func (n *Node) Tick() {
 	if runAE {
 		n.antiEntropyStep()
 	}
+	if runHealth {
+		n.publishHealth()
+	}
+}
+
+// publishHealth folds the node's current telemetry into its astrolabe row
+// under the sys$health$ namespace. The digest is compared (refresh stamp
+// excluded) against the last published one and the row is only re-issued
+// on change, so quiescent nodes stop paying gossip bytes for health.
+func (n *Node) publishHealth() {
+	rst := n.router.Stats()
+	cst := n.cache.Stats()
+	attrs := value.Map{
+		astrolabe.HealthSumPrefix + "nodes":    value.Int(1),
+		astrolabe.HealthSumPrefix + "retries":  value.Int(rst.RetriesSent),
+		astrolabe.HealthSumPrefix + "dlvfail":  value.Int(rst.DeliveryFailures),
+		astrolabe.HealthSumPrefix + "cacheput": value.Int(cst.Puts),
+		astrolabe.HealthSumPrefix + "cachedup": value.Int(cst.Duplicates),
+	}
+	var drops int64
+	if ts, ok := n.TransportStats(); ok {
+		drops = ts.QueueFullDrops + ts.ConnDrops
+		attrs[astrolabe.HealthSumPrefix+"qdrops"] = value.Int(drops)
+		attrs[astrolabe.HealthMaxPrefix+"qhiwat"] = value.Int(ts.QueueHighWater)
+	}
+	if n.cfg.HealthHeapBytes != nil {
+		attrs[astrolabe.HealthMaxPrefix+"heap"] = value.Int(int64(n.cfg.HealthHeapBytes()))
+	}
+	// Worst-node election by lexical MAX: zero-padded badness score, then
+	// the node's leaf zone and name, so the aggregated root value names
+	// the most troubled node and where it sits in the hierarchy.
+	attrs[astrolabe.HealthMaxPrefix+"worst"] = value.String(fmt.Sprintf(
+		"%012d|%s/%s", drops+rst.DeliveryFailures+rst.RetriesSent,
+		n.agent.ZonePath(), n.agent.Name()))
+	if n.hsketch.Count() > 0 {
+		attrs[astrolabe.HealthSketchPrefix+"dlvlat"] = value.Bytes(n.hsketch.Encode())
+	}
+	n.mu.Lock()
+	unchanged := n.lastHealth != nil && n.lastHealth.Equal(attrs)
+	if !unchanged {
+		n.lastHealth = attrs.Clone()
+	}
+	n.mu.Unlock()
+	if unchanged {
+		return
+	}
+	published := attrs.Clone()
+	published[astrolabe.HealthMinPrefix+"refresh"] = value.Time(n.cfg.Clock.Now())
+	n.agent.SetAttrs(published)
 }
 
 // antiEntropyStep asks one random zone peer for items published inside
@@ -518,7 +605,11 @@ func (n *Node) ingest(env *wire.ItemEnvelope) bool {
 		return true
 	}
 	n.mu.Unlock()
-	n.latency.Observe(n.cfg.Clock.Now().Sub(env.Published).Seconds())
+	lat := n.cfg.Clock.Now().Sub(env.Published).Seconds()
+	n.latency.Observe(lat)
+	if n.cfg.HealthEvery > 0 {
+		n.hsketch.Observe(lat)
+	}
 	n.mu.Lock()
 	n.delivered++
 	if env.Published.After(n.lastSeen) {
@@ -798,7 +889,8 @@ func (n *Node) handleStateReply(msg *wire.Message) {
 			// the multicast tree — the "gossip-carry" path of §5/§9.
 			n.traceSpan(trace.Span{
 				Kind: trace.KindGossipCarry, Key: env.Key(),
-				Zone: n.agent.ZonePath(), To: msg.From,
+				TraceID: trace.DeriveTraceID(env.Key()),
+				Zone:    n.agent.ZonePath(), To: msg.From,
 			})
 		}
 		if n.cfg.ReshareRecovered {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"newswire/internal/astrolabe"
+	"newswire/internal/metrics"
+	"newswire/internal/news"
+)
+
+// TestClusterHealthAggregation runs a simulated cluster with health
+// publication on and asserts any node can answer cluster-wide health
+// questions from its own root table: total node count by SUM, a merged
+// delivery-latency sketch by sketch-merge, and a worst-node election by
+// MAX — the local-read property the self-monitoring plane promises.
+func TestClusterHealthAggregation(t *testing.T) {
+	const n = 16
+	cluster, err := NewCluster(ClusterConfig{
+		N: n, Seed: 5,
+		Customize: func(i int, cfg *Config) {
+			cfg.HealthEvery = 2
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for _, node := range cluster.Nodes {
+		if err := node.Subscribe("tech/linux"); err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+	}
+	cluster.RunRounds(6)
+	it := &news.Item{
+		Publisher: "reuters", ID: "health-probe", Headline: "h",
+		Body: "b", Subjects: []string{"tech/linux"},
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[0].PublishItem(it, "", ""); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	cluster.RunFor(10 * time.Second)
+	// Health digests publish every 2 ticks and then need rounds to
+	// aggregate up and replicate back down.
+	cluster.RunRounds(12)
+
+	// Read the LAST node's root table: the publisher's telemetry must
+	// have reached it through aggregation alone.
+	reader := cluster.Nodes[n-1]
+	rows, ok := reader.Agent().Table(astrolabe.RootZone)
+	if !ok {
+		t.Fatal("reader has no root table")
+	}
+	var totalNodes int64
+	var sketchCount uint64
+	worst := ""
+	for _, r := range rows {
+		if v, ok := r.Attrs[astrolabe.HealthSumPrefix+"nodes"].AsInt(); ok {
+			totalNodes += v
+		}
+		if raw, ok := r.Attrs[astrolabe.HealthSketchPrefix+"dlvlat"].AsBytes(); ok {
+			sk, err := metrics.DecodeSketch(raw)
+			if err != nil {
+				t.Fatalf("root sketch undecodable: %v", err)
+			}
+			sketchCount += sk.Count()
+			if q := sk.Quantile(0.99); q <= 0 {
+				t.Errorf("aggregated p99 = %v, want > 0", q)
+			}
+		}
+		if s, ok := r.Attrs[astrolabe.HealthMaxPrefix+"worst"].AsString(); ok && s > worst {
+			worst = s
+		}
+	}
+	if totalNodes != n {
+		t.Errorf("root health node count = %d, want %d", totalNodes, n)
+	}
+	// Every node but the publisher observed one delivery latency; allow
+	// the tail to still be in flight but require broad coverage.
+	if sketchCount < n/2 {
+		t.Errorf("aggregated sketch count = %d, want >= %d", sketchCount, n/2)
+	}
+	if !strings.Contains(worst, "|/") {
+		t.Errorf("worst-node election value %q does not name a zone path", worst)
+	}
+}
+
+// TestHealthPublishQuiesces asserts the change-detection in publishHealth:
+// once a node's telemetry stops changing, its health attributes stop
+// re-dirtying its row (the refresh stamp only moves when the digest does).
+func TestHealthPublishQuiesces(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		N: 4, Seed: 9,
+		Customize: func(i int, cfg *Config) {
+			cfg.HealthEvery = 1
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cluster.RunRounds(8)
+	node := cluster.Nodes[0]
+	row, ok := node.Agent().Row(node.ZonePath(), node.Name())
+	if !ok {
+		t.Fatal("no own row")
+	}
+	stamp1, ok := row.Attrs[astrolabe.HealthMinPrefix+"refresh"].AsTime()
+	if !ok {
+		t.Fatal("no health refresh stamp")
+	}
+	// Nothing happens in these rounds, so telemetry cannot change.
+	cluster.RunRounds(6)
+	row, _ = node.Agent().Row(node.ZonePath(), node.Name())
+	stamp2, _ := row.Attrs[astrolabe.HealthMinPrefix+"refresh"].AsTime()
+	if !stamp2.Equal(stamp1) {
+		t.Errorf("idle node re-published health: refresh %v -> %v", stamp1, stamp2)
+	}
+}

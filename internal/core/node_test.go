@@ -97,6 +97,9 @@ func TestClusterLatencyMeasured(t *testing.T) {
 		Seed:      7,
 		Customize: func(i int, cfg *Config) {
 			node := i
+			// Reliable forwarding: the default link model loses 1% of
+			// frames, so exact delivery counts need ack/retry.
+			cfg.AckTimeout = time.Second
 			cfg.OnItem = func(*news.Item, *wire.ItemEnvelope) {
 				deliveries = append(deliveries, delivery{node: node, at: clock.Now()})
 			}

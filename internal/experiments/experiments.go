@@ -76,6 +76,11 @@ type Table struct {
 	// Wire); newswire-bench persists it into BENCH_E10.json, where
 	// benchgate bounds convergence rounds and delivery floors.
 	Chaos []chaos.Result
+	// Obs holds the raw per-arm figures when the experiment is the E12
+	// observability-overhead suite. Render and String ignore it (like
+	// Chaos); newswire-bench persists it into BENCH_E12.json, where
+	// benchgate bounds the enabled-vs-disabled overhead ratios.
+	Obs []ObsArm
 }
 
 // WireUsage records the simulated network's byte load for one
@@ -179,6 +184,7 @@ func All() []Runner {
 		{ID: "A3", Name: "publication zone scoping", Run: RunA3},
 		{ID: "A4", Name: "gossip fanout/interval trade-off", Run: RunA4},
 		{ID: "E10", Name: "adversarial chaos scenarios", Run: RunE10},
+		{ID: "E12", Name: "observability overhead (health + tracing)", Run: RunE12},
 	}
 }
 

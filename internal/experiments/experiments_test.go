@@ -34,8 +34,8 @@ func parseMS(t *testing.T, s string) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 13 {
-		t.Fatalf("got %d runners, want 13", len(runners))
+	if len(runners) != 14 {
+		t.Fatalf("got %d runners, want 14", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {

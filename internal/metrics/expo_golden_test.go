@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestWriteToGolden freezes the Prometheus 0.0.4 exposition format
+// byte-for-byte: family ordering, TYPE lines, label rendering and
+// escaping, histogram-as-summary quantiles, and integral-vs-float value
+// formatting. Scrapers parse this text; any change here is a contract
+// change and must be deliberate (regenerate with `go test -run
+// TestWriteToGolden -update`).
+func TestWriteToGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	reg.Counter("newswire_plain_total").Add(42)
+	reg.CounterWith("newswire_labeled_total", L("peer", "ny-1"), L("zone", "/usa/ny")).Add(7)
+	reg.CounterWith("newswire_labeled_total", L("peer", "sf-1"), L("zone", "/usa/sf")).Add(9)
+	// Label values with characters the format requires escaping.
+	reg.CounterWith("newswire_escaped_total", L("key", `quote " slash \ newline`+"\n")).Inc()
+	reg.Gauge("newswire_queue_depth").Set(12)
+	reg.Gauge("newswire_fill_ratio").Set(0.375)
+
+	h := reg.Histogram("newswire_latency_seconds")
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	n, err := reg.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	golden := filepath.Join("testdata", "expo.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from %s (regenerate with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

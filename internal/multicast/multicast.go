@@ -23,6 +23,7 @@ package multicast
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -112,6 +113,12 @@ type Config struct {
 	// degrade to fire-and-forget rather than queueing unboundedly.
 	// Default 8192.
 	MaxPendingAcks int
+
+	// OnDeliveryFailure, when set, is called after a reliable forward is
+	// abandoned at MaxAttempts, with the item's key and trace ID, the
+	// target zone, the last address tried, and the attempt count. Runs on
+	// the deadline callback's goroutine; keep it fast.
+	OnDeliveryFailure func(key string, traceID uint64, zone, to string, attempts int)
 
 	// Tracer, when non-nil, receives a delivery-trace span for every
 	// forwarding decision this router makes (publish, forward, deliver,
@@ -285,10 +292,14 @@ func (r *Router) Publish(env wire.ItemEnvelope, scope string) error {
 	r.mu.Lock()
 	r.stats.Published++
 	r.mu.Unlock()
+	// The trace ID is a pure function of the envelope key, so stamping it
+	// unconditionally keeps traced and untraced runs byte-identical on the
+	// wire while letting spans from different processes join on it.
+	tid := trace.DeriveTraceID(env.Key())
 	if r.cfg.Tracer != nil {
-		r.traceSpan(trace.Span{Kind: trace.KindPublish, Key: env.Key(), Zone: scope})
+		r.traceSpan(trace.Span{Kind: trace.KindPublish, Key: env.Key(), TraceID: tid, Zone: scope})
 	}
-	r.route(&wire.Multicast{TargetZone: scope, Envelope: env})
+	r.route(&wire.Multicast{TargetZone: scope, TraceID: tid, Envelope: env})
 	return nil
 }
 
@@ -296,7 +307,7 @@ func (r *Router) Publish(env wire.ItemEnvelope, scope string) error {
 // message kinds are ignored.
 func (r *Router) HandleMessage(msg *wire.Message) {
 	if msg.Kind == wire.KindMulticastAck && msg.MulticastAck != nil {
-		r.handleAck(msg.MulticastAck)
+		r.handleAck(msg.MulticastAck, msg.From)
 		return
 	}
 	if msg.Kind != wire.KindMulticast || msg.Multicast == nil {
@@ -334,7 +345,7 @@ func (r *Router) HandleMessage(msg *wire.Message) {
 		})
 	}
 	if m.Deliver {
-		r.deliverLocal(&m.Envelope)
+		r.deliverLocal(m.TraceID, &m.Envelope)
 		return
 	}
 	r.route(m)
@@ -342,18 +353,22 @@ func (r *Router) HandleMessage(msg *wire.Message) {
 
 // handleAck resolves the pending forward the ack confirms; late, stale or
 // mismatched acks are ignored.
-func (r *Router) handleAck(a *wire.MulticastAck) {
+func (r *Router) handleAck(a *wire.MulticastAck, from string) {
 	if r.rq == nil {
 		return
 	}
-	if p := r.rq.ack(a.Seq, a.Key); p != nil {
+	if p := r.rq.ack(a.Seq, a.Key, from); p != nil {
 		r.mu.Lock()
 		r.stats.AcksReceived++
 		r.mu.Unlock()
 		if r.cfg.Tracer != nil {
+			to := p.addr
+			if p.fan != nil {
+				to = from
+			}
 			r.traceSpan(trace.Span{
-				Kind: trace.KindAck, Key: a.Key, Zone: a.TargetZone,
-				To: p.addr, Attempt: p.attempt,
+				Kind: trace.KindAck, Key: a.Key, TraceID: p.msg.TraceID,
+				Zone: a.TargetZone, To: to, Attempt: p.attempt,
 			})
 		}
 	}
@@ -382,8 +397,8 @@ func (r *Router) route(m *wire.Multicast) {
 		r.mu.Unlock()
 		if r.cfg.Tracer != nil {
 			r.traceSpan(trace.Span{
-				Kind: trace.KindDedupDrop, Key: key, Zone: target,
-				Hop: m.Hops, Note: "forward-dup",
+				Kind: trace.KindDedupDrop, Key: key, TraceID: m.TraceID,
+				Zone: target, Hop: m.Hops, Note: "forward-dup",
 			})
 		}
 		return
@@ -463,6 +478,7 @@ func (r *Router) fanOutChildZones(m *wire.Multicast) {
 			r.route(&wire.Multicast{
 				TargetZone: childZone,
 				Hops:       m.Hops,
+				TraceID:    m.TraceID,
 				Envelope:   m.Envelope,
 			})
 			continue
@@ -480,7 +496,7 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 	}
 	// With a frame-capable transport the deliver-copies are identical for
 	// every member, so collect the recipients and encode once.
-	var fanAddrs []string
+	var fanAddrs, fanRows []string
 	for _, row := range rows {
 		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
 			r.mu.Lock()
@@ -489,7 +505,7 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 			continue
 		}
 		if row.Name == r.view.Name() {
-			r.deliverLocal(&m.Envelope)
+			r.deliverLocal(m.TraceID, &m.Envelope)
 			continue
 		}
 		addr, ok := row.Attrs[astrolabe.AttrAddr].AsString()
@@ -498,21 +514,24 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 		}
 		if r.frames != nil {
 			fanAddrs = append(fanAddrs, addr)
+			fanRows = append(fanRows, row.Name)
 		} else {
 			r.sendTracked(m.TargetZone, row.Name, addr, &wire.Multicast{
 				TargetZone: m.TargetZone,
 				Hops:       m.Hops + 1,
 				Deliver:    true,
+				TraceID:    m.TraceID,
 				Envelope:   m.Envelope,
 			})
 		}
 		r.logForward(m.Envelope.Key(), m.TargetZone, []string{addr})
 	}
 	if len(fanAddrs) > 0 {
-		r.sendShared(fanAddrs, &wire.Multicast{
+		r.sendShared(m.TargetZone, fanAddrs, fanRows, &wire.Multicast{
 			TargetZone: m.TargetZone,
 			Hops:       m.Hops + 1,
 			Deliver:    true,
+			TraceID:    m.TraceID,
 			Envelope:   m.Envelope,
 		})
 	}
@@ -542,7 +561,7 @@ func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast,
 		if addr == r.view.Addr() {
 			// We happen to be a representative of the child: recurse
 			// locally.
-			r.route(&wire.Multicast{TargetZone: nextTarget, Hops: m.Hops, Envelope: m.Envelope})
+			r.route(&wire.Multicast{TargetZone: nextTarget, Hops: m.Hops, TraceID: m.TraceID, Envelope: m.Envelope})
 			continue
 		}
 		if r.frames != nil {
@@ -551,14 +570,20 @@ func (r *Router) forwardToRow(zone string, row astrolabe.Row, m *wire.Multicast,
 			r.sendTracked(zone, row.Name, addr, &wire.Multicast{
 				TargetZone: nextTarget,
 				Hops:       m.Hops + 1,
+				TraceID:    m.TraceID,
 				Envelope:   m.Envelope,
 			})
 		}
 	}
 	if len(fanAddrs) > 0 {
-		r.sendShared(fanAddrs, &wire.Multicast{
+		fanRows := make([]string, len(fanAddrs))
+		for i := range fanRows {
+			fanRows[i] = row.Name
+		}
+		r.sendShared(zone, fanAddrs, fanRows, &wire.Multicast{
 			TargetZone: nextTarget,
 			Hops:       m.Hops + 1,
+			TraceID:    m.TraceID,
 			Envelope:   m.Envelope,
 		})
 	}
@@ -615,6 +640,33 @@ func (r *Router) onAckDeadline(seq uint64) {
 	if p == nil {
 		return // acked in time
 	}
+	if p.fan != nil {
+		// Shared-frame fan-out: hand every recipient still silent to the
+		// per-destination retransmit path, where it gets its own sequence
+		// number, backoff, and failover. Deterministic order matters —
+		// the simulator replays identically seeded runs bit-for-bit.
+		addrs := make([]string, 0, len(p.fan))
+		for addr := range p.fan {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		r.mu.Lock()
+		r.stats.RetriesSent += int64(len(addrs))
+		r.mu.Unlock()
+		for _, addr := range addrs {
+			if r.cfg.Tracer != nil {
+				r.traceSpan(trace.Span{
+					Kind: trace.KindRetry, Key: p.msg.Envelope.Key(),
+					TraceID: p.msg.TraceID,
+					Zone:    p.msg.TargetZone, To: addr, Attempt: 2,
+				})
+			}
+			m := p.msg
+			m.AckSeq = 0
+			r.sendTracked(p.zone, p.fan[addr], addr, &m)
+		}
+		return
+	}
 	if p.attempt >= r.cfg.MaxAttempts {
 		r.mu.Lock()
 		r.stats.DeliveryFailures++
@@ -622,8 +674,13 @@ func (r *Router) onAckDeadline(seq uint64) {
 		if r.cfg.Tracer != nil {
 			r.traceSpan(trace.Span{
 				Kind: trace.KindDeliveryFail, Key: p.msg.Envelope.Key(),
-				Zone: p.msg.TargetZone, To: p.addr, Attempt: p.attempt,
+				TraceID: p.msg.TraceID,
+				Zone:    p.msg.TargetZone, To: p.addr, Attempt: p.attempt,
 			})
+		}
+		if r.cfg.OnDeliveryFailure != nil {
+			r.cfg.OnDeliveryFailure(p.msg.Envelope.Key(), p.msg.TraceID,
+				p.msg.TargetZone, p.addr, p.attempt)
 		}
 		return
 	}
@@ -638,12 +695,14 @@ func (r *Router) onAckDeadline(seq uint64) {
 	if r.cfg.Tracer != nil {
 		r.traceSpan(trace.Span{
 			Kind: trace.KindRetry, Key: p.msg.Envelope.Key(),
-			Zone: p.msg.TargetZone, To: addr, Attempt: p.attempt,
+			TraceID: p.msg.TraceID,
+			Zone:    p.msg.TargetZone, To: addr, Attempt: p.attempt,
 		})
 		if addr != p.addr {
 			r.traceSpan(trace.Span{
 				Kind: trace.KindFailover, Key: p.msg.Envelope.Key(),
-				Zone: p.msg.TargetZone, To: addr, Attempt: p.attempt,
+				TraceID: p.msg.TraceID,
+				Zone:    p.msg.TargetZone, To: addr, Attempt: p.attempt,
 				Note: "from " + p.addr,
 			})
 		}
@@ -742,7 +801,11 @@ func (r *Router) ScrambleState(rng *rand.Rand, frac float64) (dedupDropped, pend
 // final-delivery copies themselves, which keeps repeated re-offers
 // idempotent.
 func (r *Router) Reinject(env *wire.ItemEnvelope) {
-	r.fanOutLeafZone(&wire.Multicast{TargetZone: r.view.ZonePath(), Envelope: *env})
+	r.fanOutLeafZone(&wire.Multicast{
+		TargetZone: r.view.ZonePath(),
+		TraceID:    trace.DeriveTraceID(env.Key()),
+		Envelope:   *env,
+	})
 }
 
 // PendingAcks reports how many reliable forwards await acknowledgment.
@@ -782,7 +845,11 @@ func (r *Router) predicate(src string) (*sqlagg.Predicate, error) {
 	return p, nil
 }
 
-func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
+// deliverLocal hands env to the application unless it is a duplicate. tid
+// is the wire-carried trace ID of the forward that brought the item here
+// (equal to DeriveTraceID of the key, but taken from the message so the
+// recorded span proves cross-process propagation).
+func (r *Router) deliverLocal(tid uint64, env *wire.ItemEnvelope) {
 	key := env.Key()
 	r.mu.Lock()
 	if r.delivered[key] {
@@ -790,7 +857,7 @@ func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
 		r.mu.Unlock()
 		if r.cfg.Tracer != nil {
 			r.traceSpan(trace.Span{
-				Kind: trace.KindDedupDrop, Key: key,
+				Kind: trace.KindDedupDrop, Key: key, TraceID: tid,
 				Zone: r.view.ZonePath(), Note: "deliver-dup",
 			})
 		}
@@ -806,7 +873,8 @@ func (r *Router) deliverLocal(env *wire.ItemEnvelope) {
 	r.mu.Unlock()
 	if r.cfg.Tracer != nil {
 		r.traceSpan(trace.Span{
-			Kind: trace.KindDeliver, Key: key, Zone: r.view.ZonePath(),
+			Kind: trace.KindDeliver, Key: key, TraceID: tid,
+			Zone: r.view.ZonePath(),
 		})
 	}
 	r.cfg.Deliver(env)
@@ -823,7 +891,8 @@ func (r *Router) send(addr string, m *wire.Multicast) {
 		}
 		r.traceSpan(trace.Span{
 			Kind: trace.KindForward, Key: m.Envelope.Key(),
-			Zone: m.TargetZone, To: addr, Hop: m.Hops, Note: note,
+			TraceID: m.TraceID,
+			Zone:    m.TargetZone, To: addr, Hop: m.Hops, Note: note,
 		})
 	}
 	_ = r.cfg.Sender(addr, &wire.Message{Kind: wire.KindMulticast, Multicast: m})
@@ -834,10 +903,38 @@ func (r *Router) send(addr string, m *wire.Multicast) {
 // are enqueued to every peer, instead of re-serializing per recipient.
 // Per-destination stats and trace spans match send exactly. Only called
 // when r.frames is set (fire-and-forget forwarding, default sender).
-func (r *Router) sendShared(addrs []string, m *wire.Multicast) {
+func (r *Router) sendShared(zone string, addrs, rowNames []string, m *wire.Multicast) {
+	// Register the whole fan-out as one reliable entry before encoding,
+	// so every recipient sees the same AckSeq in the one shared frame.
+	// Recipients ack individually; a deadline hands each silent one to
+	// the per-destination retransmit path. When the retransmit table is
+	// off or full the fan-out degrades to fire-and-forget, exactly like
+	// the per-destination path.
+	var seq uint64
+	if r.rq != nil {
+		p := &pendingForward{
+			zone:    zone,
+			msg:     *m,
+			attempt: 1,
+			fan:     make(map[string]string, len(addrs)),
+		}
+		for i, addr := range addrs {
+			p.fan[addr] = rowNames[i]
+		}
+		if s, ok := r.rq.register(p); ok {
+			seq = s
+			m = &p.msg // carries AckSeq = seq
+		}
+	}
 	f, err := r.frames.NewFrame(&wire.Message{Kind: wire.KindMulticast, Multicast: m})
 	if err != nil {
+		if seq != 0 {
+			r.rq.take(seq)
+		}
 		return
+	}
+	if seq != 0 {
+		r.scheduleDeadline(seq, 1)
 	}
 	r.mu.Lock()
 	r.stats.Forwarded += int64(len(addrs))
@@ -850,7 +947,8 @@ func (r *Router) sendShared(addrs []string, m *wire.Multicast) {
 		if r.cfg.Tracer != nil {
 			r.traceSpan(trace.Span{
 				Kind: trace.KindForward, Key: m.Envelope.Key(),
-				Zone: m.TargetZone, To: addr, Hop: m.Hops, Note: note,
+				TraceID: m.TraceID,
+				Zone:    m.TargetZone, To: addr, Hop: m.Hops, Note: note,
 			})
 		}
 		_ = r.frames.SendFrame(addr, f)

@@ -315,7 +315,7 @@ func TestRetransmitQueueConcurrentAcks(t *testing.T) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			if q.ack(seq, keys[seq]) != nil {
+			if q.ack(seq, keys[seq], "n1") != nil {
 				mu.Lock()
 				ackWins++
 				mu.Unlock()
@@ -349,10 +349,10 @@ func TestRetransmitQueueAckValidation(t *testing.T) {
 	if !ok {
 		t.Fatal("register refused with space available")
 	}
-	if q.ack(seq, "someone/else#0") != nil {
+	if q.ack(seq, "someone/else#0", "n1") != nil {
 		t.Fatal("ack with mismatched key resolved the entry")
 	}
-	if q.ack(seq+99, env.Key()) != nil {
+	if q.ack(seq+99, env.Key(), "n1") != nil {
 		t.Fatal("ack for unknown seq resolved an entry")
 	}
 
@@ -363,7 +363,7 @@ func TestRetransmitQueueAckValidation(t *testing.T) {
 		t.Fatal("take failed for a pending entry")
 	}
 	q.reinsert(taken)
-	if q.ack(seq, env.Key()) == nil {
+	if q.ack(seq, env.Key(), "n1") == nil {
 		t.Fatal("ack after reinsert failed")
 	}
 

@@ -109,6 +109,7 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 type Span struct {
 	Kind    Kind      `json:"kind"`
 	Key     string    `json:"key,omitempty"` // item envelope key
+	TraceID uint64    `json:"trace,omitempty"`
 	Node    string    `json:"node"`
 	Zone    string    `json:"zone,omitempty"`
 	To      string    `json:"to,omitempty"`
@@ -116,6 +117,41 @@ type Span struct {
 	Attempt int       `json:"attempt,omitempty"`
 	At      time.Time `json:"at"`
 	Note    string    `json:"note,omitempty"`
+}
+
+// DeriveTraceID returns the deterministic trace identifier for an item
+// envelope key: the FNV-64a hash of the key, never zero. Deriving the ID
+// from the key — rather than minting randomness at publish time — keeps
+// traced and untraced runs bit-identical, and lets any process recompute
+// the ID from the envelope alone, so spans recorded by different
+// newswired processes join into one trace without coordination.
+func DeriveTraceID(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// ByTrace returns the spans carrying trace id, preserving input order.
+// Feeding it the merged /trace.json output of several processes yields
+// the item's joined cross-process trace.
+func ByTrace(spans []Span, id uint64) []Span {
+	var out []Span
+	for i := range spans {
+		if spans[i].TraceID == id {
+			out = append(out, spans[i])
+		}
+	}
+	return out
 }
 
 // Recorder receives spans. Implementations must tolerate concurrent calls

@@ -60,6 +60,9 @@ type TCPOptions struct {
 	// WriteTimeout bounds one flush to a peer; <= 0 means
 	// defaultWriteTimeout.
 	WriteTimeout time.Duration
+	// ClockSyncInterval is the period between clock-offset probes to
+	// each connected peer (the first fires at dial); <= 0 selects 30s.
+	ClockSyncInterval time.Duration
 }
 
 // TCP is a Transport over real sockets, for live multi-process clusters
@@ -81,10 +84,14 @@ type TCP struct {
 	inbound map[net.Conn]bool
 	closed  bool
 
-	wg sync.WaitGroup
+	wg   sync.WaitGroup
+	stop chan struct{}
 
 	st        tcpStats
 	flushHist *metrics.Histogram
+
+	clockMu      sync.Mutex
+	clockOffsets map[string]ClockOffset
 }
 
 var (
@@ -119,11 +126,13 @@ func ListenTCPWith(addr string, h Handler, opts TCPOptions) (*TCP, error) {
 		peers:     make(map[string]*peer),
 		conns:     make(map[string]net.Conn),
 		inbound:   make(map[net.Conn]bool),
+		stop:      make(chan struct{}),
 		flushHist: &metrics.Histogram{},
 	}
 	t.flushHist.SetReservoir(4096)
-	t.wg.Add(1)
+	t.wg.Add(2)
 	go t.acceptLoop()
+	go t.clockLoop()
 	return t, nil
 }
 
@@ -223,6 +232,15 @@ func (t *TCP) peer(to string) (*peer, error) {
 	t.wg.Add(1)
 	t.mu.Unlock()
 	go p.writeLoop()
+	// First clock probe at connection establishment, so offsets are
+	// usable within one round trip of meeting a peer. Enqueued directly —
+	// going through Send here would re-enter peer().
+	if ping, err := t.NewFrame(&wire.Message{
+		Kind:      wire.KindClockPing,
+		ClockSync: &wire.ClockSync{Seq: clockSeq.Add(1), T1: time.Now().UnixNano()},
+	}); err == nil {
+		p.enqueue(ping)
+	}
 	return p, nil
 }
 
@@ -258,6 +276,10 @@ func (t *TCP) FillMetrics(reg *metrics.Registry) {
 	reg.Counter("transport_flush_batches").SyncTo(s.FlushBatches)
 	reg.Gauge("transport_queue_high_water").Set(float64(s.QueueHighWater))
 	reg.RegisterHistogram("transport_flush_batch_frames", t.flushHist)
+	for addr, e := range t.ClockOffsets() {
+		reg.GaugeWith("transport_clock_offset_seconds", metrics.L("peer", addr)).
+			Set(e.Offset.Seconds())
+	}
 }
 
 // Close stops the listener, shuts down every peer writer, closes all
@@ -269,6 +291,7 @@ func (t *TCP) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.stop)
 	peers := make([]*peer, 0, len(t.peers))
 	for to, p := range t.peers {
 		peers = append(peers, p)
@@ -613,6 +636,16 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		t.st.framesReceived.Add(1)
 		t.st.bytesReceived.Add(int64(size) + wire.FramePrefixLen)
+		// Clock-sync frames are transport-internal: answer or absorb them
+		// here, never surfacing them to the node's handler.
+		switch msg.Kind {
+		case wire.KindClockPing:
+			t.handleClockPing(msg.From, msg.ClockSync)
+			continue
+		case wire.KindClockPong:
+			t.handleClockPong(msg.From, msg.ClockSync, time.Now())
+			continue
+		}
 		_ = ioSync.Load() // acquire: see ioSync
 		t.handler(msg)
 	}

@@ -43,6 +43,23 @@ const (
 // to the zero Time so IsZero survives a round trip (StateRequest.Since).
 const zeroTimeUnixSec = -62135596800
 
+// SniffKind reports a binary-codec frame payload's kind without decoding
+// it: the codec leads every frame with its magic byte and the kind. It
+// returns false for gob-fallback frames (which never start with the
+// magic), so callers that must classify those still need a full Decode.
+// Raw-socket consumers (the loadgen sink) use it to separate
+// transport-internal clock-sync frames from the news stream cheaply.
+func SniffKind(payload []byte) (Kind, bool) {
+	if len(payload) < 2 || payload[0] != codecMagic {
+		return KindInvalid, false
+	}
+	k := Kind(payload[1])
+	if k == KindInvalid || k > KindClockPong {
+		return KindInvalid, false
+	}
+	return k, true
+}
+
 // --- varint sizing helpers (shared with the EstimateSize model) ---
 
 func uvarintLen(x uint64) int {
@@ -316,6 +333,19 @@ func encodeBinary(m *Message, from string, prefix int) ([]byte, error) {
 				e.body = binary.AppendUvarint(e.body, e.ref(g.Want[i].Zone))
 				e.body = appendString(e.body, g.Want[i].Name)
 			}
+			// The stamp section is appended only when non-empty, so a
+			// stamp-free delta is byte-identical to the pre-stamp format
+			// (the decoder reads stamps iff bytes remain after Want).
+			if len(g.Stamps) > 0 {
+				e.body = binary.AppendUvarint(e.body, uint64(len(g.Stamps)))
+				for i := range g.Stamps {
+					s := &g.Stamps[i]
+					e.body = binary.AppendUvarint(e.body, e.ref(s.Zone))
+					e.body = appendString(e.body, s.Name)
+					e.body = appendTime(e.body, s.Issued)
+					e.body = binary.LittleEndian.AppendUint64(e.body, s.Hash)
+				}
+			}
 		}
 	case KindMulticast:
 		if mc := m.Multicast; mc != nil {
@@ -323,6 +353,7 @@ func encodeBinary(m *Message, from string, prefix int) ([]byte, error) {
 			e.body = binary.AppendVarint(e.body, int64(mc.Hops))
 			e.body = appendBool(e.body, mc.Deliver)
 			e.body = binary.AppendUvarint(e.body, mc.AckSeq)
+			e.body = binary.AppendUvarint(e.body, mc.TraceID)
 			e.envelope(&mc.Envelope)
 		}
 	case KindMulticastAck:
@@ -330,6 +361,12 @@ func encodeBinary(m *Message, from string, prefix int) ([]byte, error) {
 			e.body = binary.AppendUvarint(e.body, a.Seq)
 			e.body = appendString(e.body, a.Key)
 			e.body = appendString(e.body, a.TargetZone)
+		}
+	case KindClockPing, KindClockPong:
+		if c := m.ClockSync; c != nil {
+			e.body = binary.AppendUvarint(e.body, c.Seq)
+			e.body = binary.AppendVarint(e.body, c.T1)
+			e.body = binary.AppendVarint(e.body, c.T2)
 		}
 	case KindStateRequest:
 		if r := m.StateRequest; r != nil {
@@ -782,6 +819,9 @@ func decodeBinary(data []byte) (*Message, error) {
 		g := &GossipDelta{FromZone: d.ref()}
 		g.Rows = d.rowList()
 		g.Want = d.refList()
+		if d.err == nil && d.remaining() > 0 {
+			g.Stamps = d.digestList()
+		}
 		m.GossipDelta = g
 	case KindMulticast:
 		mc := &Multicast{
@@ -789,6 +829,7 @@ func decodeBinary(data []byte) (*Message, error) {
 			Hops:       int(d.varint()),
 			Deliver:    d.bool(),
 			AckSeq:     d.uvarint(),
+			TraceID:    d.uvarint(),
 		}
 		d.envelope(&mc.Envelope)
 		m.Multicast = mc
@@ -797,6 +838,12 @@ func decodeBinary(data []byte) (*Message, error) {
 			Seq:        d.uvarint(),
 			Key:        d.str(),
 			TargetZone: d.str(),
+		}
+	case KindClockPing, KindClockPong:
+		m.ClockSync = &ClockSync{
+			Seq: d.uvarint(),
+			T1:  d.varint(),
+			T2:  d.varint(),
 		}
 	case KindStateRequest:
 		r := &StateRequest{

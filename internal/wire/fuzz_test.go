@@ -13,6 +13,17 @@ func fuzzSeeds(t interface{ Fatal(...any) }) [][]byte {
 		sampleGossipMessage(),
 		sampleDigestMessage(),
 		sampleDeltaMessage(),
+		sampleStampedDeltaMessage(),
+		{
+			Kind:      KindClockPing,
+			From:      "n1:9000",
+			ClockSync: &ClockSync{Seq: 3, T1: 1017619200123456789},
+		},
+		{
+			Kind:      KindClockPong,
+			From:      "n2:9000",
+			ClockSync: &ClockSync{Seq: 3, T1: 1017619200123456789, T2: 1017619200123459999},
+		},
 		{
 			Kind: KindGossipReply,
 			From: "n2:9000",

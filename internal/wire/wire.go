@@ -36,6 +36,8 @@ const (
 	KindGossipDigest      // delta anti-entropy: initiator's row digest
 	KindGossipDelta       // delta anti-entropy: missing/stale rows + wants
 	KindMulticastAck      // per-forward delivery acknowledgment
+	KindClockPing         // clock-offset probe (transport-level, not routed)
+	KindClockPong         // clock-offset reply echoing the probe
 )
 
 // String returns the kind name for logs.
@@ -57,6 +59,10 @@ func (k Kind) String() string {
 		return "gossip-delta"
 	case KindMulticastAck:
 		return "multicast-ack"
+	case KindClockPing:
+		return "clock-ping"
+	case KindClockPong:
+		return "clock-pong"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -160,6 +166,15 @@ type GossipDelta struct {
 	FromZone string
 	Rows     []RowUpdate
 	Want     []RowRef
+	// Stamps re-issue rows whose attributes the receiver already holds:
+	// the digest proved both sides store the same attribute bytes (equal
+	// Hash) and only the issue time lags. The receiver re-stamps its
+	// stored copy at the newer Issued instead of receiving the full row
+	// again, which removes heartbeat-only row refreshes — the dominant
+	// steady-state gossip traffic — from the wire. Only unsigned rows may
+	// travel as stamps: re-stamping a signed row locally would fabricate
+	// a row state the owner never signed.
+	Stamps []RowDigest
 }
 
 // ItemEnvelope wraps a published news item as it travels through the
@@ -240,7 +255,15 @@ type Multicast struct {
 	// with a MulticastAck echoing the value. The sender retransmits
 	// unacknowledged forwards; receivers must treat re-sent copies as
 	// idempotent (the duplicate-suppression log already does).
-	AckSeq   uint64
+	AckSeq uint64
+	// TraceID joins this forward's trace spans across process boundaries:
+	// every hop of one published item carries the same ID (derived
+	// deterministically from the envelope key), so collectors reading
+	// /trace.json from several nodes can reassemble the full
+	// publish→forward→deliver path. Always stamped — whether tracing is
+	// on changes nothing on the wire, keeping traced and untraced runs
+	// byte-identical.
+	TraceID  uint64
 	Envelope ItemEnvelope
 }
 
@@ -254,6 +277,24 @@ type MulticastAck struct {
 	Key string
 	// TargetZone echoes the forward's target zone.
 	TargetZone string
+}
+
+// ClockSync carries the NTP-style clock-offset handshake the TCP
+// transport runs over established connections (DESIGN.md §12). The
+// initiator sends a KindClockPing with T1 = its wall clock at transmit;
+// the peer answers KindClockPong echoing T1 and adding T2 = its own wall
+// clock at receipt. The initiator then estimates the peer's clock offset
+// as T2 − (T1+T3)/2 with T3 its receive time, which is exact when the
+// path is symmetric. Both kinds are intercepted inside the transport and
+// never reach the node's message handler.
+type ClockSync struct {
+	// Seq matches a pong to its ping (stale replies are dropped).
+	Seq uint64
+	// T1 is the initiator's transmit time, Unix nanoseconds.
+	T1 int64
+	// T2 is the responder's receive/transmit time, Unix nanoseconds
+	// (zero in pings).
+	T2 int64
 }
 
 // StateRequest asks a peer's cache for items published since a time, used
@@ -287,6 +328,7 @@ type Message struct {
 	MulticastAck *MulticastAck
 	StateRequest *StateRequest
 	StateReply   *StateReply
+	ClockSync    *ClockSync
 }
 
 // Validate checks that the message has exactly the payload its kind
@@ -311,6 +353,8 @@ func (m *Message) Validate() error {
 		want = m.GossipDelta != nil
 	case KindMulticastAck:
 		want = m.MulticastAck != nil
+	case KindClockPing, KindClockPong:
+		want = m.ClockSync != nil
 	default:
 		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
 	}
@@ -464,11 +508,13 @@ func (m *Message) EstimateSize() int {
 		g := m.GossipDelta
 		n += GossipTableOverhead + 1 +
 			uvarintLen(uint64(len(g.Rows))) + rowsSize(g.Rows) +
-			uvarintLen(uint64(len(g.Want))) + RefsSize(g.Want)
+			uvarintLen(uint64(len(g.Want))) + RefsSize(g.Want) +
+			StampsSize(g.Stamps)
 	case m.Multicast != nil:
 		mc := m.Multicast
 		n += sizeStr(mc.TargetZone) + varintLen(int64(mc.Hops)) + 1 +
-			uvarintLen(mc.AckSeq) + envelopeSize(&mc.Envelope)
+			uvarintLen(mc.AckSeq) + uvarintLen(mc.TraceID) +
+			envelopeSize(&mc.Envelope)
 	case m.MulticastAck != nil:
 		a := m.MulticastAck
 		n += uvarintLen(a.Seq) + sizeStr(a.Key) + sizeStr(a.TargetZone)
@@ -484,6 +530,9 @@ func (m *Message) EstimateSize() int {
 		for i := range m.StateReply.Envelopes {
 			n += envelopeSize(&m.StateReply.Envelopes[i])
 		}
+	case m.ClockSync != nil:
+		c := m.ClockSync
+		n += uvarintLen(c.Seq) + varintLen(c.T1) + varintLen(c.T2)
 	}
 	return n
 }
@@ -525,6 +574,24 @@ func DigestsSize(digests []RowDigest) int {
 		n += 1 + sizeStr(digests[i].Name) + sizeTime(digests[i].Issued) + 8
 	}
 	return n
+}
+
+// StampSize returns the wire size of one re-issue stamp: identical in
+// shape to a digest entry (zone-table reference, name, issue time, 8-byte
+// hash).
+func StampSize(s *RowDigest) int {
+	return 1 + sizeStr(s.Name) + sizeTime(s.Issued) + 8
+}
+
+// StampsSize returns the wire size of a delta's stamp section. The
+// section is only present when non-empty (the codec omits it entirely
+// otherwise, keeping stamp-free deltas byte-identical to the previous
+// format), so an empty list costs zero.
+func StampsSize(stamps []RowDigest) int {
+	if len(stamps) == 0 {
+		return 0
+	}
+	return uvarintLen(uint64(len(stamps))) + DigestsSize(stamps)
 }
 
 // RefSize returns the wire size of one row ref (zone-table reference plus

@@ -358,6 +358,137 @@ func sampleDeltaMessage() *Message {
 	}
 }
 
+func sampleStampedDeltaMessage() *Message {
+	m := sampleDeltaMessage()
+	m.GossipDelta.Stamps = []RowDigest{
+		{Zone: "/usa/sf", Name: "node-3",
+			Issued: time.Unix(1017619300, 12).UTC(), Hash: 0xfeedface},
+		{Zone: "/", Name: "usa",
+			Issued: time.Unix(1017619360, 0).UTC(), Hash: 7},
+	}
+	return m
+}
+
+func TestEncodeDecodeDeltaStamps(t *testing.T) {
+	m := sampleStampedDeltaMessage()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.GossipDelta
+	if len(d.Stamps) != 2 {
+		t.Fatalf("stamps lost: %+v", d)
+	}
+	for i := range d.Stamps {
+		if d.Stamps[i] != m.GossipDelta.Stamps[i] {
+			t.Fatalf("stamp %d mismatch: %+v != %+v", i, d.Stamps[i], m.GossipDelta.Stamps[i])
+		}
+	}
+	if len(d.Rows) != 1 || len(d.Want) != 1 {
+		t.Fatalf("rows/want lost alongside stamps: %+v", d)
+	}
+	// A stamp-free delta must stay byte-identical to the pre-stamp format:
+	// no trailing zero count.
+	plain := sampleDeltaMessage()
+	encPlain, err := Encode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encPlain) >= len(data) {
+		t.Fatalf("stamp-free delta (%d bytes) not smaller than stamped (%d)", len(encPlain), len(data))
+	}
+	// EstimateSize must model the optional section the same way.
+	stampedEst := m.EstimateSize()
+	plainEst := plain.EstimateSize()
+	if stampedEst-plainEst != StampsSize(m.GossipDelta.Stamps) {
+		t.Fatalf("EstimateSize delta %d != StampsSize %d",
+			stampedEst-plainEst, StampsSize(m.GossipDelta.Stamps))
+	}
+	var sum int
+	for i := range m.GossipDelta.Stamps {
+		sum += StampSize(&m.GossipDelta.Stamps[i])
+	}
+	if want := UvarintLen(uint64(len(m.GossipDelta.Stamps))) + sum; StampsSize(m.GossipDelta.Stamps) != want {
+		t.Fatalf("StampsSize %d != count prefix + per-stamp sum %d",
+			StampsSize(m.GossipDelta.Stamps), want)
+	}
+	if StampsSize(nil) != 0 {
+		t.Fatalf("StampsSize(nil) = %d, want 0", StampsSize(nil))
+	}
+}
+
+func TestEncodeDecodeMulticastTraceID(t *testing.T) {
+	m := &Message{
+		Kind: KindMulticast,
+		From: "rep-1:9000",
+		Multicast: &Multicast{
+			TargetZone: "/asia",
+			TraceID:    0xabcdef0123456789,
+			Envelope:   ItemEnvelope{Publisher: "reuters", ItemID: "item-1"},
+		},
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Multicast.TraceID != m.Multicast.TraceID {
+		t.Fatalf("TraceID lost: %x", got.Multicast.TraceID)
+	}
+	// Gob path carries it too.
+	SetGobFallback(true)
+	data, err = Encode(m)
+	SetGobFallback(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Multicast.TraceID != m.Multicast.TraceID {
+		t.Fatalf("TraceID lost over gob: %x", got.Multicast.TraceID)
+	}
+}
+
+func TestEncodeDecodeClockSync(t *testing.T) {
+	for _, kind := range []Kind{KindClockPing, KindClockPong} {
+		m := &Message{
+			Kind:      kind,
+			From:      "n1:9000",
+			ClockSync: &ClockSync{Seq: 42, T1: 1017619200123456789, T2: 1017619200123459999},
+		}
+		data, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != kind || got.ClockSync == nil || *got.ClockSync != *m.ClockSync {
+			t.Fatalf("%s round trip lost payload: %+v", kind, got.ClockSync)
+		}
+		if s := got.EstimateSize(); s <= 0 {
+			t.Fatalf("%s EstimateSize = %d", kind, s)
+		}
+	}
+	// Missing payload fails validation.
+	if err := (&Message{Kind: KindClockPing}).Validate(); err == nil {
+		t.Fatal("clock ping without payload should fail Validate")
+	}
+	if KindClockPing.String() != "clock-ping" || KindClockPong.String() != "clock-pong" {
+		t.Fatal("clock kind names wrong")
+	}
+}
+
 func TestEncodeDecodeDeltaGossip(t *testing.T) {
 	for _, m := range []*Message{sampleDigestMessage(), sampleDeltaMessage()} {
 		data, err := Encode(m)

@@ -3,6 +3,7 @@ package newswire
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"newswire/internal/core"
@@ -18,6 +19,9 @@ import (
 const (
 	defaultLiveTraceCap       = 4096
 	defaultLiveLatencySamples = 8192
+	// defaultLiveHealthEvery publishes the node's health digest every
+	// this-many gossip ticks (10s at the default 2s interval).
+	defaultLiveHealthEvery = 5
 )
 
 // LiveConfig configures a node that runs over real TCP with the wall
@@ -37,6 +41,12 @@ type LiveConfig struct {
 	// web interface's /trace.json); set Node.Tracer to override the
 	// recorder instead.
 	DisableTrace bool
+	// DisableHealth turns off the self-monitoring plane. By default a
+	// live node publishes its health digest into the gossip layer every
+	// few ticks (Node.HealthEvery overrides the cadence) and samples its
+	// heap, so any member can serve /cluster-health.json for the whole
+	// cluster.
+	DisableHealth bool
 	// Transport tunes the TCP data path (per-peer queue length, write
 	// timeout, the legacy synchronous-writes ablation). The zero value is
 	// the recommended default.
@@ -82,6 +92,16 @@ func StartLive(cfg LiveConfig) (*LiveNode, error) {
 	}
 	if nodeCfg.LatencyReservoir == 0 {
 		nodeCfg.LatencyReservoir = defaultLiveLatencySamples
+	}
+	if cfg.DisableHealth {
+		nodeCfg.HealthEvery = 0
+	} else {
+		if nodeCfg.HealthEvery <= 0 {
+			nodeCfg.HealthEvery = defaultLiveHealthEvery
+		}
+		if nodeCfg.HealthHeapBytes == nil {
+			nodeCfg.HealthHeapBytes = liveHeapInUse
+		}
 	}
 	if nodeCfg.Name == "" {
 		nodeCfg.Name = fmt.Sprintf("node-%s", tr.Addr())
@@ -131,8 +151,20 @@ func (ln *LiveNode) run(interval time.Duration) {
 	}
 }
 
+// liveHeapInUse samples the process's heap for the health digest. One
+// ReadMemStats per health interval (seconds apart) is negligible.
+func liveHeapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
 // Node returns the underlying node for subscriptions and publishing.
 func (ln *LiveNode) Node() *Node { return ln.node }
+
+// Transport exposes the node's TCP transport (clock offsets, data-path
+// stats).
+func (ln *LiveNode) Transport() *transport.TCP { return ln.tr }
 
 // TraceRing returns the node's span ring, or nil when tracing was
 // disabled or replaced through Node.Tracer.

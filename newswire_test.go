@@ -22,6 +22,12 @@ func TestPublicAPISimulatedCluster(t *testing.T) {
 		Link:      newswire.DefaultWAN,
 		Customize: func(i int, cfg *newswire.Config) {
 			cfg.RepCount = 2
+			// Reliable forwarding (see README "Delivery guarantees"):
+			// over the 1%-loss WAN model, all-16 delivery within the
+			// run window is a coin flip without ack/retry — any change
+			// to the simulation's event order re-rolls which copies the
+			// loss model eats.
+			cfg.AckTimeout = time.Second
 			cfg.OnItem = func(it *newswire.Item, env *newswire.ItemEnvelope) {
 				delivered.Add(1)
 			}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — live observability smoke test (CI obs-smoke job).
+#
+# Boots a 3-process newswired mini-cluster on loopback, publishes one
+# item through newswire-pub, then drives newswire-loadgen -collect as an
+# external observability client against the nodes' HTTP endpoints. The
+# collector fails the script unless:
+#
+#   1. every node serves a converged /cluster-health.json rollup (>= 3
+#      members visible from each node's own replicated table), and
+#   2. the published item's spans, fetched from the nodes' /trace.json
+#      endpoints and joined by trace ID, cover at least two distinct
+#      processes (a real cross-process hop-by-hop trace), with
+#      timestamps rebased through the transports' measured clock
+#      offsets.
+#
+# Artifacts (node logs, collector output) land in artifacts/obs-smoke/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ART=artifacts/obs-smoke
+mkdir -p "$ART" bin
+
+go build -o bin/newswired ./cmd/newswired
+go build -o bin/newswire-pub ./cmd/newswire-pub
+go build -o bin/newswire-loadgen ./cmd/newswire-loadgen
+
+P1=19411 P2=19412 P3=19413
+H1=19421 H2=19422 H3=19423
+PIDS=()
+
+cleanup() {
+  status=$?
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [ $status -ne 0 ]; then
+    echo "=== obs-smoke FAILED (exit $status); node logs follow ==="
+    tail -n 40 "$ART"/node*.log 2>/dev/null || true
+  fi
+  exit $status
+}
+trap cleanup EXIT
+
+# A short gossip interval keeps convergence inside CI patience; health
+# digests every 2 ticks exercises the telemetry cadence flag.
+COMMON=(-interval 500ms -subscribe tech/linux -log-json -health-every 2)
+bin/newswired -listen 127.0.0.1:$P1 -http 127.0.0.1:$H1 -zone /usa/ny \
+  "${COMMON[@]}" >"$ART/node1.log" 2>&1 &
+PIDS+=($!)
+bin/newswired -listen 127.0.0.1:$P2 -http 127.0.0.1:$H2 -zone /usa/ny \
+  -peers 127.0.0.1:$P1 "${COMMON[@]}" >"$ART/node2.log" 2>&1 &
+PIDS+=($!)
+bin/newswired -listen 127.0.0.1:$P3 -http 127.0.0.1:$H3 -zone /usa/sf \
+  -peers 127.0.0.1:$P1 "${COMMON[@]}" >"$ART/node3.log" 2>&1 &
+PIDS+=($!)
+
+for port in $H1 $H2 $H3; do
+  for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$port/status.json" >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.2
+  done
+done
+echo "obs-smoke: 3 nodes up (gossip :$P1-:$P3, http :$H1-:$H3)"
+
+# Publish one item through a transient bootstrap node; -settle gives the
+# cluster gossip rounds to propagate subscriptions before the publish and
+# to route the multicast after it.
+PUB_OUT=$(bin/newswire-pub -peers 127.0.0.1:$P1 -zone /usa/ny \
+  -publisher reuters -subject tech/linux -id obs-smoke-1 \
+  -headline "observability smoke item" -settle 6s)
+echo "$PUB_OUT" | tee "$ART/pub.log"
+KEY=$(echo "$PUB_OUT" | sed -n 's/^published \([^:]*\):.*/\1/p' | head -n 1)
+if [ -z "$KEY" ]; then
+  echo "obs-smoke: could not parse published key from newswire-pub output" >&2
+  exit 1
+fi
+
+# The collector: health convergence on every node, cross-process trace
+# join for the published key, offset-corrected slowest-path report.
+bin/newswire-loadgen -collect \
+  -nodes "127.0.0.1:$H1,127.0.0.1:$H2,127.0.0.1:$H3" \
+  -expect-nodes 3 -collect-timeout 60s -key "$KEY" \
+  2>&1 | tee "$ART/collect.log"
+
+echo "obs-smoke: OK"

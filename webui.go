@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"html"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"newswire/internal/astrolabe"
@@ -23,12 +25,15 @@ import (
 // user application (§10: "a full user control application ... with an
 // additional web interface for access"). It exposes:
 //
-//	GET /            – human-readable status page
-//	GET /status.json – machine-readable node status (incl. gossip/multicast counters)
-//	GET /items.json  – recent items from the message cache
-//	GET /zones.json  – the node's replicated zone tables (summarized)
-//	GET /trace.json  – recent delivery trace spans (live trace ring)
-//	GET /metrics     – Prometheus text exposition of the node's counters
+//	GET /                    – human-readable status page
+//	GET /status.json         – machine-readable node status (incl. gossip/multicast counters)
+//	GET /items.json          – recent items from the message cache
+//	GET /zones.json          – the node's replicated zone tables (summarized)
+//	GET /trace.json          – recent delivery trace spans (live trace ring);
+//	                           ?trace=<id> filters to one trace
+//	GET /cluster-health.json – cluster-wide health rollup from the local root table
+//	GET /metrics             – Prometheus text exposition of the node's counters
+//	GET /debug/pprof/*       – Go profiling endpoints (only with EnablePprof)
 //
 // Mount it on any http.Server; cmd/newswired wires it to -http.
 type WebUI struct {
@@ -36,7 +41,15 @@ type WebUI struct {
 	reg        *metrics.Registry
 	ring       *trace.Ring            // nil serves an empty /trace.json
 	engineInfo func() sim.EngineStats // nil omits the engine section
+	pprof      bool
 }
+
+// EnablePprof mounts the net/http/pprof profiling endpoints under
+// /debug/pprof/ on the next Handler call. Off by default: the profiler
+// exposes goroutine stacks and heap contents, which an operator must opt
+// into exposing (cmd/newswired's -pprof flag; DESIGN.md §12 documents the
+// profiling workflow).
+func (ui *WebUI) EnablePprof() { ui.pprof = true }
 
 // SetEngineStatsFunc installs a provider for the event engine's queue
 // statistics (pending events, high-water mark, fired/cancelled totals),
@@ -59,7 +72,15 @@ func (ui *WebUI) Handler() http.Handler {
 	mux.HandleFunc("/items.json", ui.handleItems)
 	mux.HandleFunc("/zones.json", ui.handleZones)
 	mux.HandleFunc("/trace.json", ui.handleTrace)
+	mux.HandleFunc("/cluster-health.json", ui.handleClusterHealth)
 	mux.HandleFunc("/metrics", ui.handleMetrics)
+	if ui.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -80,6 +101,9 @@ type statusDoc struct {
 	// Transport carries the live TCP data-path counters; omitted on the
 	// simulated transport, which has no sockets to count.
 	Transport *transport.Stats `json:"transport,omitempty"`
+	// ClockOffsets are the per-peer clock-offset estimates from the TCP
+	// transport's sync handshake; omitted in simulation.
+	ClockOffsets map[string]transport.ClockOffset `json:"clockOffsets,omitempty"`
 }
 
 func (ui *WebUI) status() statusDoc {
@@ -103,6 +127,9 @@ func (ui *WebUI) status() statusDoc {
 	if ts, ok := ui.node.TransportStats(); ok {
 		doc.Transport = &ts
 	}
+	if offs := ui.node.ClockOffsets(); len(offs) > 0 {
+		doc.ClockOffsets = offs
+	}
 	return doc
 }
 
@@ -122,7 +149,43 @@ func (ui *WebUI) handleTrace(w http.ResponseWriter, r *http.Request) {
 		doc.Recorded = ui.ring.Recorded()
 		doc.Spans = ui.ring.Spans()
 	}
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := strconv.ParseUint(q, 0, 64)
+		if err != nil {
+			http.Error(w, "trace: want a decimal or 0x-hex trace id", http.StatusBadRequest)
+			return
+		}
+		if filtered := trace.ByTrace(doc.Spans, id); filtered != nil {
+			doc.Spans = filtered
+		} else {
+			doc.Spans = []trace.Span{}
+		}
+	}
 	writeJSON(w, doc)
+}
+
+// clusterHealthDoc is the /cluster-health.json schema: the cluster-wide
+// rollup plus one summary per top-level zone, all computed from this
+// node's local replicated tables.
+type clusterHealthDoc struct {
+	Node    string                        `json:"node"`
+	Zone    string                        `json:"zone"`
+	Cluster core.HealthSummary            `json:"cluster"`
+	Zones   map[string]core.HealthSummary `json:"zones,omitempty"`
+}
+
+func (ui *WebUI) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	summary, ok := ui.node.ClusterHealth()
+	if !ok {
+		http.Error(w, "root table not replicated yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, clusterHealthDoc{
+		Node:    ui.node.Name(),
+		Zone:    ui.node.ZonePath(),
+		Cluster: summary,
+		Zones:   ui.node.ZoneHealth(),
+	})
 }
 
 func (ui *WebUI) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +297,7 @@ func (ui *WebUI) handleIndex(w http.ResponseWriter, r *http.Request) {
 			html.EscapeString(fmt.Sprint(it.Subjects)))
 	}
 	fmt.Fprint(w, "</table>")
-	fmt.Fprint(w, `<p><a href="/status.json">status.json</a> · <a href="/items.json">items.json</a> · <a href="/zones.json">zones.json</a> · <a href="/trace.json">trace.json</a> · <a href="/metrics">metrics</a></p>`)
+	fmt.Fprint(w, `<p><a href="/status.json">status.json</a> · <a href="/items.json">items.json</a> · <a href="/zones.json">zones.json</a> · <a href="/trace.json">trace.json</a> · <a href="/cluster-health.json">cluster-health.json</a> · <a href="/metrics">metrics</a></p>`)
 	fmt.Fprint(w, "</body></html>")
 }
 

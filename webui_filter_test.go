@@ -1,0 +1,99 @@
+package newswire
+
+// Internal tests for the /trace.json handler: the ?trace=<id> filter and
+// the bounded ring's eviction accounting as seen through the endpoint.
+// These construct the WebUI around a bare ring (no node), which only an
+// in-package test can do; the end-to-end live version is
+// TestWebUILiveTraceAndMetrics in webui_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"newswire/internal/trace"
+)
+
+func traceEndpointDoc(t *testing.T, ui *WebUI, url string) (traceDoc, int) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	ui.handleTrace(rec, req)
+	var doc traceDoc
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return doc, rec.Code
+}
+
+func TestTraceEndpointFilterByID(t *testing.T) {
+	ring := trace.NewRing(64)
+	idA := trace.DeriveTraceID("reuters/a#0")
+	idB := trace.DeriveTraceID("reuters/b#0")
+	base := time.Unix(1017619200, 0).UTC()
+	for i := 0; i < 3; i++ {
+		ring.Record(trace.Span{Kind: trace.KindForward, Key: "reuters/a#0", TraceID: idA, Hop: i, At: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	ring.Record(trace.Span{Kind: trace.KindDeliver, Key: "reuters/b#0", TraceID: idB, At: base.Add(time.Second)})
+	ui := &WebUI{ring: ring}
+
+	doc, code := traceEndpointDoc(t, ui, "/trace.json")
+	if code != 200 || len(doc.Spans) != 4 {
+		t.Fatalf("unfiltered: code %d, %d spans, want 200/4", code, len(doc.Spans))
+	}
+
+	// Decimal and 0x-hex spellings of the same ID must both work.
+	for _, q := range []string{fmt.Sprintf("%d", idA), fmt.Sprintf("%#x", idA)} {
+		doc, code = traceEndpointDoc(t, ui, "/trace.json?trace="+q)
+		if code != 200 || len(doc.Spans) != 3 {
+			t.Fatalf("trace=%s: code %d, %d spans, want 200/3", q, code, len(doc.Spans))
+		}
+		for _, s := range doc.Spans {
+			if s.TraceID != idA {
+				t.Errorf("trace=%s returned span of trace %#x", q, s.TraceID)
+			}
+		}
+	}
+
+	// An ID with no recorded spans filters to an empty list, not an error
+	// and not the full dump.
+	doc, code = traceEndpointDoc(t, ui, "/trace.json?trace=12345")
+	if code != 200 || len(doc.Spans) != 0 {
+		t.Fatalf("unknown id: code %d, %d spans, want 200/0", code, len(doc.Spans))
+	}
+
+	// Malformed IDs are a client error.
+	if _, code = traceEndpointDoc(t, ui, "/trace.json?trace=banana"); code != 400 {
+		t.Fatalf("malformed id: code %d, want 400", code)
+	}
+}
+
+func TestTraceEndpointBoundedEviction(t *testing.T) {
+	ring := trace.NewRing(4)
+	id := trace.DeriveTraceID("reuters/evict#0")
+	base := time.Unix(1017619200, 0).UTC()
+	for i := 0; i < 10; i++ {
+		ring.Record(trace.Span{Kind: trace.KindForward, Key: "reuters/evict#0", TraceID: id, Hop: i, At: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	ui := &WebUI{ring: ring}
+
+	doc, code := traceEndpointDoc(t, ui, "/trace.json")
+	if code != 200 {
+		t.Fatalf("code %d", code)
+	}
+	if doc.Recorded != 10 {
+		t.Errorf("recorded = %d, want 10 (evicted spans still counted)", doc.Recorded)
+	}
+	if len(doc.Spans) != 4 {
+		t.Fatalf("retained %d spans, want ring capacity 4", len(doc.Spans))
+	}
+	for i, s := range doc.Spans {
+		if want := 6 + i; s.Hop != want {
+			t.Errorf("spans[%d].Hop = %d, want %d (oldest evicted first)", i, s.Hop, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package newswire_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -362,5 +363,134 @@ func TestWebUIIndexHTML(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != 404 {
 		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+// TestWebUIEndpointConsistency cross-checks the three observability
+// surfaces over one node: /status.json counters, the /metrics exposition
+// mirrored from the same counters, and the gossip-aggregated
+// /cluster-health.json rollup must all describe the same cluster state.
+func TestWebUIEndpointConsistency(t *testing.T) {
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N: 4, Branching: 4, Seed: 404,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.HealthEvery = 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cluster.Nodes {
+		if err := n.Subscribe("tech/linux"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster.RunRounds(6)
+	item := &newswire.Item{
+		Publisher: "slashdot", ID: "consistency-item",
+		Headline: "endpoint consistency story", Body: "body",
+		Subjects:  []string{"tech/linux"},
+		Published: cluster.Eng.Now(),
+	}
+	if err := cluster.Nodes[0].PublishItem(item, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(5 * time.Second)
+	// Let every node fold the delivery into its next health digest
+	// (HealthEvery=2) and gossip the digests back up.
+	cluster.RunRounds(10)
+
+	ui := newswire.NewWebUI(cluster.Nodes[1])
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	var status struct {
+		Delivered int64 `json:"delivered"`
+		Multicast struct {
+			Delivered int64 `json:"Delivered"`
+		} `json:"multicast"`
+		Cache struct {
+			Puts int64 `json:"Puts"`
+		} `json:"cache"`
+	}
+	getJSON("/status.json", &status)
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlabeled sample lines ("name value") from the exposition.
+	samples := map[string]string{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, value, ok := strings.Cut(line, " "); ok && !strings.Contains(name, "{") {
+			samples[name] = value
+		}
+	}
+	wantSample := func(name string, want int64) {
+		t.Helper()
+		if got := samples[name]; got != fmt.Sprint(want) {
+			t.Errorf("/metrics %s = %q, /status.json says %d", name, got, want)
+		}
+	}
+	wantSample("multicast_delivered", status.Multicast.Delivered)
+	wantSample("newswire_delivered_items", status.Delivered)
+	wantSample("cache_puts", status.Cache.Puts)
+	if status.Delivered != 1 || status.Multicast.Delivered != 1 {
+		t.Errorf("delivered = %d, multicast delivered = %d, want 1/1",
+			status.Delivered, status.Multicast.Delivered)
+	}
+
+	var health struct {
+		Node    string `json:"node"`
+		Cluster struct {
+			Nodes        int64  `json:"nodes"`
+			LatencyCount uint64 `json:"latencyCount"`
+		} `json:"cluster"`
+		Zones map[string]struct {
+			Nodes int64 `json:"nodes"`
+		} `json:"zones"`
+	}
+	getJSON("/cluster-health.json", &health)
+	if health.Node != "node-1" {
+		t.Errorf("cluster-health node = %q", health.Node)
+	}
+	if health.Cluster.Nodes != 4 {
+		t.Errorf("health rollup sees %d nodes, want all 4", health.Cluster.Nodes)
+	}
+	// Every node delivered the one item, and the merged latency sketch
+	// must account for all four deliveries — not just this node's.
+	if health.Cluster.LatencyCount != 4 {
+		t.Errorf("merged latency count = %d, want 4 (one delivery per node)",
+			health.Cluster.LatencyCount)
+	}
+	var zoneNodes int64
+	for _, z := range health.Zones {
+		zoneNodes += z.Nodes
+	}
+	if zoneNodes != health.Cluster.Nodes {
+		t.Errorf("zone rollups cover %d nodes, cluster rollup %d", zoneNodes, health.Cluster.Nodes)
 	}
 }
