@@ -8,7 +8,7 @@ SHELL := bash
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke e11 e11-smoke e12 obs-smoke tables tables-quick tables-big examples clean
+.PHONY: all build test vet race fmt-check lint smoke bench bench-smoke bench-mem bench-compare chaos chaos-smoke e8 e8-smoke e11 e11-smoke e12 obs-smoke tables tables-quick tables-big examples clean
 
 all: build vet test
 
@@ -110,6 +110,26 @@ chaos-smoke: bin/newswire-bench
 	git show HEAD:artifacts/BENCH_E10.json > artifacts/BENCH_E10.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E10.baseline.json
 	bin/newswire-bench -scenario partition-heal,scramble-converge -workers -1 -verify-parallel -json artifacts/chaos-smoke | tee artifacts/chaos-smoke.txt
 	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E10.baseline.json -current artifacts/chaos-smoke/BENCH_E10.json | tee artifacts/chaos-smoke-gate.txt
+
+# Routing-precision sweep (E8): predicate signatures vs. Bloom vs.
+# attribute summaries over one identical workload per subscription count,
+# gated on equal recall, the predicate arm's false-positive cut (drops
+# <= 50% of bloom's) and its gossip-bytes budget (<= 1.10x bloom), plus
+# per-arm bytes drift against the committed BENCH_E8.json baseline.
+e8: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E8.json > artifacts/BENCH_E8.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E8.baseline.json
+	bin/newswire-bench -run E8 -workers -1 -verify-parallel -json artifacts | tee artifacts/e8.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E8.baseline.json -current artifacts/BENCH_E8.json | tee artifacts/e8-gate.txt
+
+# PR-sized precision gate: the quick sweep (16 and 256 subject pools)
+# under the same serial-equality and benchgate checks; baseline-only
+# labels (the full run's 64/1024 pools) are skipped by the drift bound.
+e8-smoke: bin/newswire-bench
+	mkdir -p artifacts
+	git show HEAD:artifacts/BENCH_E8.json > artifacts/BENCH_E8.baseline.json 2>/dev/null || echo '{}' > artifacts/BENCH_E8.baseline.json
+	bin/newswire-bench -run E8 -quick -workers -1 -verify-parallel -json artifacts/e8-smoke | tee artifacts/e8-smoke.txt
+	$(GO) run ./cmd/benchgate -baseline artifacts/BENCH_E8.baseline.json -current artifacts/e8-smoke/BENCH_E8.json | tee artifacts/e8-smoke-gate.txt
 
 # Live-transport fan-out benchmark (E11): 10,000 loopback subscriber
 # connections against one hub over real sockets, the asynchronous writer

@@ -202,7 +202,7 @@ func BenchmarkValueMapCodec(b *testing.B) {
 
 func BenchmarkForwardFilterBloom(b *testing.B) {
 	geo := pubsub.DefaultGeometry
-	filter := pubsub.ForwardFilter(pubsub.ModeBloom, geo)
+	filter := pubsub.ForwardFilter(pubsub.ModeBloom, geo, nil)
 	f := bloom.New(geo.Bits, geo.Hashes)
 	f.Add("tech/linux")
 	row := astrolabe.Row{

@@ -61,6 +61,9 @@ func run(args []string) error {
 		maxP99     = fs.Float64("max-p99-ms", 0, "live transport: clean-p99 latency ceiling in ms for the async arm (0 = off)")
 		minSpeedup = fs.Float64("min-speedup", 0, "live transport: required async/sync sustained-throughput ratio (0 = off)")
 		maxObs     = fs.Float64("max-obs-overhead", 0.05, "observability: allowed fractional bytes/round and ns/round overhead of the health+trace arm over off (E12)")
+		minRecall  = fs.Float64("min-recall", 0.999, "precision: required delivery recall per arm (E8)")
+		maxFPRatio = fs.Float64("max-fp-ratio", 0.5, "precision: allowed predicate/bloom false-positive-drop ratio per subscription count (E8)")
+		maxBytes   = fs.Float64("max-bytes-ratio", 1.10, "precision: allowed predicate/bloom gossip bytes/round/node ratio per subscription count (E8)")
 		compare    = fs.Bool("compare", false, "diff two `go test -bench` output files (positional args)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +79,7 @@ func run(args []string) error {
 		return fmt.Errorf("need -baseline and -current (or -compare old.txt new.txt)")
 	}
 	return gate(*baseline, *current, *maxRegress, *maxHeap, *maxConv, *minDeliver,
-		*minMsgsSec, *maxP99, *minSpeedup, *maxObs)
+		*minMsgsSec, *maxP99, *minSpeedup, *maxObs, *minRecall, *maxFPRatio, *maxBytes)
 }
 
 // benchArtifact is the slice of the BENCH_<ID>.json schema the gate needs.
@@ -102,6 +105,22 @@ type benchArtifact struct {
 	// Observability arms (BENCH_E12.json) are gated on the overhead
 	// ratio of the fully-enabled arm over the disabled one.
 	Obs []obsArm `json:"obs"`
+	// Precision rows (BENCH_E8.json) are gated intra-artifact on the
+	// predicate-vs-bloom routing-precision ratios, plus a per-label
+	// bytes/round/node regression bound against the baseline.
+	Precision []precisionRow `json:"precision"`
+}
+
+type precisionRow struct {
+	Label                string  `json:"label"`
+	Mode                 string  `json:"mode"`
+	Subscriptions        int     `json:"subscriptions"`
+	Recall               float64 `json:"recall"`
+	ExactMatches         int64   `json:"exact_matches"`
+	FPDrops              int64   `json:"false_positive_drops"`
+	FPRate               float64 `json:"fp_rate"`
+	Forwards             int64   `json:"forwards"`
+	BytesPerRoundPerNode float64 `json:"bytes_per_round_per_node"`
 }
 
 type obsArm struct {
@@ -144,7 +163,7 @@ type chaosRow struct {
 	MaxRounds           int     `json:"max_rounds"`
 }
 
-func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver, minMsgsSec, maxP99, minSpeedup, maxObs float64) error {
+func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv int, minDeliver, minMsgsSec, maxP99, minSpeedup, maxObs, minRecall, maxFPRatio, maxBytesRatio float64) error {
 	var base, cur benchArtifact
 	if err := readJSON(baselinePath, &base); err != nil {
 		return err
@@ -160,6 +179,9 @@ func gate(baselinePath, currentPath string, maxRegress, maxHeap float64, maxConv
 	}
 	if len(cur.Obs) > 0 || len(base.Obs) > 0 {
 		return gateObs(baselinePath, base, cur, maxObs)
+	}
+	if len(cur.Precision) > 0 || len(base.Precision) > 0 {
+		return gateE8(baselinePath, base, cur, minRecall, maxFPRatio, maxBytesRatio, maxRegress)
 	}
 	if len(base.Wire) == 0 {
 		// A pre-codec artifact has no wire section: nothing to gate
@@ -339,6 +361,98 @@ func gateObs(baselinePath string, base, cur benchArtifact, maxObs float64) error
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("observability gate failed: %s (baseline %s)",
+			strings.Join(problems, "; "), baselinePath)
+	}
+	return nil
+}
+
+// gateE8 enforces the routing-precision bounds on the current artifact
+// (BENCH_E8.json). Intra-artifact, per subscription count: every arm must
+// hit the recall floor (equal recall is the precondition for comparing
+// waste), the predicate arm's false-positive drops must stay under
+// maxFPRatio of the bloom arm's, and its gossip bytes/round/node under
+// maxBytesRatio of bloom's. Against the baseline, each label's
+// bytes/round/node may regress at most maxRegress — the same drift bound
+// the wire gate uses. The FP comparison is only meaningful when the bloom
+// arm actually suffered false positives; a zero-FP bloom row passes the
+// ratio vacuously.
+func gateE8(baselinePath string, base, cur benchArtifact, minRecall, maxFPRatio, maxBytesRatio, maxRegress float64) error {
+	if len(cur.Precision) == 0 {
+		return fmt.Errorf("current artifact has no precision rows")
+	}
+	type pair struct{ bloom, pred *precisionRow }
+	bySubs := map[int]*pair{}
+	var problems []string
+	for i := range cur.Precision {
+		p := &cur.Precision[i]
+		if p.Recall < minRecall {
+			problems = append(problems, fmt.Sprintf("%s recall %.4f < floor %.4f", p.Label, p.Recall, minRecall))
+		}
+		pr := bySubs[p.Subscriptions]
+		if pr == nil {
+			pr = &pair{}
+			bySubs[p.Subscriptions] = pr
+		}
+		switch p.Mode {
+		case "bloom":
+			pr.bloom = p
+		case "predicate":
+			pr.pred = p
+		}
+		fmt.Printf("benchgate: %-28s recall %.3f, fp drops %d (rate %.1f%%), forwards %d, %.0f B/round/node\n",
+			p.Label, p.Recall, p.FPDrops, p.FPRate*100, p.Forwards, p.BytesPerRoundPerNode)
+	}
+	subs := make([]int, 0, len(bySubs))
+	for s := range bySubs {
+		subs = append(subs, s)
+	}
+	sort.Ints(subs)
+	for _, s := range subs {
+		pr := bySubs[s]
+		if pr.bloom == nil || pr.pred == nil {
+			problems = append(problems, fmt.Sprintf("%d subs: missing bloom and/or predicate arm", s))
+			continue
+		}
+		if float64(pr.pred.FPDrops) > maxFPRatio*float64(pr.bloom.FPDrops) {
+			problems = append(problems, fmt.Sprintf("%d subs: predicate fp drops %d > %.0f%% of bloom's %d",
+				s, pr.pred.FPDrops, maxFPRatio*100, pr.bloom.FPDrops))
+		}
+		if pr.bloom.BytesPerRoundPerNode > 0 {
+			ratio := pr.pred.BytesPerRoundPerNode / pr.bloom.BytesPerRoundPerNode
+			status := "ok"
+			if ratio > maxBytesRatio {
+				status = fmt.Sprintf("EXCEEDS budget %.2fx", maxBytesRatio)
+				problems = append(problems, fmt.Sprintf("%d subs: predicate bytes %.2fx bloom > %.2fx",
+					s, ratio, maxBytesRatio))
+			}
+			fmt.Printf("benchgate: %6d subs predicate/bloom bytes %.2fx (budget %.2fx) %s\n",
+				s, ratio, maxBytesRatio, status)
+		}
+	}
+	// Per-label drift against the committed baseline, same bound as the
+	// wire gate. Baseline-only labels (big-run points) are skipped.
+	curByLabel := map[string]*precisionRow{}
+	for i := range cur.Precision {
+		curByLabel[cur.Precision[i].Label] = &cur.Precision[i]
+	}
+	for i := range base.Precision {
+		b := &base.Precision[i]
+		got, ok := curByLabel[b.Label]
+		if !ok || b.BytesPerRoundPerNode <= 0 {
+			continue
+		}
+		delta := (got.BytesPerRoundPerNode - b.BytesPerRoundPerNode) / b.BytesPerRoundPerNode
+		status := "ok"
+		if delta > maxRegress {
+			status = fmt.Sprintf("REGRESSED beyond %.0f%%", maxRegress*100)
+			problems = append(problems, fmt.Sprintf("%s bytes/round/node %+.1f%% vs baseline > %.0f%%",
+				b.Label, delta*100, maxRegress*100))
+		}
+		fmt.Printf("benchgate: %-28s %.0f -> %.0f B/round/node (%+.1f%%) %s\n",
+			b.Label, b.BytesPerRoundPerNode, got.BytesPerRoundPerNode, delta*100, status)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("precision gate failed: %s (baseline %s)",
 			strings.Join(problems, "; "), baselinePath)
 	}
 	return nil

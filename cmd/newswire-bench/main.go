@@ -79,10 +79,14 @@ type jsonReport struct {
 	// Obs is the per-arm observability-overhead outcome (E12): bytes,
 	// time and allocs per gossip round with the self-monitoring plane
 	// off/on, gated by benchgate's enabled-vs-disabled ratio bounds.
-	Obs      []experiments.ObsArm       `json:"obs,omitempty"`
-	Verified bool                       `json:"verified_against_serial,omitempty"`
-	Bench    *experiments.SpeedupReport `json:"bench,omitempty"`
-	Traces   []*experiments.TraceReport `json:"traces,omitempty"`
+	Obs []experiments.ObsArm `json:"obs,omitempty"`
+	// Precision is the per-arm routing-precision outcome (E8): recall,
+	// false-positive forwards and summary bytes per subscription-summary
+	// mode, gated by benchgate's predicate-vs-bloom bounds.
+	Precision []experiments.PrecisionRow `json:"precision,omitempty"`
+	Verified  bool                       `json:"verified_against_serial,omitempty"`
+	Bench     *experiments.SpeedupReport `json:"bench,omitempty"`
+	Traces    []*experiments.TraceReport `json:"traces,omitempty"`
 }
 
 // heapSampler polls HeapInuse until stopped and reports the peak. With
@@ -252,7 +256,7 @@ func run(args []string) error {
 			serialOpt := opt
 			serialOpt.Workers = 0
 			serialTable := r.Run(serialOpt)
-			if got, wantT := table.String(), serialTable.String(); got != wantT {
+			if got, wantT := table.ComparableString(), serialTable.ComparableString(); got != wantT {
 				return fmt.Errorf("%s: parallel table differs from serial table:\n--- parallel ---\n%s--- serial ---\n%s",
 					r.ID, got, wantT)
 			}
@@ -288,9 +292,10 @@ func run(args []string) error {
 				GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 				WallSeconds: wall.Seconds(), Verified: verified,
 				PeakHeapBytes: peakHeap, Wire: table.Wire,
-				Chaos:  table.Chaos,
-				Obs:    table.Obs,
-				Traces: table.Traces,
+				Chaos:     table.Chaos,
+				Obs:       table.Obs,
+				Precision: table.Precision,
+				Traces:    table.Traces,
 			}
 			if table.Nodes > 0 && peakHeap > 0 {
 				rep.HeapNodes = table.Nodes

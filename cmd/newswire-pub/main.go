@@ -38,6 +38,7 @@ func run(args []string) error {
 	var (
 		peers     = fs.String("peers", "", "comma-separated seed peer addresses (required)")
 		zone      = fs.String("zone", "/default", "leaf zone to join")
+		mode      = fs.String("mode", "", "cluster subscription-summary mode: bloom (default), attributes, category-mask or predicate — must match the subscribers")
 		publisher = fs.String("publisher", "", "publisher name (required)")
 		scope     = fs.String("scope", "/", "dissemination scope zone (§8)")
 		predicate = fs.String("predicate", "", "forwarding predicate over zone attributes (§8)")
@@ -61,8 +62,12 @@ func run(args []string) error {
 		return fmt.Errorf("-publisher is required")
 	}
 
+	summaryMode, err := newswire.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
 	ln, err := newswire.StartLive(newswire.LiveConfig{
-		Node:  newswire.Config{ZonePath: *zone},
+		Node:  newswire.Config{ZonePath: *zone, Mode: summaryMode},
 		Peers: strings.Split(*peers, ","),
 	})
 	if err != nil {

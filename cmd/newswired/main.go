@@ -67,7 +67,9 @@ func run(args []string) error {
 		zone      = fs.String("zone", "/default", "leaf zone path, e.g. /usa/ny")
 		name      = fs.String("name", "", "node name (default derived from address)")
 		peers     = fs.String("peers", "", "comma-separated seed peer addresses")
+		mode      = fs.String("mode", "", "subscription-summary mode: bloom (default), attributes, category-mask or predicate")
 		subscribe = fs.String("subscribe", "", "comma-separated subscription subjects")
+		queryStr  = fs.String("query", "", "typed predicate subscription, e.g. \"subjects = 'tech/linux' AND urgency >= 6\" (requires -mode predicate; repeatable via ';')")
 		predicate = fs.String("predicate", "", "SQL selection predicate over item metadata")
 		interval  = fs.Duration("interval", 2*time.Second, "gossip interval")
 		httpAddr  = fs.String("http", "", "serve the status web interface on this address (e.g. 127.0.0.1:8080)")
@@ -89,6 +91,14 @@ func run(args []string) error {
 		return err
 	}
 
+	summaryMode, err := newswire.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	if *queryStr != "" && summaryMode != newswire.ModePredicate {
+		return fmt.Errorf("-query requires -mode predicate")
+	}
+
 	cfg := newswire.LiveConfig{
 		ListenAddr: *listen,
 		Transport: transport.TCPOptions{
@@ -98,6 +108,7 @@ func run(args []string) error {
 		Node: newswire.Config{
 			Name:           *name,
 			ZonePath:       *zone,
+			Mode:           summaryMode,
 			GossipInterval: *interval,
 			OnItem: func(it *news.Item, env *wire.ItemEnvelope) {
 				logger.Info("item delivered",
@@ -142,6 +153,19 @@ func run(args []string) error {
 			return err
 		}
 		logger.Info("subscribed", "subjects", *subscribe)
+	}
+	if *queryStr != "" {
+		for _, q := range strings.Split(*queryStr, ";") {
+			q = strings.TrimSpace(q)
+			if q == "" {
+				continue
+			}
+			canon, err := ln.Node().SubscribeQuery(q)
+			if err != nil {
+				return err
+			}
+			logger.Info("query subscribed", "query", canon)
+		}
 	}
 	if *predicate != "" {
 		if err := ln.Node().SetPredicate(*predicate); err != nil {

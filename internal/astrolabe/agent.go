@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"newswire/internal/bloom"
 	"newswire/internal/metrics"
 	"newswire/internal/sqlagg"
 	"newswire/internal/transport"
@@ -122,6 +123,13 @@ const (
 	// PrefixSketch merges encoded metrics.Sketch byte values bucket-wise,
 	// so latency distributions aggregate losslessly up the hierarchy.
 	PrefixSketch
+	// PrefixSubgroup merges encoded bloom signature sets
+	// (bloom.MergeSignatureSets): subgroup filters from both sides are
+	// concatenated and greedily re-clustered down to the larger side's K,
+	// so a zone row summarizes its children's predicate subscriptions as
+	// up to K tight subgroup filters instead of one saturated OR (§7,
+	// pubsub.ModePredicate).
+	PrefixSubgroup
 )
 
 // PrefixRule aggregates every attribute whose name starts with Prefix,
@@ -1306,6 +1314,16 @@ func mergePrefixValue(op PrefixOp, acc, v value.Value) value.Value {
 			return acc
 		}
 		return value.Bytes(merged)
+	case PrefixSubgroup:
+		ab, ok1 := acc.RawBytes()
+		vb, ok2 := v.RawBytes()
+		if !ok1 {
+			return v
+		}
+		if !ok2 {
+			return acc
+		}
+		return value.Bytes(bloom.MergeSignatureSets(ab, vb))
 	default:
 		return acc
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"newswire/internal/astrolabe"
+	"newswire/internal/bloom"
 	"newswire/internal/cache"
 	"newswire/internal/flow"
 	"newswire/internal/metrics"
@@ -65,6 +66,9 @@ type Config struct {
 	Geometry pubsub.Geometry
 	// Vocabulary backs ModeCategoryMask. Default news.StandardSubjects.
 	Vocabulary []string
+	// SubgroupK bounds subgroup filters per zone row (ModePredicate).
+	// Default pubsub.DefaultSubgroupK.
+	SubgroupK int
 
 	// RepCount is the forwarding redundancy k. Default 1.
 	RepCount int
@@ -180,6 +184,10 @@ type Node struct {
 	// digest changed, so an idle node's health attributes go quiet
 	// instead of re-dirtying its zone every interval.
 	lastHealth value.Map
+	// routing collects routing-precision telemetry: positive forwarding
+	// decisions, leaf exact matches vs false-positive drops, subgroup
+	// filters consulted.
+	routing pubsub.Counters
 
 	mu         sync.Mutex
 	delivered  int64
@@ -223,6 +231,9 @@ func NewNode(cfg Config) (*Node, error) {
 	case pubsub.ModeCategoryMask:
 		prefixRules = append(prefixRules,
 			astrolabe.PrefixRule{Prefix: pubsub.AttrPubPrefix, Op: astrolabe.PrefixBitOr})
+	case pubsub.ModePredicate:
+		prefixRules = append(prefixRules,
+			astrolabe.PrefixRule{Prefix: pubsub.AttrSubGroups, Op: astrolabe.PrefixSubgroup})
 	}
 	if cfg.HealthEvery > 0 {
 		prefixRules = append(prefixRules, astrolabe.HealthRules()...)
@@ -256,6 +267,8 @@ func NewNode(cfg Config) (*Node, error) {
 		Mode:       cfg.Mode,
 		Geometry:   cfg.Geometry,
 		Vocabulary: cfg.Vocabulary,
+		SubgroupK:  cfg.SubgroupK,
+		Counters:   &n.routing,
 	})
 	if err != nil {
 		return nil, err
@@ -318,7 +331,7 @@ func NewNode(cfg Config) (*Node, error) {
 // per-publisher admission control at this forwarding component (§8:
 // forwarders "protect the system from flooding by publishers").
 func (n *Node) forwardFilter() multicast.Filter {
-	base := pubsub.ForwardFilter(n.cfg.Mode, n.cfg.Geometry)
+	base := pubsub.ForwardFilter(n.cfg.Mode, n.cfg.Geometry, &n.routing)
 	return func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
 		return base(zone, row, env)
 	}
@@ -350,6 +363,12 @@ func (n *Node) FillMetrics(reg *metrics.Registry) {
 	reg.Counter("multicast_retries_sent").SyncTo(rst.RetriesSent)
 	reg.Counter("multicast_failovers_total").SyncTo(rst.FailoversTotal)
 	reg.Counter("multicast_delivery_failures").SyncTo(rst.DeliveryFailures)
+	pst := n.routing.Snapshot()
+	reg.Counter("pubsub_forwards").SyncTo(pst.Forwards)
+	reg.Counter("pubsub_false_positive_drops").SyncTo(pst.FalsePositiveDrops)
+	reg.Counter("pubsub_exact_matches").SyncTo(pst.ExactMatches)
+	reg.Counter("pubsub_subgroup_tests").SyncTo(pst.SubgroupTests)
+	reg.Gauge("pubsub_subgroup_filters").Set(float64(n.SubgroupFilters()))
 	cst := n.cache.Stats()
 	reg.Counter("cache_puts").SyncTo(cst.Puts)
 	reg.Counter("cache_duplicates").SyncTo(cst.Duplicates)
@@ -446,8 +465,45 @@ func (n *Node) SetPredicate(expr string) error {
 	return n.sub.SetPredicate(expr)
 }
 
+// SubscribeQuery registers a typed predicate subscription (ModePredicate)
+// and returns its canonical form.
+func (n *Node) SubscribeQuery(src string) (string, error) {
+	return n.sub.SubscribeQuery(src)
+}
+
+// UnsubscribeQuery removes a predicate subscription.
+func (n *Node) UnsubscribeQuery(src string) error {
+	return n.sub.UnsubscribeQuery(src)
+}
+
+// Queries returns the node's predicate subscriptions in canonical form.
+func (n *Node) Queries() []string { return n.sub.Queries() }
+
 // Subjects returns the node's current subscriptions.
 func (n *Node) Subjects() []string { return n.sub.Subjects() }
+
+// RoutingStats snapshots the node's routing-precision counters.
+func (n *Node) RoutingStats() pubsub.CounterSnapshot { return n.routing.Snapshot() }
+
+// SubgroupFilters counts the subgroup signature filters advertised by the
+// sibling rows of this node's zone chain — the rows its own forwarding
+// decisions test. A low count with high precision means clustering is
+// doing its job.
+func (n *Node) SubgroupFilters() int {
+	total := 0
+	for _, zone := range n.agent.Chain() {
+		rows, ok := n.agent.Table(zone)
+		if !ok {
+			continue
+		}
+		for _, r := range rows {
+			if enc, ok := r.Attrs[pubsub.AttrSubGroups].RawBytes(); ok {
+				total += bloom.SignatureSetLen(enc)
+			}
+		}
+	}
+	return total
+}
 
 // SetLoad advertises the node's load for representative election.
 func (n *Node) SetLoad(load float64) {
@@ -755,12 +811,19 @@ func (n *Node) ZoneRepresentatives(zone string) []string {
 // RequestStateTransfer asks a peer's cache for items published since t
 // that match this node's subscriptions — the joining/recovery path of §9.
 func (n *Node) RequestStateTransfer(peer string, since time.Time, maxItems int) error {
+	subjects := n.sub.Subjects()
+	if n.cfg.Mode == pubsub.ModePredicate && len(n.sub.Queries()) > 0 {
+		// Predicate subscriptions can match items outside the plain
+		// subject set; ask for the whole window and let ShouldDeliver
+		// filter the reply exactly.
+		subjects = nil
+	}
 	return n.cfg.Transport.Send(peer, &wire.Message{
 		Kind: wire.KindStateRequest,
 		StateRequest: &wire.StateRequest{
 			Since:    since,
 			MaxItems: maxItems,
-			Subjects: n.sub.Subjects(),
+			Subjects: subjects,
 		},
 	})
 }

@@ -793,3 +793,96 @@ func TestMultiHashBloomGeometryEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterPredicateMode runs the §7 target design end to end: typed
+// query subscriptions compile to Bloom signatures, aggregate with zone
+// subgrouping, and the forwarding plane prunes items whose metadata the
+// predicates cannot match — before the leaf's exact check.
+func TestClusterPredicateMode(t *testing.T) {
+	delivered := make(map[int][]string)
+	c, err := NewCluster(ClusterConfig{
+		N:         12,
+		Branching: 4,
+		Seed:      42,
+		Customize: func(i int, cfg *Config) {
+			cfg.Mode = pubsub.ModePredicate
+			cfg.Geometry = pubsub.Geometry{Bits: 2048, Hashes: 4}
+			cfg.OnItem = func(it *news.Item, env *wire.ItemEnvelope) {
+				delivered[i] = append(delivered[i], it.Key())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even nodes want urgent linux news via a typed query; node 1 uses a
+	// plain subject subscription (still supported in predicate mode); the
+	// rest subscribe to an unrelated subject.
+	for i, n := range c.Nodes {
+		switch {
+		case i%2 == 0:
+			if _, err := n.SubscribeQuery("subjects = 'tech/linux' AND urgency >= 6"); err != nil {
+				t.Fatal(err)
+			}
+		case i == 1:
+			if err := n.Subscribe("tech/linux"); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := n.Subscribe("sports/soccer"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.RunRounds(10)
+
+	hot := testItem("hot", "tech/linux")
+	hot.Urgency = 7
+	calm := testItem("calm", "tech/linux")
+	calm.Urgency = 2
+	if err := c.Nodes[0].PublishItem(hot, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[0].PublishItem(calm, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(10 * time.Second)
+
+	for i := range c.Nodes {
+		var want []string
+		switch {
+		case i%2 == 0:
+			want = []string{"slashdot/hot#0"}
+		case i == 1:
+			want = []string{"slashdot/hot#0", "slashdot/calm#0"}
+		}
+		if len(delivered[i]) != len(want) {
+			t.Errorf("node %d delivered %v, want %v", i, delivered[i], want)
+			continue
+		}
+		got := make(map[string]bool, len(delivered[i]))
+		for _, k := range delivered[i] {
+			got[k] = true
+		}
+		for _, k := range want {
+			if !got[k] {
+				t.Errorf("node %d missing %s (got %v)", i, k, delivered[i])
+			}
+		}
+	}
+
+	// The routing plane should have recorded forwards and subgroup tests,
+	// and some zone rows should advertise clustered subgroup filters.
+	var forwards, subTests int64
+	filters := 0
+	for _, n := range c.Nodes {
+		rs := n.RoutingStats()
+		forwards += rs.Forwards
+		subTests += rs.SubgroupTests
+		filters += n.SubgroupFilters()
+	}
+	if forwards == 0 || subTests == 0 || filters == 0 {
+		t.Errorf("routing telemetry empty: forwards=%d subgroupTests=%d filters=%d",
+			forwards, subTests, filters)
+	}
+}

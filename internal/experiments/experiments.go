@@ -81,6 +81,53 @@ type Table struct {
 	// Chaos); newswire-bench persists it into BENCH_E12.json, where
 	// benchgate bounds the enabled-vs-disabled overhead ratios.
 	Obs []ObsArm
+	// Precision holds the raw per-arm routing-precision figures when the
+	// experiment is the E8 subscription-summary sweep. Render and String
+	// ignore it (like Chaos and Obs); newswire-bench persists it into
+	// BENCH_E8.json, where benchgate requires the predicate arm to cut
+	// false-positive forwarding versus plain Bloom at equal recall
+	// without blowing up gossip bytes.
+	Precision []PrecisionRow
+	// Volatile names columns whose cells are wall-clock measurements —
+	// meaningful in the rendered table but not reproducible between runs.
+	// ComparableString masks them so the serial-vs-parallel determinism
+	// gate compares only the deterministic cells.
+	Volatile []string
+}
+
+// PrecisionRow records one E8 arm (subscription count × summary mode):
+// how precisely the zone-level forwarding test tracked the subscribers'
+// exact interests, and what the summary cost on the wire.
+type PrecisionRow struct {
+	// Label names the arm, e.g. "256 subs / predicate".
+	Label string `json:"label"`
+	// Mode is the pubsub summary mode name.
+	Mode string `json:"mode"`
+	// Subscriptions is the subject-pool size of the arm.
+	Subscriptions int `json:"subscriptions"`
+	// RootAttrs is the widest root-zone row (gossip payload growth).
+	RootAttrs int `json:"root_row_attrs"`
+	// Recall is delivered / expected exact matches (1.0 = no lost items).
+	Recall float64 `json:"recall"`
+	// ExactMatches counts leaf deliveries that matched exactly.
+	ExactMatches int64 `json:"exact_matches"`
+	// FPDrops counts leaf arrivals the exact test discarded — items the
+	// summary forwarded for nothing.
+	FPDrops int64 `json:"false_positive_drops"`
+	// FPRate is FPDrops / (FPDrops + ExactMatches).
+	FPRate float64 `json:"fp_rate"`
+	// Forwards counts positive zone-level forwarding decisions.
+	Forwards int64 `json:"forwards"`
+	// SubgroupTests counts subgroup filters consulted (predicate mode).
+	SubgroupTests int64 `json:"subgroup_tests"`
+	// BytesPerRoundPerNode is steady-state gossip load in a publish-free
+	// window — the price of carrying the summary in the hierarchy.
+	BytesPerRoundPerNode float64 `json:"bytes_per_round_per_node"`
+	// NsPerDecision is the forwarding-filter cost against a root row.
+	NsPerDecision int64 `json:"ns_per_decision"`
+	// SubgroupFilters is the cluster-wide count of aggregated subgroup
+	// filters visible from node 0 (predicate mode; 0 otherwise).
+	SubgroupFilters int `json:"subgroup_filters"`
 }
 
 // WireUsage records the simulated network's byte load for one
@@ -161,6 +208,36 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// ComparableString renders the table with every Volatile column's cells
+// replaced by "-", for executor-equality comparisons: two runs of a
+// deterministic experiment must agree on everything except wall-clock
+// cells.
+func (t *Table) ComparableString() string {
+	if len(t.Volatile) == 0 {
+		return t.String()
+	}
+	masked := *t
+	vol := make(map[int]bool, len(t.Volatile))
+	for i, c := range t.Columns {
+		for _, v := range t.Volatile {
+			if c == v {
+				vol[i] = true
+			}
+		}
+	}
+	masked.Rows = make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		out := append([]string(nil), row...)
+		for i := range out {
+			if vol[i] {
+				out[i] = "-"
+			}
+		}
+		masked.Rows[r] = out
+	}
+	return masked.String()
+}
+
 // Runner is one experiment entry point.
 type Runner struct {
 	ID   string
@@ -178,7 +255,7 @@ func All() []Runner {
 		{ID: "E5", Name: "flash-crowd overload", Run: RunE5},
 		{ID: "E6", Name: "robustness under forwarder failure", Run: RunE6},
 		{ID: "E7", Name: "gossip convergence to the root", Run: RunE7},
-		{ID: "E8", Name: "Bloom vs. per-subscription attributes", Run: RunE8},
+		{ID: "E8", Name: "subscription-summary precision (predicate vs. Bloom vs. attributes)", Run: RunE8},
 		{ID: "A1", Name: "forwarding queue strategies", Run: RunA1},
 		{ID: "A2", Name: "representative election policies", Run: RunA2},
 		{ID: "A3", Name: "publication zone scoping", Run: RunA3},

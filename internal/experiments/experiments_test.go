@@ -350,41 +350,87 @@ func TestE7DeltaEquivalenceUnderLoss(t *testing.T) {
 }
 
 func TestE8AttributesScaleWorse(t *testing.T) {
-	tab := RunE8(quick)
-	// Pair rows (bloom, attributes) per subscription count.
-	type pair struct{ bloom, attrs []string }
-	pairs := map[string]*pair{}
+	tab := e8Quick(t)
+	// Index rows by (subscriptions, mode).
+	rows := map[string]map[string][]string{}
 	for _, row := range tab.Rows {
-		p := pairs[row[0]]
-		if p == nil {
-			p = &pair{}
-			pairs[row[0]] = p
+		if rows[row[0]] == nil {
+			rows[row[0]] = map[string][]string{}
 		}
-		if row[1] == "bloom" {
-			p.bloom = row
-		} else {
-			p.attrs = row
-		}
+		rows[row[0]][row[1]] = row
 	}
-	big := pairs["256"]
-	if big == nil || big.bloom == nil || big.attrs == nil {
+	big := rows["256"]
+	if big == nil || big["bloom"] == nil || big["attributes"] == nil {
 		t.Fatalf("missing 256-subscription rows: %v", tab.Rows)
 	}
-	bloomAttrs, _ := strconv.Atoi(big.bloom[2])
-	attrAttrs, _ := strconv.Atoi(big.attrs[2])
+	bloomAttrs, _ := strconv.Atoi(big["bloom"][2])
+	attrAttrs, _ := strconv.Atoi(big["attributes"][2])
 	if attrAttrs <= bloomAttrs {
 		t.Errorf("attribute mode row size (%d) should exceed bloom (%d)", attrAttrs, bloomAttrs)
 	}
 	// Attribute-mode row size grows with subscriptions; bloom stays flat.
-	small := pairs["16"]
-	smallAttrAttrs, _ := strconv.Atoi(small.attrs[2])
+	small := rows["16"]
+	smallAttrAttrs, _ := strconv.Atoi(small["attributes"][2])
 	if attrAttrs <= smallAttrAttrs {
 		t.Errorf("attribute rows should grow with subscriptions: %d -> %d",
 			smallAttrAttrs, attrAttrs)
 	}
-	smallBloomAttrs, _ := strconv.Atoi(small.bloom[2])
+	smallBloomAttrs, _ := strconv.Atoi(small["bloom"][2])
 	if bloomAttrs > smallBloomAttrs+2 {
 		t.Errorf("bloom rows should stay ~flat: %d -> %d", smallBloomAttrs, bloomAttrs)
+	}
+}
+
+// e8Cache runs the quick E8 sweep once for all E8 tests (the sweep
+// simulates six clusters; sharing it keeps the suite fast).
+var e8Cache *Table
+
+func e8Quick(t *testing.T) *Table {
+	t.Helper()
+	if e8Cache == nil {
+		e8Cache = RunE8(quick)
+	}
+	return e8Cache
+}
+
+func TestE8PredicatePrecision(t *testing.T) {
+	tab := e8Quick(t)
+	byMode := map[string]map[int]PrecisionRow{}
+	for _, p := range tab.Precision {
+		if byMode[p.Mode] == nil {
+			byMode[p.Mode] = map[int]PrecisionRow{}
+		}
+		byMode[p.Mode][p.Subscriptions] = p
+	}
+	for _, subs := range []int{16, 256} {
+		bloom, okB := byMode["bloom"][subs]
+		pred, okP := byMode["predicate"][subs]
+		if !okB || !okP {
+			t.Fatalf("missing precision rows for %d subscriptions: %+v", subs, tab.Precision)
+		}
+		// Equal recall: both arms must deliver the full exact-match set.
+		if bloom.Recall < 0.999 || pred.Recall < 0.999 {
+			t.Errorf("%d subs: recall below 1.0: bloom %.3f predicate %.3f",
+				subs, bloom.Recall, pred.Recall)
+		}
+		// The tentpole claim: compiled signatures at least halve the
+		// false-positive forwards the leaf has to discard.
+		if pred.FPDrops*2 > bloom.FPDrops {
+			t.Errorf("%d subs: predicate fp drops %d not <= half of bloom's %d",
+				subs, pred.FPDrops, bloom.FPDrops)
+		}
+		if bloom.FPDrops == 0 {
+			t.Errorf("%d subs: workload produced no bloom false positives; sweep is vacuous", subs)
+		}
+		if pred.SubgroupFilters == 0 {
+			t.Errorf("%d subs: predicate arm advertised no subgroup filters", subs)
+		}
+		// The precision must not be bought with gossip bytes: predicate
+		// summaries stay within 10% of bloom's steady-state volume.
+		if pred.BytesPerRoundPerNode > bloom.BytesPerRoundPerNode*1.10 {
+			t.Errorf("%d subs: predicate bytes/round/node %.0f exceeds bloom %.0f by >10%%",
+				subs, pred.BytesPerRoundPerNode, bloom.BytesPerRoundPerNode)
+		}
 	}
 }
 

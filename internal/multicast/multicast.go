@@ -138,7 +138,13 @@ type Stats struct {
 	Delivered   int64
 	Duplicates  int64
 	FilteredOut int64
-	BadEnvelope int64
+	// FilteredZone/FilteredLeaf split FilteredOut by where the summary
+	// test said no: child-zone rows on the way down vs. sibling members in
+	// the final leaf fan-out. Zone-level filtering is the precision win —
+	// a pruned subtree saves every hop below it.
+	FilteredZone int64
+	FilteredLeaf int64
+	BadEnvelope  int64
 
 	// Reliable-forwarding counters (zero when AckTimeout is off).
 	AcksSent         int64 // acks this node sent for inbound forwards
@@ -469,6 +475,7 @@ func (r *Router) fanOutChildZones(m *wire.Multicast) {
 		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
 			r.mu.Lock()
 			r.stats.FilteredOut++
+			r.stats.FilteredZone++
 			r.mu.Unlock()
 			continue
 		}
@@ -501,6 +508,7 @@ func (r *Router) fanOutLeafZone(m *wire.Multicast) {
 		if !r.passesFilter(m.TargetZone, row, &m.Envelope) {
 			r.mu.Lock()
 			r.stats.FilteredOut++
+			r.stats.FilteredLeaf++
 			r.mu.Unlock()
 			continue
 		}

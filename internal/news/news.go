@@ -41,6 +41,18 @@ type Item struct {
 	Published time.Time
 }
 
+// UrgencyMax bounds the NITF editorial urgency scale; Validate enforces
+// 0..UrgencyMax. The domain is finite so subscription predicates over
+// urgency compile to exact routing covers (internal/query).
+const UrgencyMax = 8
+
+// MetadataFields lists the item-metadata fields exposed to subscription
+// predicates, matching the attribute row pubsub.ItemMetadataRow builds
+// for each envelope. Sorted.
+func MetadataFields() []string {
+	return []string{"item_id", "published", "publisher", "revision", "subjects", "urgency"}
+}
+
 // Key returns the item's global deduplication key (§9: items are uniquely
 // identified by the publisher as part of the metadata).
 func (it *Item) Key() string {
@@ -70,8 +82,8 @@ func (it *Item) Validate() error {
 	if it.Revision < 0 {
 		return fmt.Errorf("news: negative revision %d", it.Revision)
 	}
-	if it.Urgency < 0 || it.Urgency > 8 {
-		return fmt.Errorf("news: urgency %d outside 0..8", it.Urgency)
+	if it.Urgency < 0 || it.Urgency > UrgencyMax {
+		return fmt.Errorf("news: urgency %d outside 0..%d", it.Urgency, UrgencyMax)
 	}
 	if len(it.Subjects) == 0 {
 		return fmt.Errorf("news: item %s has no subjects", it.Key())

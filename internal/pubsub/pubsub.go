@@ -15,17 +15,28 @@
 //     with the number of distinct subscriptions (experiment E8).
 //   - ModeCategoryMask — the early prototype of §7: a per-publisher bit
 //     mask attribute over a fixed category vocabulary.
+//   - ModePredicate — the §7 target design: typed SQL predicates over
+//     item metadata (internal/query), compiled to sound Bloom signatures
+//     over the subject/publisher/urgency dimensions. The single-filter
+//     signature OR-aggregates up the hierarchy as AttrSubs, and a
+//     signature set (AttrSubGroups) additionally clusters similar
+//     subscriptions into up to K subgroup filters per zone row, so
+//     intermediate zones test tight per-cluster filters instead of one
+//     saturated OR-of-everything — cutting false-positive forwards.
 package pubsub
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"newswire/internal/astrolabe"
 	"newswire/internal/bloom"
 	"newswire/internal/multicast"
 	"newswire/internal/news"
+	"newswire/internal/query"
 	"newswire/internal/sqlagg"
 	"newswire/internal/value"
 	"newswire/internal/wire"
@@ -39,6 +50,7 @@ const (
 	ModeBloom Mode = iota + 1
 	ModeAttributes
 	ModeCategoryMask
+	ModePredicate
 )
 
 // String returns the mode name.
@@ -50,8 +62,27 @@ func (m Mode) String() string {
 		return "attributes"
 	case ModeCategoryMask:
 		return "category-mask"
+	case ModePredicate:
+		return "predicate"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a mode name (as printed by Mode.String) back to the
+// mode, for CLI flags. Empty selects ModeBloom.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "bloom":
+		return ModeBloom, nil
+	case "attributes":
+		return ModeAttributes, nil
+	case "category-mask":
+		return ModeCategoryMask, nil
+	case "predicate":
+		return ModePredicate, nil
+	default:
+		return 0, fmt.Errorf("pubsub: unknown mode %q (bloom, attributes, category-mask, predicate)", name)
 	}
 }
 
@@ -62,6 +93,12 @@ const AttrSubPrefix = "sub_"
 // AttrPubPrefix is the attribute-name prefix of ModeCategoryMask masks
 // ("pub_reuters" = category bit mask).
 const AttrPubPrefix = "pub_"
+
+// AttrSubGroups is the attribute carrying a zone's subgroup signature set
+// (ModePredicate): an encoded bloom.SignatureSet of up to SubgroupK
+// per-cluster filters, merged up the hierarchy by astrolabe's
+// PrefixSubgroup rule.
+const AttrSubGroups = "subg"
 
 // Geometry fixes the Bloom filter shape shared by all participants. It is
 // part of the (signed) system configuration, like the aggregation program.
@@ -74,6 +111,68 @@ type Geometry struct {
 // hashing of the early prototype.
 var DefaultGeometry = Geometry{Bits: bloom.DefaultBits, Hashes: bloom.DefaultHashes}
 
+// Subgroup-count bounds (ModePredicate). K filters per zone row is a
+// bandwidth/precision dial: each subgroup filter gossips with the row.
+const (
+	DefaultSubgroupK = 4
+	MaxSubgroupK     = 64
+)
+
+// Geometry bounds enforced at Subscriber construction. Filters gossip in
+// every row, so runaway sizes are configuration errors, not tuning.
+const (
+	MinGeometryBits = 8
+	MaxGeometryBits = 1 << 20
+	MaxGeometryHash = 16
+)
+
+// ConfigError reports an invalid Subscriber configuration field. It is a
+// typed error so callers can distinguish misconfiguration from runtime
+// failures (errors.As).
+type ConfigError struct {
+	Field string // "Mode", "Geometry", or "SubgroupK"
+	Msg   string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("pubsub: invalid %s: %s", e.Field, e.Msg)
+}
+
+// Counters collects routing-precision telemetry. All fields are atomic so
+// the multicast forwarding path and the leaf delivery path can bump them
+// without locks; they live outside gossip state and do not affect the
+// deterministic protocol run.
+type Counters struct {
+	// Forwards counts positive forwarding decisions (zone or leaf).
+	Forwards atomic.Int64
+	// FalsePositiveDrops counts envelopes that reached the leaf's exact
+	// check and were discarded — forwarded work that was wasted.
+	FalsePositiveDrops atomic.Int64
+	// ExactMatches counts envelopes the leaf's exact check accepted.
+	ExactMatches atomic.Int64
+	// SubgroupTests counts individual subgroup filters consulted by the
+	// ModePredicate forwarding test.
+	SubgroupTests atomic.Int64
+}
+
+// CounterSnapshot is a point-in-time copy of Counters.
+type CounterSnapshot struct {
+	Forwards           int64
+	FalsePositiveDrops int64
+	ExactMatches       int64
+	SubgroupTests      int64
+}
+
+// Snapshot reads all counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Forwards:           c.Forwards.Load(),
+		FalsePositiveDrops: c.FalsePositiveDrops.Load(),
+		ExactMatches:       c.ExactMatches.Load(),
+		SubgroupTests:      c.SubgroupTests.Load(),
+	}
+}
+
 // Config configures a Subscriber.
 type Config struct {
 	// Agent is the Astrolabe agent whose leaf row carries the
@@ -81,11 +180,18 @@ type Config struct {
 	Agent *astrolabe.Agent
 	// Mode selects the summary representation. Default ModeBloom.
 	Mode Mode
-	// Geometry is the Bloom geometry (ModeBloom). Default DefaultGeometry.
+	// Geometry is the Bloom geometry (ModeBloom/ModePredicate). Default
+	// DefaultGeometry.
 	Geometry Geometry
 	// Vocabulary is the category list indexed by ModeCategoryMask masks.
 	// Default news.StandardSubjects.
 	Vocabulary []string
+	// SubgroupK bounds the subgroup filters per zone row (ModePredicate).
+	// Default DefaultSubgroupK.
+	SubgroupK int
+	// Counters, when non-nil, receives leaf delivery telemetry
+	// (exact matches vs false-positive drops).
+	Counters *Counters
 }
 
 // Subscriber manages a node's subscription set, keeps the Astrolabe
@@ -99,10 +205,11 @@ type Subscriber struct {
 	subjects  map[string]bool
 	perPub    map[string]map[string]bool // publisher -> categories (mask mode)
 	predicate *sqlagg.Predicate
+	queries   map[string]*query.Predicate // canonical source -> predicate (ModePredicate)
 }
 
 // NewSubscriber validates cfg and returns an empty-subscription
-// subscriber.
+// subscriber. Configuration mistakes return a *ConfigError.
 func NewSubscriber(cfg Config) (*Subscriber, error) {
 	if cfg.Agent == nil {
 		return nil, fmt.Errorf("pubsub: agent required")
@@ -111,15 +218,33 @@ func NewSubscriber(cfg Config) (*Subscriber, error) {
 		cfg.Mode = ModeBloom
 	}
 	switch cfg.Mode {
-	case ModeBloom, ModeAttributes, ModeCategoryMask:
+	case ModeBloom, ModeAttributes, ModeCategoryMask, ModePredicate:
 	default:
-		return nil, fmt.Errorf("pubsub: unknown mode %d", cfg.Mode)
+		return nil, &ConfigError{Field: "Mode", Msg: fmt.Sprintf("unknown mode %d", cfg.Mode)}
 	}
 	if cfg.Geometry.Bits == 0 {
 		cfg.Geometry = DefaultGeometry
 	}
-	if cfg.Geometry.Bits < 8 || cfg.Geometry.Hashes < 1 {
-		return nil, fmt.Errorf("pubsub: bad geometry %+v", cfg.Geometry)
+	if cfg.Geometry.Bits < MinGeometryBits || cfg.Geometry.Bits > MaxGeometryBits {
+		return nil, &ConfigError{
+			Field: "Geometry",
+			Msg:   fmt.Sprintf("bits %d outside [%d, %d]", cfg.Geometry.Bits, MinGeometryBits, MaxGeometryBits),
+		}
+	}
+	if cfg.Geometry.Hashes < 1 || cfg.Geometry.Hashes > MaxGeometryHash {
+		return nil, &ConfigError{
+			Field: "Geometry",
+			Msg:   fmt.Sprintf("hashes %d outside [1, %d]", cfg.Geometry.Hashes, MaxGeometryHash),
+		}
+	}
+	if cfg.SubgroupK == 0 {
+		cfg.SubgroupK = DefaultSubgroupK
+	}
+	if cfg.SubgroupK < 1 || cfg.SubgroupK > MaxSubgroupK {
+		return nil, &ConfigError{
+			Field: "SubgroupK",
+			Msg:   fmt.Sprintf("subgroup count %d outside [1, %d]", cfg.SubgroupK, MaxSubgroupK),
+		}
 	}
 	if cfg.Vocabulary == nil {
 		cfg.Vocabulary = news.StandardSubjects
@@ -129,6 +254,7 @@ func NewSubscriber(cfg Config) (*Subscriber, error) {
 		vocab:    make(map[string]int, len(cfg.Vocabulary)),
 		subjects: make(map[string]bool),
 		perPub:   make(map[string]map[string]bool),
+		queries:  make(map[string]*query.Predicate),
 	}
 	for i, c := range cfg.Vocabulary {
 		s.vocab[c] = i
@@ -213,6 +339,53 @@ func (s *Subscriber) SetPredicate(expr string) error {
 	return nil
 }
 
+// SubscribeQuery registers a typed predicate subscription (ModePredicate):
+// the item is delivered when the predicate matches its metadata exactly,
+// and the predicate's compiled Bloom signature joins the advertised
+// summary so the hierarchy only forwards items the predicate could match.
+// Returns the canonical form of the query.
+func (s *Subscriber) SubscribeQuery(src string) (string, error) {
+	if s.cfg.Mode != ModePredicate {
+		return "", fmt.Errorf("pubsub: SubscribeQuery requires ModePredicate (mode is %s)", s.cfg.Mode)
+	}
+	p, err := query.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries[p.String()] = p
+	s.advertiseLocked()
+	return p.String(), nil
+}
+
+// UnsubscribeQuery removes a predicate subscription by its source (any
+// form that parses to the same canonical query) and re-advertises.
+func (s *Subscriber) UnsubscribeQuery(src string) error {
+	p, err := query.Parse(src)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.queries, p.String())
+	s.advertiseLocked()
+	return nil
+}
+
+// Queries returns the sorted canonical sources of the current predicate
+// subscriptions.
+func (s *Subscriber) Queries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.queries))
+	for src := range s.queries {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Subjects returns the sorted current subscription set.
 func (s *Subscriber) Subjects() []string {
 	s.mu.Lock()
@@ -261,6 +434,32 @@ func (s *Subscriber) advertiseLocked() {
 			updates[AttrPubPrefix+pub] = value.Bytes(mask)
 		}
 		s.cfg.Agent.SetAttrs(updates)
+
+	case ModePredicate:
+		// One signature filter carries this node's whole subscription set:
+		// plain subjects compile as (those subjects, any publisher, any
+		// urgency); each predicate contributes its compiled cover. It goes
+		// out only as a single-member signature set under AttrSubGroups —
+		// PrefixSubgroup clusters ancestors' sets into at most K subgroup
+		// filters per zone row. No raw AttrSubs copy: duplicating the
+		// filter would roughly double the summary's gossip bytes, and the
+		// forwarding test only needs AttrSubs as a fallback for rows
+		// whose subgroup attribute is malformed (e.g. mid-scramble).
+		f := bloom.New(s.cfg.Geometry.Bits, s.cfg.Geometry.Hashes)
+		if len(s.subjects) > 0 {
+			subs := make([]string, 0, len(s.subjects))
+			for subj := range s.subjects {
+				subs = append(subs, subj)
+			}
+			query.SubjectsSignature(subs).Fill(f)
+		}
+		for _, p := range s.queries {
+			p.Compile().Fill(f)
+		}
+		s.cfg.Agent.SetAttrs(value.Map{
+			astrolabe.AttrSubs: value.Invalid(),
+			AttrSubGroups:      value.Bytes(bloom.EncodeSignatureSet(s.cfg.SubgroupK, [][]byte{f.Bytes()})),
+		})
 	}
 }
 
@@ -295,15 +494,39 @@ func (s *Subscriber) ownPrefixedAttrs(prefix string) map[string]bool {
 
 // ShouldDeliver is the leaf's final test (§6): an exact subject match
 // (discarding Bloom false positives) plus the optional SQL predicate over
-// the item's metadata.
+// the item's metadata. In ModePredicate, typed query subscriptions also
+// match by exact evaluation against the item metadata. Outcomes feed the
+// configured Counters: an accept is an exact match, a reject is a
+// false-positive drop (the envelope was forwarded here for nothing).
 func (s *Subscriber) ShouldDeliver(env *wire.ItemEnvelope) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ok := s.matchesLocked(env)
+	s.mu.Unlock()
+	if c := s.cfg.Counters; c != nil {
+		if ok {
+			c.ExactMatches.Add(1)
+		} else {
+			c.FalsePositiveDrops.Add(1)
+		}
+	}
+	return ok
+}
+
+func (s *Subscriber) matchesLocked(env *wire.ItemEnvelope) bool {
 	matched := false
 	for _, subj := range env.Subjects {
 		if s.subjects[subj] {
 			matched = true
 			break
+		}
+	}
+	if !matched && s.cfg.Mode == ModePredicate && len(s.queries) > 0 {
+		row := ItemMetadataRow(env)
+		for _, p := range s.queries {
+			if p.Match(row) {
+				matched = true
+				break
+			}
 		}
 	}
 	if !matched {
@@ -349,32 +572,44 @@ func ItemMetadataRow(env *wire.ItemEnvelope) value.Map {
 // ForwardFilter builds the multicast filter that consults a child row's
 // aggregated subscription summary — the conditional-forwarding test of §6.
 // It is stateless with respect to any one subscriber: the decision reads
-// only the row and the envelope.
-func ForwardFilter(mode Mode, geo Geometry) multicast.Filter {
+// only the row and the envelope. A non-nil ctr receives forwarding
+// telemetry (positive decisions, subgroup filters consulted).
+func ForwardFilter(mode Mode, geo Geometry, ctr *Counters) multicast.Filter {
 	if geo.Bits == 0 {
 		geo = DefaultGeometry
 	}
+	// Wildcard positions are fixed by the geometry; hash them once, not
+	// per decision.
+	wildSub := bloom.PositionsFor(query.WildSubject, geo.Bits, geo.Hashes)
+	wildPub := bloom.PositionsFor(query.WildPublisher, geo.Bits, geo.Hashes)
+	wildUrg := bloom.PositionsFor(query.WildUrgency, geo.Bits, geo.Hashes)
+	// One expansion cache per filter closure (one per node): sparse
+	// subgroup entries expand once per distinct row payload, not once per
+	// forwarding decision.
+	cache := &sparseProbeCache{}
 	return func(zone string, row astrolabe.Row, env *wire.ItemEnvelope) bool {
+		forward := false
 		switch mode {
 		case ModeAttributes:
 			for _, subj := range env.Subjects {
 				if v, ok := row.Attrs[AttrSubPrefix+subj].AsBool(); ok && v {
-					return true
+					forward = true
+					break
 				}
 			}
-			return false
 
 		case ModeCategoryMask:
-			mask, ok := row.Attrs[AttrPubPrefix+env.Publisher].RawBytes()
-			if !ok {
-				return false
-			}
-			for _, pos := range env.SubjectBits {
-				if int(pos/8) < len(mask) && mask[pos/8]&(1<<(pos%8)) != 0 {
-					return true
+			if mask, ok := row.Attrs[AttrPubPrefix+env.Publisher].RawBytes(); ok {
+				for _, pos := range env.SubjectBits {
+					if int(pos/8) < len(mask) && mask[pos/8]&(1<<(pos%8)) != 0 {
+						forward = true
+						break
+					}
 				}
 			}
-			return false
+
+		case ModePredicate:
+			forward = predicateForward(row, env, geo, ctr, cache, wildSub, wildPub, wildUrg)
 
 		default: // ModeBloom
 			subs, ok := row.Attrs[astrolabe.AttrSubs].RawBytes()
@@ -393,11 +628,204 @@ func ForwardFilter(mode Mode, geo Geometry) multicast.Filter {
 						continue subjects
 					}
 				}
-				return true
+				forward = true
+				break
 			}
+		}
+		if forward && ctr != nil {
+			ctr.Forwards.Add(1)
+		}
+		return forward
+	}
+}
+
+// predicateForward is the ModePredicate forwarding test. The row's
+// subgroup signature set (AttrSubGroups) is consulted first: the item is
+// forwarded when ANY subgroup filter admits it on all three dimensions.
+// A row without a well-formed set (older software, or a scrambled row
+// mid-repair) falls back to the OR-aggregated AttrSubs filter, which is
+// the union of the subgroups and therefore strictly looser — the
+// degradation is extra forwards, never lost deliveries. The signature-set
+// walk is open-coded so the hot path does not allocate.
+func predicateForward(row astrolabe.Row, env *wire.ItemEnvelope, geo Geometry, ctr *Counters, cache *sparseProbeCache, wildSub, wildPub, wildUrg []uint32) bool {
+	nbytes := (geo.Bits + 7) / 8
+	k := geo.Hashes
+	sb := env.SubjectBits
+	if len(sb) != (len(env.Subjects)+2)*k {
+		// The envelope was encoded under a different mode or geometry;
+		// recompute the position groups (allocates — correctness path).
+		sb = predicatePositions(env, geo)
+	}
+	if subg, ok := row.Attrs[AttrSubGroups].RawBytes(); ok {
+		enc := subg
+		if _, n := binary.Uvarint(enc); n > 0 {
+			enc = enc[n:]
+			if cnt, n := binary.Uvarint(enc); n > 0 && cnt <= 1<<16 {
+				enc = enc[n:]
+				wellFormed := true
+				for i := uint64(0); i < cnt; i++ {
+					l, n := binary.Uvarint(enc)
+					if n <= 0 || uint64(len(enc)-n) < l {
+						wellFormed = false
+						break
+					}
+					blob := enc[n : n+int(l)]
+					enc = enc[n+int(l):]
+					if ctr != nil {
+						ctr.SubgroupTests.Add(1)
+					}
+					match, bad := testSubgroupEntry(blob, sb, k, geo.Bits, nbytes, cache, wildSub, wildPub, wildUrg)
+					if bad {
+						wellFormed = false
+						break
+					}
+					if match {
+						return true
+					}
+				}
+				if wellFormed {
+					// Every subgroup filter was tested and none admits the
+					// item: the whole subtree cannot match it.
+					return false
+				}
+			}
+		}
+	}
+	subs, ok := row.Attrs[astrolabe.AttrSubs].RawBytes()
+	if !ok || len(subs) != nbytes {
+		return false
+	}
+	return predicateAdmits(subs, sb, k, geo.Bits, wildSub, wildPub, wildUrg)
+}
+
+// testSubgroupEntry tests one encoded subgroup filter entry against an
+// item's predicate position groups. Raw entries probe in place; sparse
+// entries probe their cached expansion (expanded once per distinct row
+// payload). An entry from a different geometry is skipped (match=false),
+// a non-parsing one poisons the set (bad=true) so the caller falls back
+// to the raw subs summary.
+func testSubgroupEntry(blob []byte, sb []uint32, k, bits, nbytes int, cache *sparseProbeCache, wildSub, wildPub, wildUrg []uint32) (match, bad bool) {
+	if len(blob) == 0 {
+		return false, true
+	}
+	switch blob[0] {
+	case bloom.FilterRaw:
+		f := blob[1:]
+		if len(f) != nbytes {
+			return false, false
+		}
+		return predicateAdmits(f, sb, k, bits, wildSub, wildPub, wildUrg), false
+	case bloom.FilterSparse:
+		f, res := cache.expand(blob[1:], nbytes)
+		switch res {
+		case bloom.SparseOK:
+			return predicateAdmits(f, sb, k, bits, wildSub, wildPub, wildUrg), false
+		case bloom.SparseWrongSize:
+			return false, false
+		}
+		return false, true
+	}
+	return false, true
+}
+
+// sparseProbeCache amortizes sparse-entry expansion across forwarding
+// decisions. Zone rows are copy-on-write shared values, so an entry's
+// encoded bytes never mutate in place and a payload is identified by its
+// backing array: the cache retains the encoded slice, which pins its
+// address and makes pointer identity a sound key. Sixteen slots cover a
+// zone's worth of child rows; eviction is a plain ring.
+type sparseProbeCache struct {
+	mu      sync.Mutex
+	entries [16]sparseProbeEntry
+	next    int
+}
+
+type sparseProbeEntry struct {
+	enc      []byte
+	expanded []byte
+}
+
+// expand returns the expanded bitmap for a sparse payload (the bytes
+// after the entry tag). Cached bitmaps are immutable — callers only
+// probe them — so they are shared without copying.
+func (c *sparseProbeCache) expand(enc []byte, nbytes int) ([]byte, bloom.SparseExpandResult) {
+	if len(enc) == 0 || c == nil {
+		return nil, bloom.SparseMalformed
+	}
+	c.mu.Lock()
+	for i := range c.entries {
+		e := &c.entries[i]
+		if len(e.enc) == len(enc) && &e.enc[0] == &enc[0] {
+			f := e.expanded
+			c.mu.Unlock()
+			if len(f) != nbytes {
+				return nil, bloom.SparseWrongSize
+			}
+			return f, bloom.SparseOK
+		}
+	}
+	c.mu.Unlock()
+	f := make([]byte, nbytes)
+	res := bloom.ExpandSparseFilter(f, enc)
+	if res != bloom.SparseOK {
+		return nil, res
+	}
+	c.mu.Lock()
+	c.entries[c.next] = sparseProbeEntry{enc: enc, expanded: f}
+	c.next = (c.next + 1) % len(c.entries)
+	c.mu.Unlock()
+	return f, bloom.SparseOK
+}
+
+// predicateAdmits tests one signature filter against an item's predicate
+// position groups. sb lays out one group of k positions per subject,
+// then the publisher group, then the urgency group. The filter admits
+// the item when every dimension is satisfied — by its wildcard key
+// (dimension unconstrained somewhere in the subtree) or one of the
+// item's value keys.
+func predicateAdmits(f []byte, sb []uint32, k, bits int, wildSub, wildPub, wildUrg []uint32) bool {
+	nsub := len(sb) - 2*k
+	if nsub < 0 {
+		return false
+	}
+	if !testPositions(f, bits, wildSub) {
+		hit := false
+		for i := 0; i+k <= nsub; i += k {
+			if testPositions(f, bits, sb[i:i+k]) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
 			return false
 		}
 	}
+	if !testPositions(f, bits, wildPub) && !testPositions(f, bits, sb[nsub:nsub+k]) {
+		return false
+	}
+	return testPositions(f, bits, wildUrg) || testPositions(f, bits, sb[nsub+k:])
+}
+
+// testPositions reports whether every position is set in the filter bytes.
+func testPositions(f []byte, bits int, pos []uint32) bool {
+	for _, p := range pos {
+		if int(p) >= bits || f[p/8]&(1<<(p%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// predicatePositions computes an envelope's predicate-mode position
+// groups from scratch — the layout EncodeItem emits in ModePredicate.
+func predicatePositions(env *wire.ItemEnvelope, geo Geometry) []uint32 {
+	out := make([]uint32, 0, (len(env.Subjects)+2)*geo.Hashes)
+	for _, subj := range env.Subjects {
+		out = append(out, bloom.PositionsFor(query.SubjectKey(subj), geo.Bits, geo.Hashes)...)
+	}
+	out = append(out, bloom.PositionsFor(query.PublisherKey(env.Publisher), geo.Bits, geo.Hashes)...)
+	out = append(out, bloom.PositionsFor(query.UrgencyKey(env.Urgency), geo.Bits, geo.Hashes)...)
+	return out
 }
 
 // EncodeItem builds the wire envelope for an item: NITF payload, subject
@@ -437,6 +865,11 @@ func EncodeItem(it *news.Item, mode Mode, geo Geometry, vocabulary []string) (wi
 		}
 	case ModeAttributes:
 		// Exact subjects travel in env.Subjects; no bits needed.
+	case ModePredicate:
+		// One position group per dimension value under its namespaced
+		// signature key, in the layout predicateAdmits expects: subjects,
+		// then publisher, then urgency.
+		env.SubjectBits = predicatePositions(&env, geo)
 	default: // ModeBloom
 		for _, subj := range it.Subjects {
 			env.SubjectBits = append(env.SubjectBits,

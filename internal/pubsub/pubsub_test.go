@@ -1,6 +1,8 @@
 package pubsub
 
 import (
+	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"newswire/internal/astrolabe"
 	"newswire/internal/bloom"
 	"newswire/internal/news"
+	"newswire/internal/query"
 	"newswire/internal/sim"
 	"newswire/internal/value"
 	"newswire/internal/wire"
@@ -246,7 +249,7 @@ func rowWithSubs(filter *bloom.Filter) astrolabe.Row {
 
 func TestForwardFilterBloom(t *testing.T) {
 	geo := DefaultGeometry
-	filter := ForwardFilter(ModeBloom, geo)
+	filter := ForwardFilter(ModeBloom, geo, nil)
 
 	f := bloom.New(geo.Bits, geo.Hashes)
 	f.Add("tech/linux")
@@ -272,7 +275,7 @@ func TestForwardFilterBloom(t *testing.T) {
 
 func TestForwardFilterBloomMultiSubjectAnyMatch(t *testing.T) {
 	geo := Geometry{Bits: 1024, Hashes: 4}
-	filter := ForwardFilter(ModeBloom, geo)
+	filter := ForwardFilter(ModeBloom, geo, nil)
 	f := bloom.New(geo.Bits, geo.Hashes)
 	f.Add("world/asia")
 	row := rowWithSubs(f)
@@ -289,7 +292,7 @@ func TestForwardFilterBloomMultiSubjectAnyMatch(t *testing.T) {
 }
 
 func TestForwardFilterAttributes(t *testing.T) {
-	filter := ForwardFilter(ModeAttributes, Geometry{})
+	filter := ForwardFilter(ModeAttributes, Geometry{}, nil)
 	row := astrolabe.Row{Attrs: value.Map{AttrSubPrefix + "tech/linux": value.Bool(true)}}
 	env, _ := EncodeItem(testItem(), ModeAttributes, Geometry{}, nil)
 	if !filter("/", row, &env) {
@@ -302,7 +305,7 @@ func TestForwardFilterAttributes(t *testing.T) {
 }
 
 func TestForwardFilterCategoryMask(t *testing.T) {
-	filter := ForwardFilter(ModeCategoryMask, Geometry{})
+	filter := ForwardFilter(ModeCategoryMask, Geometry{}, nil)
 	idx := 0
 	for i, c := range news.StandardSubjects {
 		if c == "tech/linux" {
@@ -403,5 +406,308 @@ func TestItemMetadataRow(t *testing.T) {
 	}
 	if subs, _ := row["subjects"].AsStrings(); len(subs) != 1 {
 		t.Errorf("subjects = %v", row["subjects"])
+	}
+}
+
+func predicateAgent(t *testing.T) *astrolabe.Agent {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := sim.NewNetwork(eng, sim.LinkModel{})
+	ep := net.Attach("n0", func(*wire.Message) {})
+	a, err := astrolabe.NewAgent(astrolabe.Config{
+		Name: "node-0", ZonePath: "/z", Transport: ep,
+		Clock: eng.Clock(), Rand: rand.New(rand.NewSource(1)),
+		PrefixRules: []astrolabe.PrefixRule{
+			{Prefix: AttrSubGroups, Op: astrolabe.PrefixSubgroup},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigErrorTyped(t *testing.T) {
+	a := testAgent(t)
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"unknown mode", Config{Agent: a, Mode: Mode(9)}, "Mode"},
+		{"tiny bits", Config{Agent: a, Geometry: Geometry{Bits: 4, Hashes: 1}}, "Geometry"},
+		{"huge bits", Config{Agent: a, Geometry: Geometry{Bits: MaxGeometryBits + 1, Hashes: 1}}, "Geometry"},
+		{"zero hashes", Config{Agent: a, Geometry: Geometry{Bits: 1024, Hashes: 0}}, "Geometry"},
+		{"many hashes", Config{Agent: a, Geometry: Geometry{Bits: 1024, Hashes: MaxGeometryHash + 1}}, "Geometry"},
+		{"negative K", Config{Agent: a, Mode: ModePredicate, SubgroupK: -1}, "SubgroupK"},
+		{"huge K", Config{Agent: a, Mode: ModePredicate, SubgroupK: MaxSubgroupK + 1}, "SubgroupK"},
+	}
+	for _, tc := range cases {
+		_, err := NewSubscriber(tc.cfg)
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("%s: err = %v, want *ConfigError", tc.name, err)
+			continue
+		}
+		if cerr.Field != tc.field {
+			t.Errorf("%s: Field = %q, want %q", tc.name, cerr.Field, tc.field)
+		}
+	}
+	// Defaults are valid and not ConfigErrors.
+	if _, err := NewSubscriber(Config{Agent: a, Mode: ModePredicate}); err != nil {
+		t.Fatalf("default predicate config rejected: %v", err)
+	}
+	var cerr *ConfigError
+	if _, err := NewSubscriber(Config{}); !errors.As(err, &cerr) && err == nil {
+		t.Fatal("nil agent accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", ModeBloom}, {"bloom", ModeBloom}, {"attributes", ModeAttributes},
+		{"category-mask", ModeCategoryMask}, {"predicate", ModePredicate}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("round trip %q -> %q", tc.in, got)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("unknown mode name accepted")
+	}
+}
+
+func TestSubscribeQueryAdvertisesSignature(t *testing.T) {
+	a := predicateAgent(t)
+	s, err := NewSubscriber(Config{Agent: a, Mode: ModePredicate, Geometry: Geometry{Bits: 1024, Hashes: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := s.SubscribeQuery("urgency >= 6 and subjects = 'tech/linux'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs := s.Queries(); len(qs) != 1 || qs[0] != canon {
+		t.Fatalf("Queries() = %v, want [%s]", qs, canon)
+	}
+
+	// The compiled filter travels only inside the subgroup signature set;
+	// a raw AttrSubs copy would double the summary's gossip bytes.
+	if _, ok := a.Attr(astrolabe.AttrSubs).RawBytes(); ok {
+		t.Fatal("predicate leaf advertised a redundant raw subs filter")
+	}
+	setEnc, ok := a.Attr(AttrSubGroups).RawBytes()
+	if !ok {
+		t.Fatal("subgroup set not advertised")
+	}
+	_, setFilters, ok := bloom.DecodeSignatureSet(setEnc)
+	if !ok || len(setFilters) != 1 {
+		t.Fatalf("subgroup set: n=%d ok=%v", len(setFilters), ok)
+	}
+	raw := setFilters[0]
+	f, err := bloom.FromBytes(raw, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		query.SubjectKey("tech/linux"), query.WildPublisher,
+		query.UrgencyKey(6), query.UrgencyKey(7), query.UrgencyKey(8),
+	} {
+		if !f.Test(key) {
+			t.Errorf("advertised filter missing %q", key)
+		}
+	}
+	if f.Test(query.UrgencyKey(5)) || f.Test(query.WildSubject) || f.Test(query.WildUrgency) {
+		t.Error("advertised filter carries keys the predicate excludes")
+	}
+
+	enc, ok := a.Attr(AttrSubGroups).RawBytes()
+	if !ok {
+		t.Fatal("subgroup set not advertised")
+	}
+	k, filters, ok := bloom.DecodeSignatureSet(enc)
+	if !ok || k != DefaultSubgroupK || len(filters) != 1 {
+		t.Fatalf("subgroup set: k=%d n=%d ok=%v", k, len(filters), ok)
+	}
+	if !bytes.Equal(filters[0], raw) {
+		t.Fatal("leaf subgroup filter differs from the subs filter")
+	}
+
+	if err := s.UnsubscribeQuery("urgency>=6 AND subjects='tech/linux'"); err != nil {
+		t.Fatal(err)
+	}
+	if qs := s.Queries(); len(qs) != 0 {
+		t.Fatalf("Queries() after unsubscribe = %v", qs)
+	}
+}
+
+func TestSubscribeQueryRequiresPredicateMode(t *testing.T) {
+	a := testAgent(t)
+	s, _ := NewSubscriber(Config{Agent: a})
+	if _, err := s.SubscribeQuery("urgency = 1"); err == nil {
+		t.Fatal("SubscribeQuery accepted outside ModePredicate")
+	}
+	ap := predicateAgent(t)
+	sp, _ := NewSubscriber(Config{Agent: ap, Mode: ModePredicate})
+	if _, err := sp.SubscribeQuery("urgency = "); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}
+
+func TestShouldDeliverQueryAndCounters(t *testing.T) {
+	a := predicateAgent(t)
+	var ctr Counters
+	s, err := NewSubscriber(Config{Agent: a, Mode: ModePredicate, Counters: &ctr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubscribeQuery("publisher = 'slashdot' AND urgency >= 5"); err != nil {
+		t.Fatal(err)
+	}
+
+	env, _ := EncodeItem(testItem(), ModePredicate, DefaultGeometry, nil)
+	if !s.ShouldDeliver(&env) {
+		t.Fatal("query-matching item rejected")
+	}
+	calm := testItem()
+	calm.Urgency = 1
+	envCalm, _ := EncodeItem(calm, ModePredicate, DefaultGeometry, nil)
+	if s.ShouldDeliver(&envCalm) {
+		t.Fatal("query-failing item delivered")
+	}
+	snap := ctr.Snapshot()
+	if snap.ExactMatches != 1 || snap.FalsePositiveDrops != 1 {
+		t.Fatalf("counters = %+v, want 1 match / 1 drop", snap)
+	}
+
+	// Plain subject subscriptions still work alongside queries.
+	if err := s.Subscribe("sports/soccer"); err != nil {
+		t.Fatal(err)
+	}
+	soccer := testItem()
+	soccer.Subjects = []string{"sports/soccer"}
+	soccer.Urgency = 1
+	envSoccer, _ := EncodeItem(soccer, ModePredicate, DefaultGeometry, nil)
+	if !s.ShouldDeliver(&envSoccer) {
+		t.Fatal("plain subject subscription lost in predicate mode")
+	}
+}
+
+func TestEncodeItemPredicateLayout(t *testing.T) {
+	it := testItem()
+	it.Subjects = []string{"tech/linux", "world/asia"}
+	geo := Geometry{Bits: 1024, Hashes: 4}
+	env, err := EncodeItem(it, ModePredicate, geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (2 + 2) * geo.Hashes; len(env.SubjectBits) != want {
+		t.Fatalf("SubjectBits len = %d, want %d", len(env.SubjectBits), want)
+	}
+	wantSub := bloom.PositionsFor(query.SubjectKey("tech/linux"), geo.Bits, geo.Hashes)
+	for i, p := range wantSub {
+		if env.SubjectBits[i] != p {
+			t.Fatal("subject group positions disagree with signature keys")
+		}
+	}
+	wantUrg := bloom.PositionsFor(query.UrgencyKey(5), geo.Bits, geo.Hashes)
+	off := len(env.SubjectBits) - geo.Hashes
+	for i, p := range wantUrg {
+		if env.SubjectBits[off+i] != p {
+			t.Fatal("urgency group positions disagree with signature keys")
+		}
+	}
+}
+
+func TestForwardFilterPredicatePrecision(t *testing.T) {
+	geo := Geometry{Bits: 1024, Hashes: 4}
+	a := predicateAgent(t)
+	var ctr Counters
+	s, err := NewSubscriber(Config{Agent: a, Mode: ModePredicate, Geometry: geo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubscribeQuery("subjects = 'tech/linux' AND urgency >= 6"); err != nil {
+		t.Fatal(err)
+	}
+	row := astrolabe.Row{Name: "child", Attrs: value.Map{
+		astrolabe.AttrSubs: a.Attr(astrolabe.AttrSubs),
+		AttrSubGroups:      a.Attr(AttrSubGroups),
+	}}
+	filter := ForwardFilter(ModePredicate, geo, &ctr)
+
+	calm := testItem() // tech/linux, urgency 5
+	envCalm, _ := EncodeItem(calm, ModePredicate, geo, nil)
+	if filter("/", row, &envCalm) {
+		t.Fatal("urgency below the predicate range forwarded — no precision win")
+	}
+	urgent := testItem()
+	urgent.Urgency = 7
+	envHot, _ := EncodeItem(urgent, ModePredicate, geo, nil)
+	if !filter("/", row, &envHot) {
+		t.Fatal("matching item pruned — signature unsound")
+	}
+	wrongSubj := testItem()
+	wrongSubj.Subjects = []string{"sports/soccer"}
+	wrongSubj.Urgency = 7
+	envWS, _ := EncodeItem(wrongSubj, ModePredicate, geo, nil)
+	if filter("/", row, &envWS) {
+		t.Fatal("non-matching subject forwarded")
+	}
+	snap := ctr.Snapshot()
+	if snap.Forwards != 1 || snap.SubgroupTests == 0 {
+		t.Fatalf("counters = %+v, want 1 forward and subgroup tests > 0", snap)
+	}
+
+	// ModeBloom over plain subject bits cannot see the urgency constraint:
+	// both tech/linux items pass its filter — the false positives
+	// ModePredicate prunes.
+	fb := bloom.New(geo.Bits, geo.Hashes)
+	fb.Add("tech/linux")
+	bloomRow := rowWithSubs(fb)
+	bloomFilter := ForwardFilter(ModeBloom, geo, nil)
+	envCalmB, _ := EncodeItem(calm, ModeBloom, geo, nil)
+	if !bloomFilter("/", bloomRow, &envCalmB) {
+		t.Fatal("bloom baseline broken")
+	}
+}
+
+func TestForwardFilterPredicateFallbacks(t *testing.T) {
+	geo := Geometry{Bits: 1024, Hashes: 4}
+	// Build the raw subs filter an older (or BIT_OR-aggregating) row
+	// would carry: leaves no longer advertise it, but the forwarding
+	// test still honors it as the fallback summary.
+	sf := bloom.New(geo.Bits, geo.Hashes)
+	query.SubjectsSignature([]string{"tech/linux"}).Fill(sf)
+	subs := value.Bytes(sf.Bytes())
+	env, _ := EncodeItem(testItem(), ModePredicate, geo, nil)
+	filter := ForwardFilter(ModePredicate, geo, nil)
+
+	// No subg attribute: the OR-aggregated subs filter decides.
+	if !filter("/", astrolabe.Row{Attrs: value.Map{astrolabe.AttrSubs: subs}}, &env) {
+		t.Fatal("subs fallback did not forward a matching item")
+	}
+	// Malformed subg (scrambled row): same fallback, never a lost delivery.
+	mal := astrolabe.Row{Attrs: value.Map{
+		astrolabe.AttrSubs: subs,
+		AttrSubGroups:      value.Bytes([]byte{0x00, 0x13, 0x9a}),
+	}}
+	if !filter("/", mal, &env) {
+		t.Fatal("malformed subgroup set lost a delivery instead of falling back")
+	}
+	// Neither attribute: prune.
+	if filter("/", astrolabe.Row{Attrs: value.Map{}}, &env) {
+		t.Fatal("row without any summary forwarded")
+	}
+	// Envelope encoded under another mode (no predicate position groups):
+	// the filter recomputes positions rather than misreading the layout.
+	envBloom, _ := EncodeItem(testItem(), ModeBloom, geo, nil)
+	if !filter("/", astrolabe.Row{Attrs: value.Map{astrolabe.AttrSubs: subs}}, &envBloom) {
+		t.Fatal("cross-mode envelope not recomputed")
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"newswire/internal/core"
 	"newswire/internal/news"
+	"newswire/internal/pubsub"
 	"newswire/internal/vtime"
 	"newswire/internal/workload"
 )
@@ -96,7 +97,12 @@ type Scenario struct {
 	VirtualLeaves bool
 	// Security runs with certificates: signed rows and items, verification
 	// everywhere. Scrambled rows then fail signature checks at peers.
-	Security           bool
+	Security bool
+	// Predicate runs the cluster in pubsub.ModePredicate so the chaos
+	// gates cover the §7 predicate routing path: compiled signatures,
+	// subgroup rows (and their scrambled/healed forms) and the subs
+	// fallback on malformed subgroup attributes.
+	Predicate          bool
 	AckTimeout         time.Duration
 	MaxForwardAttempts int
 	// Warmup rounds run before round 0 of the event schedule.
@@ -233,6 +239,9 @@ func runOnce(sc Scenario, opt Options, skipScramble bool) (*Result, uint64, erro
 			// Rejoiners re-offer recovered items to their leaf zone so
 			// members behind them (virtual bitsets included) catch up.
 			ncfg.ReshareRecovered = true
+			if sc.Predicate {
+				ncfg.Mode = pubsub.ModePredicate
+			}
 			if realm != nil {
 				sec, err := realm.Member(fmt.Sprintf("node-%d", i))
 				if err != nil {

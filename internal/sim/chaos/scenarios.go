@@ -51,6 +51,7 @@ func Scenarios() []Scenario {
 			// rows carry stale stamps, so owner heartbeats supersede them
 			// and the tables must converge back to the clean twin's.
 			Name: "scramble-converge", Nodes: 96, Branching: 16,
+			Predicate:  true,
 			AckTimeout: time.Second, Warmup: 8,
 			Events: []Event{
 				{Kind: PublishBurst, Round: 0, Count: 8},
@@ -89,6 +90,7 @@ func Scenarios() []Scenario {
 			// Zipf hot-key bursts, no faults: the baseline that pins the
 			// floor near 1 and catches regressions in plain fan-out.
 			Name: "hot-keys", Nodes: 96, Branching: 16,
+			Predicate:  true,
 			AckTimeout: time.Second, Warmup: 8,
 			Events: []Event{
 				{Kind: PublishBurst, Round: 0, Rounds: 3, Count: 20, ZipfS: 1.3},

@@ -1,0 +1,57 @@
+package sqlagg
+
+import "strings"
+
+// TokenKind classifies a lexical token for external consumers of the
+// sqlagg lexer. internal/query builds the subscription predicate language
+// on the same token stream so the two dialects cannot drift on string
+// escaping, number syntax, or operator spelling.
+type TokenKind uint8
+
+// Token kinds, mirroring the internal lexer's categories.
+const (
+	TokEOF     = TokenKind(tokEOF)
+	TokIdent   = TokenKind(tokIdent)
+	TokNumber  = TokenKind(tokNumber)
+	TokString  = TokenKind(tokString)
+	TokOp      = TokenKind(tokOp)
+	TokKeyword = TokenKind(tokKeyword)
+)
+
+// String returns the kind's human-readable name (for parse errors).
+func (k TokenKind) String() string { return tokenKind(k).String() }
+
+// Token is one lexical token: keywords upper-cased, identifiers as
+// written, string literals unquoted, Pos the byte offset in the source.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Tokens lexes src with the sqlagg lexer and returns the full token
+// stream, terminated by a TokEOF token. Identifiers whose upper-casing
+// appears in extraKeywords are promoted to keyword tokens (upper-cased),
+// letting callers graft contextual keywords such as IN, LIKE, or BETWEEN
+// onto the dialect without touching the core grammar.
+func Tokens(src string, extraKeywords ...string) ([]Token, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	extra := make(map[string]bool, len(extraKeywords))
+	for _, k := range extraKeywords {
+		extra[strings.ToUpper(k)] = true
+	}
+	out := make([]Token, len(toks))
+	for i, t := range toks {
+		kind, text := TokenKind(t.kind), t.text
+		if t.kind == tokIdent {
+			if up := strings.ToUpper(t.text); extra[up] {
+				kind, text = TokKeyword, up
+			}
+		}
+		out[i] = Token{Kind: kind, Text: text, Pos: t.pos}
+	}
+	return out, nil
+}

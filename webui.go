@@ -86,15 +86,19 @@ func (ui *WebUI) Handler() http.Handler {
 
 // statusDoc is the /status.json schema.
 type statusDoc struct {
-	Name       string               `json:"name"`
-	Addr       string               `json:"addr"`
-	Zone       string               `json:"zone"`
-	Subjects   []string             `json:"subjects"`
+	Name       string   `json:"name"`
+	Addr       string   `json:"addr"`
+	Zone       string   `json:"zone"`
+	Subjects   []string `json:"subjects"`
+	// Queries are the node's predicate subscriptions in canonical form
+	// (ModePredicate; empty otherwise).
+	Queries    []string             `json:"queries,omitempty"`
 	Delivered  int64                `json:"delivered"`
 	CacheItems int                  `json:"cacheItems"`
 	Publishers []string             `json:"publishers"`
 	Gossip     astrolabe.Stats      `json:"gossip"`
 	Multicast  multicast.Stats      `json:"multicast"`
+	Routing    routingDoc           `json:"routing"`
 	Cache      cache.Stats          `json:"cache"`
 	Runtime    metrics.RuntimeStats `json:"runtime"`
 	Engine     *sim.EngineStats     `json:"engine,omitempty"`
@@ -106,19 +110,39 @@ type statusDoc struct {
 	ClockOffsets map[string]transport.ClockOffset `json:"clockOffsets,omitempty"`
 }
 
+// routingDoc is the routing-precision section of /status.json: how often
+// the subscription summaries said "forward", how the leaf's exact check
+// resolved those forwards, and how many subgroup filters are in play.
+type routingDoc struct {
+	Forwards           int64 `json:"forwards"`
+	ExactMatches       int64 `json:"exactMatches"`
+	FalsePositiveDrops int64 `json:"falsePositiveDrops"`
+	SubgroupTests      int64 `json:"subgroupTests"`
+	SubgroupFilters    int   `json:"subgroupFilters"`
+}
+
 func (ui *WebUI) status() statusDoc {
+	rs := ui.node.RoutingStats()
 	doc := statusDoc{
 		Name:       ui.node.Name(),
 		Addr:       ui.node.Addr(),
 		Zone:       ui.node.ZonePath(),
 		Subjects:   ui.node.Subjects(),
+		Queries:    ui.node.Queries(),
 		Delivered:  ui.node.Delivered(),
 		CacheItems: ui.node.Cache().Len(),
 		Publishers: ui.node.KnownPublishers(),
 		Gossip:     ui.node.Agent().Stats(),
 		Multicast:  ui.node.Router().Stats(),
-		Cache:      ui.node.Cache().Stats(),
-		Runtime:    metrics.ReadRuntime(),
+		Routing: routingDoc{
+			Forwards:           rs.Forwards,
+			ExactMatches:       rs.ExactMatches,
+			FalsePositiveDrops: rs.FalsePositiveDrops,
+			SubgroupTests:      rs.SubgroupTests,
+			SubgroupFilters:    ui.node.SubgroupFilters(),
+		},
+		Cache:   ui.node.Cache().Stats(),
+		Runtime: metrics.ReadRuntime(),
 	}
 	if ui.engineInfo != nil {
 		st := ui.engineInfo()
@@ -278,6 +302,9 @@ func (ui *WebUI) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "<h2>Subscriptions</h2><ul>")
 	for _, s := range st.Subjects {
 		fmt.Fprintf(w, "<li><code>%s</code></li>", html.EscapeString(s))
+	}
+	for _, q := range st.Queries {
+		fmt.Fprintf(w, "<li>query <code>%s</code></li>", html.EscapeString(q))
 	}
 	fmt.Fprint(w, "</ul>")
 

@@ -424,6 +424,13 @@ func TestWebUIEndpointConsistency(t *testing.T) {
 		Multicast struct {
 			Delivered int64 `json:"Delivered"`
 		} `json:"multicast"`
+		Routing struct {
+			Forwards           int64 `json:"forwards"`
+			ExactMatches       int64 `json:"exactMatches"`
+			FalsePositiveDrops int64 `json:"falsePositiveDrops"`
+			SubgroupTests      int64 `json:"subgroupTests"`
+			SubgroupFilters    int64 `json:"subgroupFilters"`
+		} `json:"routing"`
 		Cache struct {
 			Puts int64 `json:"Puts"`
 		} `json:"cache"`
@@ -458,9 +465,19 @@ func TestWebUIEndpointConsistency(t *testing.T) {
 	wantSample("multicast_delivered", status.Multicast.Delivered)
 	wantSample("newswire_delivered_items", status.Delivered)
 	wantSample("cache_puts", status.Cache.Puts)
+	wantSample("pubsub_forwards", status.Routing.Forwards)
+	wantSample("pubsub_exact_matches", status.Routing.ExactMatches)
+	wantSample("pubsub_false_positive_drops", status.Routing.FalsePositiveDrops)
+	wantSample("pubsub_subgroup_tests", status.Routing.SubgroupTests)
+	wantSample("pubsub_subgroup_filters", status.Routing.SubgroupFilters)
 	if status.Delivered != 1 || status.Multicast.Delivered != 1 {
 		t.Errorf("delivered = %d, multicast delivered = %d, want 1/1",
 			status.Delivered, status.Multicast.Delivered)
+	}
+	// The node delivered its one subscribed item: the leaf exact check must
+	// have recorded at least that one accept.
+	if status.Routing.ExactMatches < 1 {
+		t.Errorf("routing exactMatches = %d, want >= 1", status.Routing.ExactMatches)
 	}
 
 	var health struct {
@@ -492,5 +509,59 @@ func TestWebUIEndpointConsistency(t *testing.T) {
 	}
 	if zoneNodes != health.Cluster.Nodes {
 		t.Errorf("zone rollups cover %d nodes, cluster rollup %d", zoneNodes, health.Cluster.Nodes)
+	}
+}
+
+// TestWebUIPredicateStatus surfaces predicate subscriptions and subgroup
+// telemetry through the web UI.
+func TestWebUIPredicateStatus(t *testing.T) {
+	cluster, err := newswire.NewCluster(newswire.ClusterConfig{
+		N: 4, Branching: 4, Seed: 404,
+		Customize: func(i int, cfg *newswire.Config) {
+			cfg.Mode = newswire.ModePredicate
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := cluster.Nodes[1].SubscribeQuery("urgency >= 6 and subjects = 'tech/linux'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunRounds(6)
+
+	ui := newswire.NewWebUI(cluster.Nodes[1])
+	srv := httptest.NewServer(ui.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Queries []string `json:"queries"`
+		Routing struct {
+			SubgroupFilters int `json:"subgroupFilters"`
+		} `json:"routing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Queries) != 1 || status.Queries[0] != canon {
+		t.Errorf("status queries = %v, want [%s]", status.Queries, canon)
+	}
+	if status.Routing.SubgroupFilters == 0 {
+		t.Error("no subgroup filters visible in zone tables")
+	}
+
+	page, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(page.Body)
+	page.Body.Close()
+	if !strings.Contains(string(body), "urgency") {
+		t.Error("index page does not list the predicate subscription")
 	}
 }
